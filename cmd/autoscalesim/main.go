@@ -1,0 +1,76 @@
+// Command autoscalesim reproduces the paper's Table 7: the autoscaling
+// comparison on the TeaStore deployment. Each policy (optimally tuned
+// thresholds, monitorless, the RT-based oracle, no scaling) runs a fresh
+// environment under the same workload; the command reports extra
+// provisioning and SLO violations per policy.
+//
+// Usage:
+//
+//	autoscalesim [-model model.gob] [-scale small|full]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"monitorless/internal/core"
+	"monitorless/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("autoscalesim: ")
+
+	var (
+		modelPath = flag.String("model", "", "trained model (default: train in-process)")
+		scaleName = flag.String("scale", "small", "experiment scale: small or full")
+	)
+	flag.Parse()
+
+	scale := experiments.Small()
+	if *scaleName == "full" {
+		scale = experiments.Full()
+	}
+
+	var ctx *experiments.Context
+	if *modelPath != "" {
+		f, err := os.Open(*modelPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := core.Load(f)
+		if cerr := f.Close(); cerr != nil {
+			log.Fatal(cerr)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		ctx = &experiments.Context{Scale: scale, Model: m}
+	} else {
+		var err error
+		fmt.Fprintln(os.Stderr, "no -model given: generating training data and training in-process...")
+		ctx, err = experiments.NewContext(scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Table 7 needs the a-posteriori thresholds from the Table 6 run.
+	data, err := experiments.CollectTeaStore(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	table6, _, err := experiments.Table6(ctx, data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	experiments.PrintEvalTable(os.Stdout, table6)
+
+	rows, err := experiments.Table7(ctx, table6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	experiments.PrintTable7(os.Stdout, rows)
+}

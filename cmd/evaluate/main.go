@@ -1,0 +1,96 @@
+// Command evaluate scores the monitorless model on the paper's three
+// evaluation applications (Tables 5, 6 and 8) and optionally emits the
+// Figure 3 prediction series.
+//
+// Usage:
+//
+//	evaluate -app elgg|teastore|sockshop [-model model.gob] [-scale small|full] [-series]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"monitorless/internal/core"
+	"monitorless/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("evaluate: ")
+
+	var (
+		app       = flag.String("app", "teastore", "evaluation application: elgg, teastore or sockshop")
+		modelPath = flag.String("model", "", "trained model (default: train in-process)")
+		scaleName = flag.String("scale", "small", "experiment scale: small or full")
+		series    = flag.Bool("series", false, "emit the Figure 3 marker series (teastore only)")
+	)
+	flag.Parse()
+
+	scale := experiments.Small()
+	if *scaleName == "full" {
+		scale = experiments.Full()
+	}
+
+	var ctx *experiments.Context
+	if *modelPath != "" {
+		f, err := os.Open(*modelPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := core.Load(f)
+		if cerr := f.Close(); cerr != nil {
+			log.Fatal(cerr)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		ctx = &experiments.Context{Scale: scale, Model: m}
+	} else {
+		var err error
+		fmt.Fprintln(os.Stderr, "no -model given: generating training data and training in-process...")
+		ctx, err = experiments.NewContext(scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	switch *app {
+	case "elgg":
+		data, err := experiments.CollectElgg(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		table, err := experiments.Table5(ctx, data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.PrintEvalTable(os.Stdout, table)
+	case "teastore":
+		data, err := experiments.CollectTeaStore(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		table, perInst, err := experiments.Table6(ctx, data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.PrintEvalTable(os.Stdout, table)
+		fig := experiments.Figure3(data, perInst)
+		experiments.PrintFigure3(os.Stdout, fig, *series)
+	case "sockshop":
+		data, err := experiments.CollectSockshop(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		table, err := experiments.Table8(ctx, data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.PrintEvalTable(os.Stdout, table)
+	default:
+		log.Fatalf("unknown -app %q (want elgg, teastore or sockshop)", *app)
+	}
+}

@@ -1,0 +1,166 @@
+// Command experiments regenerates every table and figure of the paper in
+// order: Figure 2, Tables 1–8 and Figure 3.
+//
+// Usage:
+//
+//	experiments [-scale small|full] [-run all|fig2|table1|...|table8|fig3|ablation] [-series]
+//
+// -scale small (default) runs everything in a couple of minutes; -scale
+// full approaches the paper's run lengths and forest size.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"monitorless/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	var (
+		scaleName = flag.String("scale", "small", "experiment scale: small or full")
+		run       = flag.String("run", "all", "comma-separated experiment list (all, fig2, table1..table8, fig3, ablation)")
+		series    = flag.Bool("series", false, "emit full data series for the figures")
+	)
+	flag.Parse()
+
+	scale := experiments.Small()
+	if *scaleName == "full" {
+		scale = experiments.Full()
+	}
+
+	want := map[string]bool{}
+	for _, part := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(part)] = true
+	}
+	sel := func(name string) bool { return want["all"] || want[name] }
+
+	start := time.Now()
+
+	// Figure 2 needs no trained model.
+	if sel("fig2") {
+		fig, err := experiments.Figure2(scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.PrintFigure2(os.Stdout, fig, *series)
+		fmt.Println()
+	}
+
+	needCtx := sel("table1") || sel("table2") || sel("table3") || sel("table4") ||
+		sel("table5") || sel("table6") || sel("table7") || sel("table8") || sel("fig3") ||
+		sel("ablation")
+	if !needCtx {
+		return
+	}
+
+	fmt.Fprintf(os.Stderr, "building context (Table 1 corpus + model) at scale %q...\n", scale.Name)
+	ctx, err := experiments.NewContext(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "context ready after %s: %d samples, %.1f%% saturated, %d features\n",
+		time.Since(start).Round(time.Millisecond), ctx.Model.TrainSamples,
+		100*ctx.Model.TrainSaturatedFrac, ctx.Model.Pipeline.NumOutputs())
+
+	if sel("table1") {
+		experiments.PrintTable1(os.Stdout, experiments.Table1Summary(ctx))
+		fmt.Println()
+	}
+	if sel("table2") {
+		rows, err := experiments.Table2(ctx, 2500)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.PrintTable2(os.Stdout, rows)
+		fmt.Println()
+	}
+
+	var elgg *experiments.EvalData
+	if sel("table3") || sel("table5") || sel("ablation") {
+		elgg, err = experiments.CollectElgg(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if sel("table3") {
+		rows, err := experiments.Table3(ctx, elgg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.PrintTable3(os.Stdout, rows)
+		fmt.Println()
+	}
+	if sel("table4") {
+		experiments.PrintTable4(os.Stdout, experiments.Table4(ctx, 30))
+		fmt.Println()
+	}
+	if sel("table5") {
+		table, err := experiments.Table5(ctx, elgg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.PrintEvalTable(os.Stdout, table)
+		fmt.Println()
+	}
+
+	var table6 *experiments.EvalTable
+	var teaData *experiments.EvalData
+	if sel("table6") || sel("fig3") || sel("table7") || sel("ablation") {
+		data, err := experiments.CollectTeaStore(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		teaData = data
+		var perInst map[string][]int
+		table6, perInst, err = experiments.Table6(ctx, data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if sel("table6") {
+			experiments.PrintEvalTable(os.Stdout, table6)
+			fmt.Println()
+		}
+		if sel("fig3") {
+			fig := experiments.Figure3(data, perInst)
+			experiments.PrintFigure3(os.Stdout, fig, *series)
+			fmt.Println()
+		}
+	}
+	if sel("table7") {
+		rows, err := experiments.Table7(ctx, table6)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.PrintTable7(os.Stdout, rows)
+		fmt.Println()
+	}
+	if sel("ablation") {
+		rows, err := experiments.Ablation(ctx, elgg, teaData)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.PrintAblation(os.Stdout, rows)
+		fmt.Println()
+	}
+	if sel("table8") {
+		data, err := experiments.CollectSockshop(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		table, err := experiments.Table8(ctx, data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.PrintEvalTable(os.Stdout, table)
+		fmt.Println()
+	}
+	fmt.Fprintf(os.Stderr, "done in %s\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,127 @@
+// Command train fits the monitorless model on a training corpus (either a
+// datagen CSV or a freshly generated Table 1 corpus) and persists it.
+// With -table3 it also reproduces the paper's algorithm comparison.
+//
+// Usage:
+//
+//	train -out model.gob [-data training.csv] [-scale small|full] [-table3] [-rules]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"monitorless/internal/core"
+	"monitorless/internal/dataset"
+	"monitorless/internal/experiments"
+	"monitorless/internal/features"
+	"monitorless/internal/pcp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("train: ")
+
+	var (
+		data      = flag.String("data", "", "training CSV from datagen (default: generate in-process)")
+		out       = flag.String("out", "model.gob", "model output path")
+		scaleName = flag.String("scale", "small", "experiment scale: small or full")
+		table3    = flag.Bool("table3", false, "also run the Table 3 algorithm comparison")
+		table4    = flag.Bool("table4", true, "print the Table 4 feature importances")
+		rules     = flag.Bool("rules", false, "distill the model into operator-readable scaling rules (§5 interpretability)")
+	)
+	flag.Parse()
+
+	scale := experiments.Small()
+	if *scaleName == "full" {
+		scale = experiments.Full()
+	}
+
+	var (
+		ctx *experiments.Context
+		err error
+	)
+	if *data != "" {
+		f, err := os.Open(*data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ds, err := dataset.ReadCSV(f, pcp.DefaultCatalog())
+		if cerr := f.Close(); cerr != nil {
+			log.Fatal(cerr)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		m, err := core.Train(ds, scale.TrainConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trained on %d samples (%.1f%% saturated) in %s\n",
+			len(ds.Samples), 100*ds.SaturatedFraction(), time.Since(start).Round(time.Millisecond))
+		ctx = &experiments.Context{Scale: scale, Model: m}
+	} else {
+		start := time.Now()
+		ctx, err = experiments.NewContext(scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("generated %d samples and trained in %s (%d engineered features)\n",
+			ctx.Model.TrainSamples, time.Since(start).Round(time.Millisecond), ctx.Model.Pipeline.NumOutputs())
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ctx.Model.Save(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model saved to %s\n", *out)
+
+	if *table4 {
+		experiments.PrintTable4(os.Stdout, experiments.Table4(ctx, 30))
+	}
+	if *rules {
+		if ctx.Report == nil {
+			log.Fatal("-rules requires in-process generation (omit -data)")
+		}
+		tab := features.FromDataset(ctx.Report.Dataset)
+		distilled, err := ctx.Model.DistillRules(tab, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fidelity, err := ctx.Model.SurrogateFidelity(tab, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("distilled scaling rules (depth-3 surrogate, %.1f%% agreement with the forest):\n", 100*fidelity)
+		for i, r := range distilled {
+			if i >= 8 {
+				break
+			}
+			fmt.Println(" ", r)
+		}
+	}
+	if *table3 {
+		if ctx.Report == nil {
+			log.Fatal("-table3 requires in-process generation (omit -data)")
+		}
+		elgg, err := experiments.CollectElgg(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows, err := experiments.Table3(ctx, elgg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.PrintTable3(os.Stdout, rows)
+	}
+}

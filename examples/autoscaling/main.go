@@ -1,0 +1,77 @@
+// Autoscaling demo (§4.2.2): drive the TeaStore deployment with the bursty
+// cloud trace and let monitorless predictions trigger scale-outs, then
+// compare SLO violations against a run with no scaling at all.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"monitorless"
+
+	"monitorless/internal/apps"
+	"monitorless/internal/autoscale"
+	"monitorless/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Train on a compact Table 1 subset (a production deployment would
+	// load a model trained by cmd/train instead).
+	fmt.Println("training a compact monitorless model...")
+	report, err := monitorless.GenerateTrainingData(monitorless.DataOptions{
+		Runs:        []int{1, 6, 8, 10, 22, 23},
+		Duration:    300,
+		RampSeconds: 250,
+		Seed:        2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := monitorless.DefaultTrainConfig()
+	cfg.Forest.NumTrees = 40
+	cfg.Pipeline.FilterTrees = 15
+	model, err := monitorless.Train(report.Dataset, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The TeaStore multi-tenant deployment under the paper's worst-case
+	// cloud workload, with Sockshop as co-located interference.
+	build := func() (*autoscale.Env, error) {
+		eng, tea, err := experiments.BuildTeaStore(60, 3)(apps.TeaStoreLoad(150, 5))
+		if err != nil {
+			return nil, err
+		}
+		return &autoscale.Env{Engine: eng, Target: tea, Cluster: eng.Cluster()}, nil
+	}
+
+	opt := autoscale.Options{
+		Duration:        1100,
+		ReplicaLifespan: 120,
+		Couple:          [][]string{{"recommender", "auth"}},
+		Seed:            11,
+	}
+
+	fmt.Println("running the no-scaling baseline...")
+	base, err := autoscale.Simulate(build, autoscale.NoScaling{}, nil, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("running the monitorless autoscaler...")
+	mon, err := autoscale.Simulate(build, autoscale.MonitorlessScaler{}, model, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	fmt.Printf("%-24s %18s %14s %10s\n", "policy", "provisioning (avg)", "SLO violations", "scale-outs")
+	for _, r := range []autoscale.Result{base, mon} {
+		fmt.Printf("%-24s %17.1f%% %14d %10d\n", r.Policy, r.ProvisioningPct, r.SLOViolations, r.ScaleOuts)
+	}
+	if mon.SLOViolations < base.SLOViolations {
+		fmt.Printf("\nmonitorless removed %d of %d SLO violations for %.1f%% extra capacity\n",
+			base.SLOViolations-mon.SLOViolations, base.SLOViolations, mon.ProvisioningPct)
+	}
+}

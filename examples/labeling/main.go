@@ -1,0 +1,94 @@
+// Labeling walk-through (the paper's §2.2 and Figure 2): run a linearly
+// increasing load experiment against a CPU-limited service, smooth the
+// observed throughput with a Savitzky-Golay filter, normalize to the unit
+// square, and find the saturation knee with Kneedle. The resulting
+// threshold Υ converts raw KPI readings into the binary labels the
+// monitorless classifier trains on.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"monitorless/internal/apps"
+	"monitorless/internal/cluster"
+	"monitorless/internal/kneedle"
+	"monitorless/internal/label"
+	"monitorless/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// The Table 1 run-1 setup: Solr limited to 3 cores (≈857 req/s).
+	c, err := cluster.New(apps.TrainingNode("host"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	app, err := apps.Build(c, "solr", workload.Ramp{From: 10, To: 1200, Duration: 400},
+		[]apps.ServiceSpec{{Name: "solr", Node: "host", Profile: apps.SolrProfile(), Visit: 1, CPULimit: 3}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := apps.NewEngine(c, app)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var loads, observed []float64
+	eng.Run(400, func(int) {
+		loads = append(loads, app.KPI.Offered)
+		observed = append(observed, app.KPI.Throughput)
+	})
+
+	// Kneedle: smooth → normalize → difference curve → local maxima.
+	res, err := kneedle.Detect(loads, observed, kneedle.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	knee, ok := res.Best()
+	if !ok {
+		log.Fatal("no knee found — the service never saturated in the ramp range")
+	}
+	lab, _, err := label.DiscoverThreshold(loads, observed, label.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("knee at load %.0f req/s (observed KPI %.0f); threshold Υ = %.1f\n\n",
+		knee.X, knee.Y, lab.Threshold)
+
+	// ASCII rendition of Figure 2: observed (•), smoothed (─) and the
+	// difference curve (▂ scaled).
+	fmt.Println("load    throughput (• observed, + smoothed, | knee)   difference")
+	const width = 48
+	maxY := 0.0
+	for _, v := range observed {
+		if v > maxY {
+			maxY = v
+		}
+	}
+	for i := 0; i < len(loads); i += 16 {
+		obsCol := int(observed[i] / maxY * width)
+		smCol := int(res.Smoothed[i] / maxY * width)
+		row := []byte(strings.Repeat(" ", width+1))
+		if smCol >= 0 && smCol <= width {
+			row[smCol] = '+'
+		}
+		if obsCol >= 0 && obsCol <= width {
+			row[obsCol] = '*'
+		}
+		marker := " "
+		if i > 0 && loads[i-16] < knee.X && loads[i] >= knee.X {
+			marker = "| <- knee"
+		}
+		fmt.Printf("%5.0f   %s %s  %+.3f\n", loads[i], string(row), marker, res.Difference[i])
+	}
+
+	// Label a few KPI readings with the discovered threshold.
+	fmt.Println("\nlabeling sample KPI readings against Υ:")
+	for _, kpi := range []float64{200, 700, knee.Y, knee.Y + 30, 1000} {
+		fmt.Printf("  KPI %7.1f → label %d\n", kpi, lab.Label(kpi))
+	}
+}

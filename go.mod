@@ -1,0 +1,3 @@
+module monitorless
+
+go 1.22

@@ -1,0 +1,53 @@
+package apps
+
+import (
+	"testing"
+
+	"monitorless/internal/cluster"
+	"monitorless/internal/workload"
+)
+
+// BenchmarkEngineTick measures one simulation second of the full
+// multi-tenant evaluation deployment (TeaStore + Sockshop, 21 containers).
+func BenchmarkEngineTick(b *testing.B) {
+	c, err := cluster.New(EvalNodes()...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tea, err := NewTeaStore(c, TeaStoreLoad(135, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	shop, err := NewSockshop(c, SockshopLoad(0.27))
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := NewEngine(c, tea, shop)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Tick()
+	}
+}
+
+func BenchmarkRampExperiment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := cluster.New(TrainingNode("t"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		app, err := Build(c, "a", workload.Ramp{From: 10, To: 1200, Duration: 300}, []ServiceSpec{
+			{Name: "solr", Node: "t", Profile: SolrProfile(), Visit: 1, CPULimit: 3},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng, err := NewEngine(c, app)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng.Run(300, nil)
+	}
+}

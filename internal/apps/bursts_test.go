@@ -1,0 +1,157 @@
+package apps
+
+import (
+	"testing"
+
+	"monitorless/internal/cluster"
+	"monitorless/internal/workload"
+)
+
+func TestBackgroundCPURaisesUtilization(t *testing.T) {
+	// A service with heavy background work shows high CPU at tiny load.
+	c, err := cluster.New(TrainingNode("t1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := generic("bg", 0.001, 0.005, 0.8)
+	app, err := Build(c, "a", workload.Constant{Rate: 10}, []ServiceSpec{
+		{Name: "bg", Node: "t1", Profile: prof, Visit: 1, CPULimit: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(c, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(10, nil)
+	inst := app.Services()[0].Instances()[0]
+	util := inst.State.CPUGranted / inst.State.CPULimit
+	if util < 0.75 {
+		t.Errorf("utilization %.2f, want >= 0.75 from background work", util)
+	}
+	// The KPI must stay healthy: background does not gate requests here.
+	if app.KPI.FailFrac > 0.01 || app.KPI.AvgRT > 0.2 {
+		t.Errorf("background work degraded the KPI: %+v", app.KPI)
+	}
+}
+
+func TestBackgroundCPUReducesRequestCapacity(t *testing.T) {
+	c, err := cluster.New(TrainingNode("t1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 core, 0.5 background → request capacity (1−0.5)/0.005 = 100 r/s.
+	prof := generic("half", 0.005, 0.005, 0.5)
+	app, err := Build(c, "a", workload.Constant{Rate: 180}, []ServiceSpec{
+		{Name: "half", Node: "t1", Profile: prof, Visit: 1, CPULimit: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(c, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(15, nil)
+	if thr := app.KPI.Throughput; thr > 115 {
+		t.Errorf("throughput %.0f, want capped near 100 by background work", thr)
+	}
+}
+
+func TestBurstsAreperiodicAndBounded(t *testing.T) {
+	prof := generic("bursty", 0.001, 0.005, 0.1)
+	prof = withBursts(prof, 0.8, 100, 20)
+	// Bursts contribute exactly CPUBurst during the window and 0 outside,
+	// with a stable per-instance phase.
+	inBurst := 0
+	for tt := 0; tt < 1000; tt++ {
+		v := burstCPU(&prof, "app/svc/0", tt)
+		switch v {
+		case 0:
+		case 0.8:
+			inBurst++
+		default:
+			t.Fatalf("burst value %v, want 0 or 0.8", v)
+		}
+	}
+	if inBurst != 200 { // 20 of every 100 seconds over 1000 seconds
+		t.Errorf("burst active %d/1000 seconds, want 200", inBurst)
+	}
+	// Phases differ across instances (decorrelated compactions).
+	same := true
+	for tt := 0; tt < 100; tt++ {
+		if burstCPU(&prof, "app/svc/0", tt) != burstCPU(&prof, "other/db/0", tt) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("burst phases identical across instances")
+	}
+	// Zero-configured bursts contribute nothing.
+	plain := generic("plain", 0.001, 0.005, 0)
+	if burstCPU(&plain, "x", 5) != 0 {
+		t.Error("unconfigured burst fired")
+	}
+}
+
+func TestAsyncServiceDoesNotGateKPI(t *testing.T) {
+	c, err := cluster.New(TrainingNode("t1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The async worker's capacity is 10 r/s but it receives 100 r/s: a
+	// synchronous tier would collapse the app; async must not.
+	app, err := Build(c, "a", workload.Constant{Rate: 100}, []ServiceSpec{
+		{Name: "web", Node: "t1", Profile: generic("web", 0.001, 0.005, 0), Visit: 1, CPULimit: 2},
+		{Name: "worker", Node: "t1", Profile: generic("worker", 0.1, 0.005, 0), Visit: 1, CPULimit: 1, Async: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(c, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(15, nil)
+	if app.KPI.Throughput < 95 {
+		t.Errorf("throughput %.0f, want ~100 (async worker must not gate)", app.KPI.Throughput)
+	}
+	if app.KPI.AvgRT > 0.1 {
+		t.Errorf("RT %.3f, want low (async worker must not add latency)", app.KPI.AvgRT)
+	}
+	// The worker itself is saturated — visible in its instance state.
+	worker, _ := app.Service("worker")
+	st := worker.Instances()[0].State
+	if st.Throughput > 15 {
+		t.Errorf("worker throughput %.0f, want capped at ~10", st.Throughput)
+	}
+	if st.CPUGranted < 0.9 {
+		t.Errorf("worker CPU %.2f, want pegged", st.CPUGranted)
+	}
+}
+
+func TestSyncServiceGatesKPI(t *testing.T) {
+	// Control case for the async test: the same overloaded worker on the
+	// synchronous path must collapse throughput.
+	c, err := cluster.New(TrainingNode("t1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := Build(c, "a", workload.Constant{Rate: 100}, []ServiceSpec{
+		{Name: "web", Node: "t1", Profile: generic("web", 0.001, 0.005, 0), Visit: 1, CPULimit: 2},
+		{Name: "worker", Node: "t1", Profile: generic("worker", 0.1, 0.005, 0), Visit: 1, CPULimit: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(c, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(15, nil)
+	if app.KPI.Throughput > 20 {
+		t.Errorf("throughput %.0f, want collapsed to the worker's ~10", app.KPI.Throughput)
+	}
+}

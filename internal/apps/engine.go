@@ -1,0 +1,528 @@
+// Package apps contains the application simulator that stands in for the
+// paper's real deployments (Solr, Memcache, Cassandra, the Elgg 3-tier
+// stack, TeaStore and Sockshop). Each service instance is a
+// processor-sharing queue with per-request resource demands; saturation,
+// response-time blow-up and request drops emerge from the same causal
+// chain as in the paper's testbed: offered load → resource demand →
+// arbitration against cgroup limits and co-located containers → effective
+// capacity → queueing delay and loss.
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"monitorless/internal/cluster"
+	"monitorless/internal/workload"
+)
+
+// maxRT is the load generators' timeout: the paper's HTTPLoadGenerator and
+// Locust drop requests after three seconds.
+const maxRT = 3.0
+
+// Profile is the static resource fingerprint of a service type.
+type Profile struct {
+	// Name identifies the service type ("solr", "memcache", ...).
+	Name string
+	// CPUPerReq is the CPU demand per request (core-seconds).
+	CPUPerReq float64
+	// CPUBackground is load-independent CPU use in cores (GC, ML
+	// retraining, compaction): it drives utilization up without the
+	// service being the request bottleneck — the reason static CPU
+	// thresholds false-alarm in the paper's Tables 6 and 8.
+	CPUBackground float64
+	// CPUBurst adds periodic background spikes (compaction, full GC) of
+	// BurstLen seconds every BurstEvery seconds. During a burst the
+	// container's CPU pegs without the application KPI degrading past
+	// the knee, producing exactly the false-positive pressure the
+	// paper's evaluation reports for threshold rules and monitorless.
+	CPUBurst   float64
+	BurstLen   int
+	BurstEvery int
+	// BaseRT is the no-load service time (seconds).
+	BaseRT float64
+	// MemBaseGB is the resident baseline.
+	MemBaseGB float64
+	// MemPerConnGB is the per-concurrent-request memory footprint.
+	MemPerConnGB float64
+	// WorkingSetGB is the cache/dataset the service wants resident; a
+	// cgroup memory limit below it causes page thrashing.
+	WorkingSetGB float64
+	// DiskReadPerReqMB / DiskWritePerReqMB is the in-cache disk traffic.
+	DiskReadPerReqMB  float64
+	DiskWritePerReqMB float64
+	// ThrashReadPerReqMB is the *additional* per-request disk read when
+	// the working set does not fit (scaled by the cache-miss fraction).
+	ThrashReadPerReqMB float64
+	// NetInPerReqKB / NetOutPerReqKB is the request/response wire size.
+	NetInPerReqKB  float64
+	NetOutPerReqKB float64
+	// MemBWPerReqMB is the memory-bandwidth demand per request
+	// (Memcache's unconstrained bottleneck).
+	MemBWPerReqMB float64
+}
+
+// InstanceState is the observable state of one instance after a tick; the
+// pcp package turns it into platform metrics.
+type InstanceState struct {
+	// Offered and Throughput are arrival and completion rates (req/s).
+	Offered, Throughput float64
+	// CPUWant and CPUGranted are demand and allocation in cores.
+	CPUWant, CPUGranted float64
+	// CPULimit is the effective cgroup quota (node cores if unlimited).
+	CPULimit float64
+	// MemUsedGB and MemLimitGB describe memory residency.
+	MemUsedGB, MemLimitGB float64
+	// ThrashFrac in [0,1] is the cache-miss fraction from memory pressure.
+	ThrashFrac float64
+	// DiskReadMBps / DiskWriteMBps are granted disk rates.
+	DiskReadMBps, DiskWriteMBps float64
+	// DiskWantMBps is pre-arbitration disk demand (queue indicator).
+	DiskWantMBps float64
+	// NetMbps is the granted network rate.
+	NetMbps float64
+	// MemBWGBps is the granted memory bandwidth.
+	MemBWGBps float64
+	// Concurrency is the in-flight request estimate (Little's law).
+	Concurrency float64
+	// RT is the mean response time (seconds, capped at the 3 s timeout).
+	RT float64
+	// Backlog is the queued request count carried into the next tick.
+	Backlog float64
+	// Drops is the request drop rate (req/s) from queue overflow.
+	Drops float64
+	// Throttled reports cgroup CPU throttling this tick.
+	Throttled bool
+	// PageFaultRate is the major-fault analogue driven by thrashing.
+	PageFaultRate float64
+}
+
+// Instance is one running replica of a service.
+type Instance struct {
+	// Ctr is the backing container.
+	Ctr *cluster.Container
+	// State is the result of the latest tick.
+	State InstanceState
+
+	backlog float64
+	lastRT  float64
+}
+
+// Service is a named tier with one or more instances.
+type Service struct {
+	// Name is unique within the app ("webui", "auth", ...).
+	Name string
+	// Profile is the service's resource fingerprint.
+	Profile Profile
+	// Visit is the number of service requests per application request.
+	Visit float64
+	// Async marks services off the synchronous request path (message
+	// queues, workers): they consume resources and receive work but do
+	// not gate the application's throughput or end-to-end latency.
+	Async bool
+
+	instances []*Instance
+}
+
+// Instances returns the current replicas.
+func (s *Service) Instances() []*Instance {
+	out := make([]*Instance, len(s.instances))
+	copy(out, s.instances)
+	return out
+}
+
+// AddInstance attaches a replica backed by ctr.
+func (s *Service) AddInstance(ctr *cluster.Container) *Instance {
+	inst := &Instance{Ctr: ctr, lastRT: s.Profile.BaseRT}
+	s.instances = append(s.instances, inst)
+	return inst
+}
+
+// RemoveInstance detaches the replica backed by the container with the
+// given ID and reports whether it was found.
+func (s *Service) RemoveInstance(id string) bool {
+	for i, inst := range s.instances {
+		if inst.Ctr.ID == id {
+			s.instances = append(s.instances[:i], s.instances[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// KPI is the application-level ground truth the paper labels against.
+type KPI struct {
+	// Offered and Throughput are app-level request rates.
+	Offered, Throughput float64
+	// AvgRT is the end-to-end mean response time (seconds).
+	AvgRT float64
+	// DropRate is requests/s lost to queue overflow or timeout.
+	DropRate float64
+	// FailFrac is DropRate/Offered (0 when idle).
+	FailFrac float64
+}
+
+// App is a composed application under a workload.
+type App struct {
+	// Name identifies the application.
+	Name string
+	// Load drives the request arrivals.
+	Load workload.Pattern
+	// KPI is the result of the latest tick.
+	KPI KPI
+
+	services []*Service
+}
+
+// NewApp creates an application over the given services.
+func NewApp(name string, load workload.Pattern, services ...*Service) *App {
+	return &App{Name: name, Load: load, services: services}
+}
+
+// Services returns the app's tiers.
+func (a *App) Services() []*Service {
+	out := make([]*Service, len(a.services))
+	copy(out, a.services)
+	return out
+}
+
+// Service looks a tier up by name.
+func (a *App) Service(name string) (*Service, bool) {
+	for _, s := range a.services {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// Engine advances a cluster of applications in 1-second ticks.
+type Engine struct {
+	cluster *cluster.Cluster
+	apps    []*App
+	now     int
+}
+
+// NewEngine builds an engine over a cluster and its applications.
+func NewEngine(c *cluster.Cluster, apps ...*App) (*Engine, error) {
+	if c == nil {
+		return nil, fmt.Errorf("apps: nil cluster")
+	}
+	for _, a := range apps {
+		for _, s := range a.services {
+			if s.Visit <= 0 {
+				return nil, fmt.Errorf("apps: service %s/%s has non-positive visit ratio", a.Name, s.Name)
+			}
+			if len(s.instances) == 0 {
+				return nil, fmt.Errorf("apps: service %s/%s has no instances", a.Name, s.Name)
+			}
+			for _, inst := range s.instances {
+				if inst.Ctr == nil || inst.Ctr.Node() == nil {
+					return nil, fmt.Errorf("apps: service %s/%s has an unplaced instance", a.Name, s.Name)
+				}
+			}
+		}
+	}
+	return &Engine{cluster: c, apps: apps}, nil
+}
+
+// Cluster returns the underlying cluster.
+func (e *Engine) Cluster() *cluster.Cluster { return e.cluster }
+
+// Apps returns the engine's applications.
+func (e *Engine) Apps() []*App {
+	out := make([]*App, len(e.apps))
+	copy(out, e.apps)
+	return out
+}
+
+// Now returns the current simulation second.
+func (e *Engine) Now() int { return e.now }
+
+// Tick advances the simulation by one second.
+func (e *Engine) Tick() {
+	t := e.now
+	e.now++
+
+	// Phase 1: per-instance offered load and resource demand.
+	type work struct {
+		inst       *Instance
+		prof       *Profile
+		offered    float64
+		desire     float64 // offered + backlog drain
+		thrash     float64
+		background float64 // steady + burst CPU
+	}
+	demandsByNode := make(map[*cluster.Node]map[string]cluster.Demand)
+	pending := make(map[string]*work)
+
+	for _, a := range e.apps {
+		lambda := a.Load.At(t)
+		if lambda < 0 {
+			lambda = 0
+		}
+		a.KPI.Offered = lambda
+		for _, s := range a.services {
+			if len(s.instances) == 0 {
+				continue
+			}
+			perInst := lambda * s.Visit / float64(len(s.instances))
+			for _, inst := range s.instances {
+				prof := &s.Profile
+				desire := perInst + inst.backlog
+				background := prof.CPUBackground + burstCPU(prof, inst.Ctr.ID, t)
+
+				// Memory state (from last tick's concurrency estimate).
+				conc := perInst * inst.lastRT
+				memWant := prof.MemBaseGB + conc*prof.MemPerConnGB + prof.WorkingSetGB
+				limit := inst.Ctr.MemLimitGB
+				thrash := 0.0
+				memUsed := memWant
+				if limit > 0 && memWant > limit {
+					memUsed = limit
+					if prof.WorkingSetGB > 0 {
+						thrash = (memWant - limit) / prof.WorkingSetGB
+						if thrash > 1 {
+							thrash = 1
+						}
+					}
+				}
+
+				diskRead := desire * (prof.DiskReadPerReqMB + thrash*prof.ThrashReadPerReqMB)
+				diskWrite := desire * prof.DiskWritePerReqMB
+				net := desire * (prof.NetInPerReqKB + prof.NetOutPerReqKB) * 8 / 1000 // Mbit/s
+				membw := desire * prof.MemBWPerReqMB / 1000                           // GB/s
+
+				node := inst.Ctr.Node()
+				if demandsByNode[node] == nil {
+					demandsByNode[node] = make(map[string]cluster.Demand)
+				}
+				demandsByNode[node][inst.Ctr.ID] = cluster.Demand{
+					CPU:   background + desire*prof.CPUPerReq,
+					Disk:  diskRead + diskWrite,
+					Net:   net,
+					MemBW: membw,
+				}
+				pending[inst.Ctr.ID] = &work{inst: inst, prof: prof, offered: perInst, desire: desire, thrash: thrash, background: background}
+				inst.State = InstanceState{
+					Offered:      perInst,
+					MemUsedGB:    memUsed,
+					MemLimitGB:   limit,
+					ThrashFrac:   thrash,
+					DiskWantMBps: diskRead + diskWrite,
+				}
+			}
+		}
+	}
+
+	// Phase 2: arbitration per node. Two passes: the *usage* pass grants
+	// the actual demands; the *fair-share* pass (everyone asking for its
+	// cgroup limit) bounds how much an instance could claw back under
+	// max-min fairness. Available capacity is then
+	// min(limit, max(granted + spare, fair share)).
+	grantsByID := make(map[string]cluster.Grant)
+	availByID := make(map[string]cluster.Grant)
+	for node, demands := range demandsByNode {
+		grants := node.Arbitrate(demands)
+		maxDemands := make(map[string]cluster.Demand, len(demands))
+		limits := make(map[string]float64, len(demands))
+		for id := range demands {
+			lim := node.Cores
+			if ctr, ok := e.cluster.Container(id); ok && ctr.CPULimit > 0 && ctr.CPULimit < lim {
+				lim = ctr.CPULimit
+			}
+			limits[id] = lim
+			maxDemands[id] = cluster.Demand{CPU: lim, Disk: node.DiskMBps, Net: node.NetMbps, MemBW: node.MemBWGBps}
+		}
+		fair := node.Arbitrate(maxDemands)
+
+		spare := cluster.Demand{CPU: node.Cores, Disk: node.DiskMBps, Net: node.NetMbps, MemBW: node.MemBWGBps}
+		for _, g := range grants {
+			spare.CPU -= g.CPU
+			spare.Disk -= g.Disk
+			spare.Net -= g.Net
+			spare.MemBW -= g.MemBW
+		}
+		for id, g := range grants {
+			grantsByID[id] = g
+			avail := cluster.Grant{
+				CPU:   math.Min(limits[id], math.Max(g.CPU+math.Max(spare.CPU, 0), fair[id].CPU)),
+				Disk:  math.Max(g.Disk+math.Max(spare.Disk, 0), fair[id].Disk),
+				Net:   math.Max(g.Net+math.Max(spare.Net, 0), fair[id].Net),
+				MemBW: math.Max(g.MemBW+math.Max(spare.MemBW, 0), fair[id].MemBW),
+			}
+			availByID[id] = avail
+		}
+	}
+
+	// Phase 3: effective capacity, throughput, queueing, response time.
+	for id, w := range pending {
+		avail := availByID[id]
+		inst, prof := w.inst, w.prof
+		st := &inst.State
+
+		cap := math.Inf(1)
+		if prof.CPUPerReq > 0 {
+			// Background work consumes allocation before requests do.
+			reqCPU := avail.CPU - w.background
+			if reqCPU < 0.01*avail.CPU {
+				reqCPU = 0.01 * avail.CPU
+			}
+			cap = reqCPU / prof.CPUPerReq
+		}
+		perReqDisk := prof.DiskReadPerReqMB + prof.DiskWritePerReqMB + w.thrash*prof.ThrashReadPerReqMB
+		if perReqDisk > 0 {
+			if c := avail.Disk / perReqDisk; c < cap {
+				cap = c
+			}
+		}
+		perReqNet := (prof.NetInPerReqKB + prof.NetOutPerReqKB) * 8 / 1000
+		if perReqNet > 0 {
+			if c := avail.Net / perReqNet; c < cap {
+				cap = c
+			}
+		}
+		if prof.MemBWPerReqMB > 0 {
+			if c := avail.MemBW / (prof.MemBWPerReqMB / 1000); c < cap {
+				cap = c
+			}
+		}
+
+		throughput := w.desire
+		if throughput > cap {
+			throughput = cap
+		}
+
+		// Queue dynamics: whatever was not served joins the backlog,
+		// bounded at 3 s worth of service (the load-generator timeout).
+		newBacklog := inst.backlog + w.offered - throughput
+		if newBacklog < 0 {
+			newBacklog = 0
+		}
+		maxBacklog := maxRT * cap
+		if math.IsInf(maxBacklog, 1) {
+			maxBacklog = w.offered * maxRT
+		}
+		drops := 0.0
+		if newBacklog > maxBacklog {
+			drops = newBacklog - maxBacklog
+			newBacklog = maxBacklog
+		}
+		inst.backlog = newBacklog
+
+		// Response time: processor-sharing inflation plus queue wait,
+		// plus a thrash penalty on the base service time.
+		base := prof.BaseRT * (1 + 4*w.thrash)
+		rt := base
+		if cap > 0 && !math.IsInf(cap, 1) {
+			rho := w.offered / cap
+			if rho > 0.99 {
+				rho = 0.99
+			}
+			rt = base / (1 - rho)
+			rt += newBacklog / cap
+		}
+		if rt > maxRT {
+			rt = maxRT
+		}
+		inst.lastRT = rt
+
+		st.Throughput = throughput
+		st.CPUWant = w.background + w.desire*prof.CPUPerReq
+		// Actual consumption: background work plus request service, never
+		// above the arbitrated allocation.
+		st.CPUGranted = math.Min(w.background+throughput*prof.CPUPerReq, avail.CPU)
+		st.CPULimit = inst.Ctr.CPULimit
+		if st.CPULimit <= 0 || st.CPULimit > inst.Ctr.Node().Cores {
+			st.CPULimit = inst.Ctr.Node().Cores
+		}
+		thrashRead := w.thrash * prof.ThrashReadPerReqMB
+		st.DiskReadMBps = throughput * (prof.DiskReadPerReqMB + thrashRead)
+		st.DiskWriteMBps = throughput * prof.DiskWritePerReqMB
+		st.NetMbps = throughput * perReqNet
+		st.MemBWGBps = throughput * prof.MemBWPerReqMB / 1000
+		st.Concurrency = w.offered * rt
+		st.RT = rt
+		st.Backlog = newBacklog
+		st.Drops = drops
+		// Cgroup throttling: the quota (not host contention) clips demand.
+		st.Throttled = inst.Ctr.CPULimit > 0 && st.CPUWant > inst.Ctr.CPULimit+1e-9
+		st.PageFaultRate = w.thrash * throughput
+	}
+
+	// Phase 4: application KPIs.
+	for _, a := range e.apps {
+		lambda := a.KPI.Offered
+		served := 1.0
+		rt := 0.0
+		dropRate := 0.0
+		for _, s := range a.services {
+			if len(s.instances) == 0 || s.Async {
+				continue
+			}
+			var thr, off, rtSum float64
+			for _, inst := range s.instances {
+				thr += inst.State.Throughput
+				off += inst.State.Offered
+				rtSum += inst.State.RT * math.Max(inst.State.Throughput, 1e-9)
+				dropRate += inst.State.Drops / s.Visit
+			}
+			if off > 0 {
+				frac := thr / off
+				if frac > 1 {
+					frac = 1
+				}
+				if frac < served {
+					served = frac
+				}
+				rt += s.Visit * rtSum / math.Max(thr, 1e-9)
+			} else {
+				rt += s.Visit * s.Profile.BaseRT
+			}
+		}
+		a.KPI.Throughput = lambda * served
+		a.KPI.AvgRT = rt
+		timeoutDrops := 0.0
+		if rt >= maxRT {
+			// End-to-end latency at the generator timeout: the surplus
+			// over sustainable throughput is counted as dropped.
+			timeoutDrops = lambda - a.KPI.Throughput
+		}
+		a.KPI.DropRate = dropRate + timeoutDrops
+		if lambda > 0 {
+			a.KPI.FailFrac = math.Min(1, a.KPI.DropRate/lambda)
+		} else {
+			a.KPI.FailFrac = 0
+		}
+	}
+}
+
+// burstCPU returns the burst contribution at time t for one instance; the
+// burst phase is decorrelated across instances by hashing the ID.
+func burstCPU(prof *Profile, id string, t int) float64 {
+	if prof.CPUBurst <= 0 || prof.BurstEvery <= 0 || prof.BurstLen <= 0 {
+		return 0
+	}
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	phase := int(h % uint64(prof.BurstEvery))
+	if ((t + phase) % prof.BurstEvery) < prof.BurstLen {
+		return prof.CPUBurst
+	}
+	return 0
+}
+
+// Run advances the engine n ticks, invoking observe (if non-nil) after
+// each tick with the tick index.
+func (e *Engine) Run(n int, observe func(t int)) {
+	for i := 0; i < n; i++ {
+		t := e.now
+		e.Tick()
+		if observe != nil {
+			observe(t)
+		}
+	}
+}

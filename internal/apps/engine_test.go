@@ -1,0 +1,336 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"monitorless/internal/cluster"
+	"monitorless/internal/workload"
+)
+
+// singleService builds a one-service app on a fresh training node.
+func singleService(t *testing.T, prof Profile, cpuLimit, memLimit float64, load workload.Pattern) (*Engine, *App) {
+	t.Helper()
+	c, err := cluster.New(TrainingNode("t1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := Build(c, "test", load, []ServiceSpec{
+		{Name: prof.Name, Node: "t1", Profile: prof, Visit: 1, CPULimit: cpuLimit, MemLimitGB: memLimit},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(c, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, app
+}
+
+func TestEngineValidation(t *testing.T) {
+	if _, err := NewEngine(nil); err == nil {
+		t.Error("expected error for nil cluster")
+	}
+	c, _ := cluster.New(TrainingNode("t1"))
+	app := NewApp("a", workload.Constant{Rate: 1}, &Service{Name: "s", Visit: 1})
+	if _, err := NewEngine(c, app); err == nil {
+		t.Error("expected error for instanceless service")
+	}
+	bad := NewApp("b", workload.Constant{Rate: 1}, &Service{Name: "s", Visit: 0})
+	if _, err := NewEngine(c, bad); err == nil {
+		t.Error("expected error for zero visit ratio")
+	}
+}
+
+func TestLowLoadNoSaturation(t *testing.T) {
+	eng, app := singleService(t, SolrProfile(), 3, 0, workload.Constant{Rate: 50})
+	eng.Run(30, nil)
+	k := app.KPI
+	if math.Abs(k.Throughput-50) > 1 {
+		t.Errorf("throughput %v, want ~50 (no saturation at low load)", k.Throughput)
+	}
+	if k.AvgRT > 0.1 {
+		t.Errorf("RT %v too high at low load", k.AvgRT)
+	}
+	if k.FailFrac > 0.001 {
+		t.Errorf("failures %v at low load", k.FailFrac)
+	}
+}
+
+func TestCPULimitCapsThroughput(t *testing.T) {
+	// Solr with 3 cores caps at 3/0.0035 ≈ 857 req/s.
+	eng, app := singleService(t, SolrProfile(), 3, 0, workload.Constant{Rate: 2000})
+	eng.Run(30, nil)
+	k := app.KPI
+	cap := 3 / SolrProfile().CPUPerReq
+	if k.Throughput > cap*1.05 {
+		t.Errorf("throughput %v exceeds CPU capacity %v", k.Throughput, cap)
+	}
+	if k.Throughput < cap*0.8 {
+		t.Errorf("throughput %v far below capacity %v", k.Throughput, cap)
+	}
+	if k.AvgRT < 1 {
+		t.Errorf("RT %v should blow up under 2.3x overload", k.AvgRT)
+	}
+	if k.FailFrac < 0.3 {
+		t.Errorf("FailFrac %v: most surplus load should be dropped", k.FailFrac)
+	}
+	inst := app.Services()[0].Instances()[0]
+	if !inst.State.Throttled {
+		t.Error("cgroup-limited overload must report throttling")
+	}
+}
+
+func TestThroughputKneeExists(t *testing.T) {
+	// Linearly increasing load: throughput follows load, then flattens —
+	// the Figure 2 shape the labeling pipeline depends on.
+	eng, app := singleService(t, SolrProfile(), 3, 0, workload.Ramp{From: 10, To: 2000, Duration: 600})
+	var loads, thrpts []float64
+	eng.Run(600, func(int) {
+		loads = append(loads, app.KPI.Offered)
+		thrpts = append(thrpts, app.KPI.Throughput)
+	})
+	// Early: throughput tracks offered. Late: flat near capacity.
+	early := thrpts[100] / loads[100]
+	if early < 0.95 {
+		t.Errorf("early served fraction %v, want ~1", early)
+	}
+	late := thrpts[599]
+	cap := 3 / SolrProfile().CPUPerReq
+	if math.Abs(late-cap)/cap > 0.15 {
+		t.Errorf("late throughput %v, want ~capacity %v", late, cap)
+	}
+	// The curve must be (weakly) increasing then flat — check overall max
+	// is near the end-capacity, not a mid-run spike.
+	maxThr := 0.0
+	for _, v := range thrpts {
+		maxThr = math.Max(maxThr, v)
+	}
+	if maxThr > cap*1.1 {
+		t.Errorf("throughput spiked to %v above capacity %v", maxThr, cap)
+	}
+}
+
+func TestMemoryThrashingCausesDiskIO(t *testing.T) {
+	// Memcache with a 4 GB limit against a 10 GB working set: swap traffic.
+	eng, app := singleService(t, MemcacheProfile(), 0, 4, workload.Constant{Rate: 30000})
+	eng.Run(20, nil)
+	inst := app.Services()[0].Instances()[0]
+	if inst.State.ThrashFrac < 0.3 {
+		t.Errorf("thrash %v, want substantial for 4GB/10GB", inst.State.ThrashFrac)
+	}
+	if inst.State.DiskReadMBps < 10 {
+		t.Errorf("disk read %v MB/s, want swap traffic", inst.State.DiskReadMBps)
+	}
+	if inst.State.PageFaultRate <= 0 {
+		t.Error("page faults expected under thrashing")
+	}
+	// Same service without a limit: no thrash, no disk traffic.
+	eng2, app2 := singleService(t, MemcacheProfile(), 0, 0, workload.Constant{Rate: 30000})
+	eng2.Run(20, nil)
+	inst2 := app2.Services()[0].Instances()[0]
+	if inst2.State.ThrashFrac != 0 {
+		t.Errorf("unlimited memory should not thrash, got %v", inst2.State.ThrashFrac)
+	}
+}
+
+func TestMemBandwidthBottleneck(t *testing.T) {
+	// Memcache unlimited: at 2K-50K R/s the node's 40 GB/s memory
+	// bandwidth binds near 50K (Table 1 run 7).
+	eng, app := singleService(t, MemcacheProfile(), 0, 0, workload.Constant{Rate: 80000})
+	eng.Run(20, nil)
+	k := app.KPI
+	capBW := 40.0 / (MemcacheProfile().MemBWPerReqMB / 1000)
+	if k.Throughput > capBW*1.05 {
+		t.Errorf("throughput %v exceeds membw capacity %v", k.Throughput, capBW)
+	}
+	if k.Throughput < capBW*0.8 {
+		t.Errorf("throughput %v well below membw capacity %v", k.Throughput, capBW)
+	}
+}
+
+func TestColocationInterference(t *testing.T) {
+	// Two identical CPU-heavy apps on one node: each gets half the cores.
+	c, err := cluster.New(cluster.NewNode("n", 4, 32, 400, 10000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := generic("burner", 0.01, 0.01, 0) // 4 cores → 400 r/s alone
+	mk := func(name string) *App {
+		app, err := Build(c, name, workload.Constant{Rate: 350}, []ServiceSpec{
+			{Name: "s", Node: "n", Profile: prof, Visit: 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return app
+	}
+	a1, a2 := mk("one"), mk("two")
+	eng, err := NewEngine(c, a1, a2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(20, nil)
+	// Together they demand 7 cores on a 4-core host: each saturates at
+	// ~200 r/s instead of the 350 it could do alone.
+	for _, a := range []*App{a1, a2} {
+		if a.KPI.Throughput > 230 {
+			t.Errorf("%s throughput %v, want ~200 under interference", a.Name, a.KPI.Throughput)
+		}
+		if a.KPI.AvgRT < 0.5 {
+			t.Errorf("%s RT %v should rise under interference", a.Name, a.KPI.AvgRT)
+		}
+	}
+}
+
+func TestScalingOutRelievesSaturation(t *testing.T) {
+	c, err := cluster.New(TrainingNode("t1"), TrainingNode("t2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := Build(c, "scale", workload.Constant{Rate: 1500}, []ServiceSpec{
+		{Name: "solr", Node: "t1", Profile: SolrProfile(), Visit: 1, CPULimit: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(c, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(20, nil)
+	before := app.KPI.Throughput
+
+	// Add a replica on the second node.
+	svc := app.Services()[0]
+	ctr := &cluster.Container{ID: "scale/solr/1", Service: "solr", App: "scale", CPULimit: 3}
+	if err := c.Place("t2", ctr); err != nil {
+		t.Fatal(err)
+	}
+	svc.AddInstance(ctr)
+	eng.Run(20, nil)
+	after := app.KPI.Throughput
+
+	if after < before*1.5 {
+		t.Errorf("scaling out did not help: before %v after %v", before, after)
+	}
+	if app.KPI.FailFrac > 0.05 {
+		t.Errorf("failures %v remain after scaling", app.KPI.FailFrac)
+	}
+	// Scale back in.
+	if !svc.RemoveInstance("scale/solr/1") {
+		t.Fatal("RemoveInstance failed")
+	}
+	if svc.RemoveInstance("scale/solr/1") {
+		t.Fatal("RemoveInstance should fail on a second attempt")
+	}
+}
+
+func TestMultiTierRTAddsUp(t *testing.T) {
+	c, err := cluster.New(TrainingNode("t1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := NewElgg(c, "t1", workload.Constant{Rate: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(c, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(10, nil)
+	// End-to-end RT must be at least the front-end base RT and include
+	// the downstream tiers.
+	if app.KPI.AvgRT < ElggWebProfile().BaseRT {
+		t.Errorf("RT %v below front-end base %v", app.KPI.AvgRT, ElggWebProfile().BaseRT)
+	}
+}
+
+func TestRTCappedAtTimeout(t *testing.T) {
+	eng, app := singleService(t, ElggWebProfile(), 1, 0, workload.Constant{Rate: 500})
+	eng.Run(30, nil)
+	for _, s := range app.Services() {
+		for _, inst := range s.Instances() {
+			if inst.State.RT > maxRT+1e-9 {
+				t.Errorf("RT %v exceeds the 3s generator timeout", inst.State.RT)
+			}
+		}
+	}
+}
+
+func TestZeroLoad(t *testing.T) {
+	eng, app := singleService(t, SolrProfile(), 3, 0, workload.Constant{Rate: 0})
+	eng.Run(5, nil)
+	k := app.KPI
+	if k.Throughput != 0 || k.FailFrac != 0 {
+		t.Errorf("zero load: KPI = %+v", k)
+	}
+	if k.AvgRT <= 0 {
+		t.Error("RT should fall back to base service time")
+	}
+}
+
+func TestEngineClockAdvances(t *testing.T) {
+	eng, _ := singleService(t, SolrProfile(), 3, 0, workload.Constant{Rate: 1})
+	if eng.Now() != 0 {
+		t.Error("clock should start at 0")
+	}
+	ticks := 0
+	eng.Run(7, func(tt int) {
+		if tt != ticks {
+			t.Errorf("observe got t=%d, want %d", tt, ticks)
+		}
+		ticks++
+	})
+	if eng.Now() != 7 || ticks != 7 {
+		t.Errorf("Now=%d ticks=%d, want 7/7", eng.Now(), ticks)
+	}
+}
+
+func TestAppServiceLookup(t *testing.T) {
+	c, _ := cluster.New(TrainingNode("t1"))
+	app, err := NewElgg(c, "t1", workload.Constant{Rate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := app.Service("web"); !ok {
+		t.Error("Service(web) not found")
+	}
+	if _, ok := app.Service("nope"); ok {
+		t.Error("Service(nope) should not exist")
+	}
+	if len(app.Services()) != 3 {
+		t.Errorf("Elgg has %d services, want 3", len(app.Services()))
+	}
+}
+
+func TestEvalTopologies(t *testing.T) {
+	c, err := cluster.New(EvalNodes()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tea, err := NewTeaStore(c, TeaStoreLoad(120, 1))
+	if err != nil {
+		t.Fatalf("NewTeaStore: %v", err)
+	}
+	shop, err := NewSockshop(c, SockshopLoad(0.15))
+	if err != nil {
+		t.Fatalf("NewSockshop: %v", err)
+	}
+	if len(tea.Services()) != 7 {
+		t.Errorf("TeaStore has %d services, want 7", len(tea.Services()))
+	}
+	if len(shop.Services()) != 14 {
+		t.Errorf("Sockshop has %d services, want 14", len(shop.Services()))
+	}
+	eng, err := NewEngine(c, tea, shop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(50, nil)
+	if tea.KPI.Throughput <= 0 {
+		t.Error("TeaStore should serve traffic")
+	}
+}

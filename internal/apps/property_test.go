@@ -1,0 +1,132 @@
+package apps
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"monitorless/internal/cluster"
+	"monitorless/internal/workload"
+)
+
+// TestEngineInvariants drives random single-service deployments with
+// random loads and checks the physical invariants every tick.
+func TestEngineInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c, err := cluster.New(TrainingNode("t1"))
+		if err != nil {
+			return false
+		}
+		prof := generic("p", 0.0005+0.02*r.Float64(), 0.002+0.02*r.Float64(), 0.5*r.Float64())
+		cpuLimit := float64(1 + r.Intn(4))
+		load := workload.SineNoise{
+			Sine: workload.Sine{Min: 1, Max: 50 + 2000*r.Float64(), Period: 60 + r.Intn(200)},
+			Seed: seed,
+		}
+		app, err := Build(c, "a", load, []ServiceSpec{
+			{Name: "p", Node: "t1", Profile: prof, Visit: 1, CPULimit: cpuLimit},
+		})
+		if err != nil {
+			return false
+		}
+		eng, err := NewEngine(c, app)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 60; i++ {
+			eng.Tick()
+			st := app.Services()[0].Instances()[0].State
+			k := app.KPI
+			// Rates and states are finite and non-negative.
+			for _, v := range []float64{st.Offered, st.Throughput, st.CPUGranted,
+				st.MemUsedGB, st.RT, st.Backlog, st.Drops, k.Throughput, k.AvgRT, k.DropRate} {
+				if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+					return false
+				}
+			}
+			// The app cannot serve more than offered.
+			if k.Throughput > k.Offered+1e-6 {
+				return false
+			}
+			// CPU consumption respects the cgroup limit.
+			if st.CPUGranted > cpuLimit+1e-9 {
+				return false
+			}
+			// Response times respect the generator timeout.
+			if st.RT > 3.0+1e-9 {
+				return false
+			}
+			// Failure fraction is a fraction.
+			if k.FailFrac < 0 || k.FailFrac > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineDeterminism: identical setups produce identical trajectories.
+func TestEngineDeterminism(t *testing.T) {
+	run := func() []float64 {
+		c, err := cluster.New(TrainingNode("t1"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		app, err := NewElgg(c, "t1", workload.SineNoise{
+			Sine: workload.Sine{Min: 1, Max: 80, Period: 60},
+			Seed: 9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := NewEngine(c, app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []float64
+		eng.Run(80, func(int) {
+			out = append(out, app.KPI.Throughput, app.KPI.AvgRT)
+		})
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trajectories diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestBacklogDrains: after a burst ends, the queue empties and RT recovers.
+func TestBacklogDrains(t *testing.T) {
+	c, err := cluster.New(TrainingNode("t1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := Build(c, "a", workload.Steps{Levels: []float64{1500, 50}, StepLen: 30},
+		[]ServiceSpec{{Name: "solr", Node: "t1", Profile: SolrProfile(), Visit: 1, CPULimit: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(c, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(30, nil) // overload phase
+	inst := app.Services()[0].Instances()[0]
+	if inst.State.Backlog == 0 {
+		t.Fatal("no backlog built during overload")
+	}
+	eng.Run(25, nil) // calm phase
+	if inst.State.Backlog > 1 {
+		t.Errorf("backlog %v did not drain during the calm phase", inst.State.Backlog)
+	}
+	if inst.State.RT > 0.2 {
+		t.Errorf("RT %v did not recover", inst.State.RT)
+	}
+}

@@ -1,0 +1,470 @@
+// Package autoscale implements the paper's §4.2.2 autoscaling study: a
+// set of scaling policies (optimally tuned CPU/MEM threshold rules, the
+// monitorless predictor, the a-posteriori response-time scaler and the
+// no-scaling baseline), a replica lifecycle with the paper's 120-second
+// lifespan, and SLO accounting (violation when the 1-second average
+// response time exceeds 750 ms, any request is dropped, or more than 10%
+// of requests fail).
+package autoscale
+
+import (
+	"fmt"
+	"sort"
+
+	"monitorless/internal/apps"
+	"monitorless/internal/cluster"
+	"monitorless/internal/core"
+	"monitorless/internal/pcp"
+)
+
+// InstanceInfo is one service instance's state as seen by a scaler.
+type InstanceInfo struct {
+	// ID and Service identify the instance.
+	ID, Service string
+	// CPUUtil / MemUtil are relative utilizations in percent.
+	CPUUtil, MemUtil float64
+	// Predicted is the monitorless saturation inference (false for
+	// scalers that do not use the model).
+	Predicted bool
+}
+
+// Snapshot is the per-tick input to a scaling policy.
+type Snapshot struct {
+	// T is the simulation second.
+	T int
+	// AppRT is the application's end-to-end mean response time.
+	AppRT float64
+	// Instances lists the target application's instances.
+	Instances []InstanceInfo
+}
+
+// Scaler decides which services need an additional replica.
+type Scaler interface {
+	// Name labels the policy in result tables.
+	Name() string
+	// Decide returns the service names to scale out at this tick.
+	Decide(s Snapshot) []string
+}
+
+// ThresholdScaler is the paper's baseline family: scale a service when a
+// static utilization threshold fires on any of its instances.
+type ThresholdScaler struct {
+	// Label names the policy ("CPU (95%)", "CPU-AND-MEM", ...).
+	Label string
+	// UseCPU / UseMem select the inputs; And combines them
+	// conjunctively, otherwise disjunctively.
+	UseCPU, UseMem bool
+	And            bool
+	// CPUThr / MemThr are percentages.
+	CPUThr, MemThr float64
+}
+
+var _ Scaler = (*ThresholdScaler)(nil)
+
+// Name implements Scaler.
+func (t *ThresholdScaler) Name() string { return t.Label }
+
+// Fires reports whether the rule triggers for one instance.
+func (t *ThresholdScaler) Fires(inst InstanceInfo) bool {
+	cpu := inst.CPUUtil >= t.CPUThr
+	mem := inst.MemUtil >= t.MemThr
+	switch {
+	case t.UseCPU && t.UseMem && t.And:
+		return cpu && mem
+	case t.UseCPU && t.UseMem:
+		return cpu || mem
+	case t.UseCPU:
+		return cpu
+	case t.UseMem:
+		return mem
+	default:
+		return false
+	}
+}
+
+// Decide implements Scaler.
+func (t *ThresholdScaler) Decide(s Snapshot) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, inst := range s.Instances {
+		if t.Fires(inst) && !seen[inst.Service] {
+			seen[inst.Service] = true
+			out = append(out, inst.Service)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MonitorlessScaler scales any service whose instance the model predicts
+// saturated (§4: scaling saturated instances is desirable even when the
+// end-to-end KPI has not degraded yet).
+type MonitorlessScaler struct{}
+
+var _ Scaler = (*MonitorlessScaler)(nil)
+
+// Name implements Scaler.
+func (MonitorlessScaler) Name() string { return "monitorless" }
+
+// Decide implements Scaler.
+func (MonitorlessScaler) Decide(s Snapshot) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, inst := range s.Instances {
+		if inst.Predicted && !seen[inst.Service] {
+			seen[inst.Service] = true
+			out = append(out, inst.Service)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RTScaler is the paper's "optimal" baseline: it watches the measured
+// end-to-end response time (the SLO itself) and scales a fixed set of
+// services (the paper scales Recommender and Auth, chosen with
+// application knowledge).
+type RTScaler struct {
+	// SLO is the response-time trigger in seconds (paper: 0.75).
+	SLO float64
+	// Services is the application-knowledge target set.
+	Services []string
+}
+
+var _ Scaler = (*RTScaler)(nil)
+
+// Name implements Scaler.
+func (r *RTScaler) Name() string { return "RT-based (optimal)" }
+
+// Decide implements Scaler.
+func (r *RTScaler) Decide(s Snapshot) []string {
+	if s.AppRT > r.SLO {
+		out := append([]string(nil), r.Services...)
+		sort.Strings(out)
+		return out
+	}
+	return nil
+}
+
+// NoScaling is the static baseline.
+type NoScaling struct{}
+
+var _ Scaler = (*NoScaling)(nil)
+
+// Name implements Scaler.
+func (NoScaling) Name() string { return "No Scaling (baseline)" }
+
+// Decide implements Scaler.
+func (NoScaling) Decide(Snapshot) []string { return nil }
+
+// Options configures a scaling simulation.
+type Options struct {
+	// Duration is the simulated seconds.
+	Duration int
+	// ReplicaLifespan is the scale-in delay (paper: 120 s).
+	ReplicaLifespan int
+	// SLORt / SLOFailFrac define a violation (paper: 750 ms / 10%).
+	SLORt       float64
+	SLOFailFrac float64
+	// Couple lists service groups that always scale together (the paper
+	// ties Recommender and Auth for fairness).
+	Couple [][]string
+	// MaxExtraReplicas bounds concurrent extra replicas per service.
+	MaxExtraReplicas int
+	// Warmup skips SLO accounting for the first ticks.
+	Warmup int
+	// Seed drives metric collection noise.
+	Seed int64
+	// ScaleInModel optionally enables the §5 extension: replicas whose
+	// service the over-provisioning classifier flags are retired early
+	// (before the fixed lifespan), reducing provisioning cost.
+	ScaleInModel *core.Model
+	// ScaleInGrace is the minimum replica age before early retirement
+	// (default 30 s).
+	ScaleInGrace int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Duration <= 0 {
+		o.Duration = 2000
+	}
+	if o.ReplicaLifespan <= 0 {
+		o.ReplicaLifespan = 120
+	}
+	if o.SLORt <= 0 {
+		o.SLORt = 0.75
+	}
+	if o.SLOFailFrac <= 0 {
+		o.SLOFailFrac = 0.10
+	}
+	if o.MaxExtraReplicas <= 0 {
+		o.MaxExtraReplicas = 1
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = 5
+	}
+	if o.ScaleInGrace <= 0 {
+		o.ScaleInGrace = 30
+	}
+	return o
+}
+
+// Result summarizes one policy's simulation (one Table 7 row).
+type Result struct {
+	// Policy is the scaler name.
+	Policy string
+	// SLOViolations counts 1-second intervals violating the SLO.
+	SLOViolations int
+	// ProvisioningPct is the time-averaged extra container count
+	// relative to the non-scaled deployment, in percent.
+	ProvisioningPct float64
+	// ScaleOuts counts replica launches.
+	ScaleOuts int
+	// EarlyRetirements counts replicas removed before their lifespan by
+	// the optional over-provisioning detector.
+	EarlyRetirements int
+}
+
+// Env builds a fresh simulation environment for one policy run: the
+// engine, the target application, and the cluster to place replicas on.
+type Env struct {
+	Engine  *apps.Engine
+	Target  *apps.App
+	Cluster *cluster.Cluster
+}
+
+// BuildEnv constructs a fresh Env; policies must not share engines.
+type BuildEnv func() (*Env, error)
+
+// replica tracks a scale-out with its birth tick and expiry.
+type replica struct {
+	id      string
+	service string
+	born    int
+	expiry  int
+}
+
+// Simulate runs one policy over a freshly built environment. model may be
+// nil for policies that do not use monitorless predictions.
+func Simulate(build BuildEnv, scaler Scaler, model *core.Model, opt Options) (Result, error) {
+	opt = opt.withDefaults()
+	env, err := build()
+	if err != nil {
+		return Result{}, fmt.Errorf("autoscale: build: %w", err)
+	}
+
+	var orch, scaleInOrch *core.Orchestrator
+	var agent *pcp.Agent
+	if model != nil || opt.ScaleInModel != nil {
+		agent = pcp.NewAgent(pcp.NewCollector(pcp.DefaultCatalog(), opt.Seed))
+	}
+	if model != nil {
+		orch = core.NewOrchestrator(model)
+	}
+	if opt.ScaleInModel != nil {
+		scaleInOrch = core.NewOrchestrator(opt.ScaleInModel)
+	}
+
+	baseline := 0
+	baseCount := map[string]int{}
+	for _, s := range env.Target.Services() {
+		baseCount[s.Name] = len(s.Instances())
+		baseline += len(s.Instances())
+	}
+
+	var (
+		live        []replica
+		nextID      int
+		violations  int
+		containerSm float64
+		ticksSm     int
+		scaleOuts   int
+		earlyRetire int
+	)
+
+	for t := 0; t < opt.Duration; t++ {
+		env.Engine.Tick()
+
+		// Monitorless inference path (saturation and, optionally, the
+		// over-provisioning detector share one agent observation).
+		predicted := map[string]bool{}
+		overProvisioned := map[string]bool{}
+		if agent != nil {
+			if obs, ok := agent.Observe(env.Engine); ok {
+				if orch != nil {
+					if err := orch.Ingest(obs); err != nil {
+						return Result{}, err
+					}
+					for _, id := range orch.SaturatedInstances() {
+						predicted[id] = true
+					}
+				}
+				if scaleInOrch != nil {
+					if err := scaleInOrch.Ingest(obs); err != nil {
+						return Result{}, err
+					}
+					// A *service* is over-provisioned only when every
+					// one of its instances is flagged (conservative, §5).
+					flagged := map[string]bool{}
+					for _, id := range scaleInOrch.SaturatedInstances() {
+						flagged[id] = true
+					}
+					for _, s := range env.Target.Services() {
+						all := len(s.Instances()) > 0
+						for _, inst := range s.Instances() {
+							if !flagged[inst.Ctr.ID] {
+								all = false
+								break
+							}
+						}
+						if all {
+							overProvisioned[s.Name] = true
+						}
+					}
+				}
+			}
+		}
+
+		// Expire replicas: after the lifespan, or early when the
+		// over-provisioning detector clears the service (§5 extension).
+		kept := live[:0]
+		for _, r := range live {
+			retire := t >= r.expiry
+			if !retire && overProvisioned[r.service] && t >= r.born+opt.ScaleInGrace {
+				retire = true
+				earlyRetire++
+			}
+			if retire {
+				if svc, ok := env.Target.Service(r.service); ok {
+					svc.RemoveInstance(r.id)
+				}
+				if err := env.Cluster.Remove(r.id); err != nil {
+					return Result{}, fmt.Errorf("autoscale: scale-in %s: %w", r.id, err)
+				}
+				if orch != nil {
+					orch.Forget(r.id)
+				}
+				if scaleInOrch != nil {
+					scaleInOrch.Forget(r.id)
+				}
+				continue
+			}
+			kept = append(kept, r)
+		}
+		live = kept
+
+		// Build the snapshot.
+		snap := Snapshot{T: t, AppRT: env.Target.KPI.AvgRT}
+		for _, s := range env.Target.Services() {
+			for _, inst := range s.Instances() {
+				st := inst.State
+				cpu := 0.0
+				if st.CPULimit > 0 {
+					cpu = 100 * st.CPUGranted / st.CPULimit
+				}
+				mem := 0.0
+				limit := st.MemLimitGB
+				if limit <= 0 && inst.Ctr.Node() != nil {
+					limit = inst.Ctr.Node().MemGB
+				}
+				if limit > 0 {
+					mem = 100 * st.MemUsedGB / limit
+				}
+				snap.Instances = append(snap.Instances, InstanceInfo{
+					ID:        inst.Ctr.ID,
+					Service:   s.Name,
+					CPUUtil:   cpu,
+					MemUtil:   mem,
+					Predicted: predicted[inst.Ctr.ID],
+				})
+			}
+		}
+
+		// Decide, apply coupling, scale out.
+		targets := applyCoupling(scaler.Decide(snap), opt.Couple)
+		for _, svcName := range targets {
+			svc, ok := env.Target.Service(svcName)
+			if !ok {
+				continue
+			}
+			extra := len(svc.Instances()) - baseCount[svcName]
+			if extra >= opt.MaxExtraReplicas {
+				continue
+			}
+			node := env.Cluster.LeastLoadedNode()
+			if node == nil {
+				continue
+			}
+			orig := svc.Instances()[0].Ctr
+			id := fmt.Sprintf("%s/%s/r%d", env.Target.Name, svcName, nextID)
+			nextID++
+			ctr := &cluster.Container{
+				ID:         id,
+				Service:    svcName,
+				App:        env.Target.Name,
+				CPULimit:   orig.CPULimit,
+				MemLimitGB: orig.MemLimitGB,
+			}
+			if err := env.Cluster.Place(node.Name, ctr); err != nil {
+				return Result{}, fmt.Errorf("autoscale: scale-out %s: %w", id, err)
+			}
+			svc.AddInstance(ctr)
+			live = append(live, replica{id: id, service: svcName, born: t, expiry: t + opt.ReplicaLifespan})
+			scaleOuts++
+		}
+
+		// SLO accounting.
+		if t >= opt.Warmup {
+			kpi := env.Target.KPI
+			if kpi.AvgRT > opt.SLORt || kpi.FailFrac > opt.SLOFailFrac || kpi.DropRate > 0.5 {
+				violations++
+			}
+			total := 0
+			for _, s := range env.Target.Services() {
+				total += len(s.Instances())
+			}
+			containerSm += float64(total)
+			ticksSm++
+		}
+	}
+
+	avg := containerSm / float64(ticksSm)
+	return Result{
+		Policy:           scaler.Name(),
+		SLOViolations:    violations,
+		ProvisioningPct:  100 * (avg - float64(baseline)) / float64(baseline),
+		ScaleOuts:        scaleOuts,
+		EarlyRetirements: earlyRetire,
+	}, nil
+}
+
+// applyCoupling expands the target set so coupled services scale together.
+func applyCoupling(targets []string, couple [][]string) []string {
+	if len(couple) == 0 {
+		return targets
+	}
+	set := map[string]bool{}
+	for _, t := range targets {
+		set[t] = true
+	}
+	for _, group := range couple {
+		hit := false
+		for _, g := range group {
+			if set[g] {
+				hit = true
+				break
+			}
+		}
+		if hit {
+			for _, g := range group {
+				set[g] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,193 @@
+package autoscale
+
+import (
+	"testing"
+
+	"monitorless/internal/apps"
+	"monitorless/internal/cluster"
+	"monitorless/internal/workload"
+)
+
+func snap(rt float64, instances ...InstanceInfo) Snapshot {
+	return Snapshot{T: 0, AppRT: rt, Instances: instances}
+}
+
+func TestThresholdScalerModes(t *testing.T) {
+	hot := InstanceInfo{ID: "a/web/0", Service: "web", CPUUtil: 97, MemUtil: 50}
+	warm := InstanceInfo{ID: "a/db/0", Service: "db", CPUUtil: 60, MemUtil: 95}
+	both := InstanceInfo{ID: "a/cache/0", Service: "cache", CPUUtil: 96, MemUtil: 96}
+
+	cases := []struct {
+		name   string
+		scaler *ThresholdScaler
+		want   []string
+	}{
+		{"cpu only", &ThresholdScaler{Label: "cpu", UseCPU: true, CPUThr: 95}, []string{"cache", "web"}},
+		{"mem only", &ThresholdScaler{Label: "mem", UseMem: true, MemThr: 90}, []string{"cache", "db"}},
+		{"or", &ThresholdScaler{Label: "or", UseCPU: true, UseMem: true, CPUThr: 95, MemThr: 90}, []string{"cache", "db", "web"}},
+		{"and", &ThresholdScaler{Label: "and", UseCPU: true, UseMem: true, And: true, CPUThr: 95, MemThr: 90}, []string{"cache"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.scaler.Decide(snap(0.1, hot, warm, both))
+			if len(got) != len(tc.want) {
+				t.Fatalf("Decide = %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("Decide = %v, want %v", got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+func TestThresholdScalerDedupsServices(t *testing.T) {
+	s := &ThresholdScaler{Label: "cpu", UseCPU: true, CPUThr: 90}
+	got := s.Decide(snap(0.1,
+		InstanceInfo{ID: "a/web/0", Service: "web", CPUUtil: 95},
+		InstanceInfo{ID: "a/web/1", Service: "web", CPUUtil: 99},
+	))
+	if len(got) != 1 || got[0] != "web" {
+		t.Errorf("Decide = %v, want [web]", got)
+	}
+}
+
+func TestMonitorlessScaler(t *testing.T) {
+	s := MonitorlessScaler{}
+	got := s.Decide(snap(0.1,
+		InstanceInfo{ID: "a/web/0", Service: "web", Predicted: true},
+		InstanceInfo{ID: "a/db/0", Service: "db", Predicted: false},
+	))
+	if len(got) != 1 || got[0] != "web" {
+		t.Errorf("Decide = %v, want [web]", got)
+	}
+	if s.Name() != "monitorless" {
+		t.Error("name mismatch")
+	}
+}
+
+func TestRTScaler(t *testing.T) {
+	s := &RTScaler{SLO: 0.75, Services: []string{"recommender", "auth"}}
+	if got := s.Decide(snap(0.5)); got != nil {
+		t.Errorf("below SLO should not scale, got %v", got)
+	}
+	got := s.Decide(snap(1.2))
+	if len(got) != 2 || got[0] != "auth" || got[1] != "recommender" {
+		t.Errorf("Decide = %v, want [auth recommender]", got)
+	}
+}
+
+func TestNoScaling(t *testing.T) {
+	if got := (NoScaling{}).Decide(snap(5)); got != nil {
+		t.Errorf("NoScaling decided %v", got)
+	}
+}
+
+func TestApplyCoupling(t *testing.T) {
+	couple := [][]string{{"recommender", "auth"}}
+	got := applyCoupling([]string{"recommender"}, couple)
+	if len(got) != 2 || got[0] != "auth" || got[1] != "recommender" {
+		t.Errorf("coupling = %v", got)
+	}
+	got = applyCoupling([]string{"web"}, couple)
+	if len(got) != 1 || got[0] != "web" {
+		t.Errorf("uncoupled service expanded: %v", got)
+	}
+	if got := applyCoupling(nil, couple); len(got) != 0 {
+		t.Errorf("empty targets expanded: %v", got)
+	}
+	if got := applyCoupling([]string{"x"}, nil); len(got) != 1 {
+		t.Errorf("no coupling changed targets: %v", got)
+	}
+}
+
+// buildTinyEnv creates a one-service app that saturates under the given
+// constant load.
+func buildTinyEnv(rate float64) BuildEnv {
+	return func() (*Env, error) {
+		c, err := cluster.New(apps.TrainingNode("t1"), apps.TrainingNode("t2"))
+		if err != nil {
+			return nil, err
+		}
+		app, err := apps.Build(c, "tiny", workload.Constant{Rate: rate}, []apps.ServiceSpec{
+			{Name: "solr", Node: "t1", Profile: apps.SolrProfile(), Visit: 1, CPULimit: 3},
+		})
+		if err != nil {
+			return nil, err
+		}
+		eng, err := apps.NewEngine(c, app)
+		if err != nil {
+			return nil, err
+		}
+		return &Env{Engine: eng, Target: app, Cluster: c}, nil
+	}
+}
+
+func TestSimulateNoScalingCountsViolations(t *testing.T) {
+	// 1400 r/s against an ~857 r/s capacity: persistent SLO violations.
+	res, err := Simulate(buildTinyEnv(1400), NoScaling{}, nil, Options{Duration: 60})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if res.SLOViolations < 30 {
+		t.Errorf("violations = %d, want sustained violations under overload", res.SLOViolations)
+	}
+	if res.ProvisioningPct != 0 || res.ScaleOuts != 0 {
+		t.Errorf("NoScaling provisioned: %+v", res)
+	}
+}
+
+func TestSimulateScalingReducesViolations(t *testing.T) {
+	scaler := &ThresholdScaler{Label: "cpu", UseCPU: true, CPUThr: 95}
+	opt := Options{Duration: 200, ReplicaLifespan: 150}
+
+	noScale, err := Simulate(buildTinyEnv(1400), NoScaling{}, nil, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := Simulate(buildTinyEnv(1400), scaler, nil, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scaled.ScaleOuts == 0 {
+		t.Fatal("CPU scaler never fired under overload")
+	}
+	if scaled.SLOViolations >= noScale.SLOViolations {
+		t.Errorf("scaling did not reduce violations: %d vs %d", scaled.SLOViolations, noScale.SLOViolations)
+	}
+	if scaled.ProvisioningPct <= 0 {
+		t.Errorf("scaling reported no extra provisioning: %+v", scaled)
+	}
+}
+
+func TestSimulateReplicaLifecycle(t *testing.T) {
+	// Short lifespan: replicas expire and are re-launched.
+	scaler := &ThresholdScaler{Label: "cpu", UseCPU: true, CPUThr: 95}
+	res, err := Simulate(buildTinyEnv(1400), scaler, nil, Options{Duration: 150, ReplicaLifespan: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ScaleOuts < 2 {
+		t.Errorf("expected repeated scale-outs with a 30s lifespan, got %d", res.ScaleOuts)
+	}
+}
+
+func TestSimulateMaxExtraReplicas(t *testing.T) {
+	// A scaler that always fires must still respect the replica cap.
+	always := &ThresholdScaler{Label: "always", UseCPU: true, CPUThr: 0}
+	res, err := Simulate(buildTinyEnv(100), always, nil, Options{Duration: 50, ReplicaLifespan: 100, MaxExtraReplicas: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ScaleOuts != 1 {
+		t.Errorf("ScaleOuts = %d, want 1 (capped)", res.ScaleOuts)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.ReplicaLifespan != 120 || o.SLORt != 0.75 || o.SLOFailFrac != 0.10 {
+		t.Errorf("defaults = %+v, want the paper's 120s/750ms/10%%", o)
+	}
+}

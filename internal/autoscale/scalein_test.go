@@ -1,0 +1,121 @@
+package autoscale
+
+import (
+	"sync"
+	"testing"
+
+	"monitorless/internal/core"
+	"monitorless/internal/dataset"
+	"monitorless/internal/features"
+	"monitorless/internal/ml/forest"
+	"monitorless/internal/ml/tree"
+)
+
+var (
+	scaleInOnce  sync.Once
+	scaleInModel *core.Model
+	scaleInErr   error
+)
+
+// sharedScaleInModel trains the over-provisioning detector once.
+func sharedScaleInModel(t *testing.T) *core.Model {
+	t.Helper()
+	scaleInOnce.Do(func() {
+		var cfgs []dataset.RunConfig
+		for _, c := range dataset.Table1() {
+			switch c.ID {
+			case 1, 8, 22:
+				cfgs = append(cfgs, c)
+			}
+		}
+		rep, err := dataset.Generate(cfgs, dataset.GenOptions{Duration: 300, RampSeconds: 220, Seed: 17})
+		if err != nil {
+			scaleInErr = err
+			return
+		}
+		scaleInModel, scaleInErr = core.TrainScaleIn(rep, core.TrainConfig{
+			Pipeline: features.Config{
+				Normalize:    true,
+				Reduce1:      features.ReduceFilter,
+				TimeFeatures: true,
+				Products:     true,
+				Reduce2:      features.ReduceFilter,
+				FilterTopK:   20,
+				FilterTrees:  12,
+				Seed:         17,
+			},
+			Forest: forest.Config{NumTrees: 25, MinSamplesLeaf: 10, Criterion: tree.Entropy, Seed: 17},
+		}, 0.3)
+	})
+	if scaleInErr != nil {
+		t.Fatalf("scale-in model: %v", scaleInErr)
+	}
+	return scaleInModel
+}
+
+// oneShotScaler fires exactly once, at the configured tick.
+type oneShotScaler struct{ at int }
+
+func (o *oneShotScaler) Name() string { return "one-shot" }
+func (o *oneShotScaler) Decide(s Snapshot) []string {
+	if s.T == o.at {
+		return []string{"solr"}
+	}
+	return nil
+}
+
+func TestScaleInRetiresIdleReplicas(t *testing.T) {
+	m := sharedScaleInModel(t)
+
+	// A one-shot scaler adds a replica early; the workload is nearly
+	// idle, so the over-provisioning detector should retire it long
+	// before the 400 s lifespan, cutting the provisioning average.
+	once := &oneShotScaler{at: 3}
+
+	base := Options{Duration: 250, ReplicaLifespan: 400, Warmup: 2}
+	noScaleIn, err := Simulate(buildTinyEnv(30), once, nil, base)
+	if err != nil {
+		t.Fatalf("Simulate (no scale-in): %v", err)
+	}
+
+	withModel := base
+	withModel.ScaleInModel = m
+	withModel.ScaleInGrace = 20
+	withScaleIn, err := Simulate(buildTinyEnv(30), once, nil, withModel)
+	if err != nil {
+		t.Fatalf("Simulate (scale-in): %v", err)
+	}
+
+	if withScaleIn.EarlyRetirements == 0 {
+		t.Fatal("no early retirements despite an idle workload")
+	}
+	if noScaleIn.EarlyRetirements != 0 {
+		t.Fatal("baseline run should have no early retirements")
+	}
+	if withScaleIn.ProvisioningPct >= noScaleIn.ProvisioningPct {
+		t.Errorf("scale-in did not reduce provisioning: %.1f%% vs %.1f%%",
+			withScaleIn.ProvisioningPct, noScaleIn.ProvisioningPct)
+	}
+	// No SLO cost in the idle regime.
+	if withScaleIn.SLOViolations > noScaleIn.SLOViolations {
+		t.Errorf("scale-in added SLO violations: %d vs %d",
+			withScaleIn.SLOViolations, noScaleIn.SLOViolations)
+	}
+}
+
+func TestScaleInKeepsBusyReplicas(t *testing.T) {
+	m := sharedScaleInModel(t)
+	cpu := &ThresholdScaler{Label: "cpu", UseCPU: true, CPUThr: 95}
+
+	opt := Options{Duration: 200, ReplicaLifespan: 150, ScaleInModel: m, ScaleInGrace: 20}
+	res, err := Simulate(buildTinyEnv(1400), cpu, nil, opt) // deep overload
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if res.ScaleOuts == 0 {
+		t.Fatal("no scale-outs under overload")
+	}
+	if res.EarlyRetirements > 0 {
+		t.Errorf("busy replicas were retired early (%d times)", res.EarlyRetirements)
+	}
+}

@@ -1,0 +1,299 @@
+// Package cluster models the physical substrate of the paper's testbed:
+// nodes (HP ProLiant-class servers), Linux containers with cgroup CPU and
+// memory limits, and the per-node arbitration of shared resources (CPU
+// cores via fair-share water-filling, disk bandwidth, network bandwidth
+// and memory bandwidth). Co-located containers interfere exactly through
+// this arbitration, which is what the paper's parallel training runs
+// (Table 1, "Par" column) exercise.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Node is a physical host.
+type Node struct {
+	// Name identifies the node ("M1", "M2", ...).
+	Name string
+	// Cores is the CPU core count.
+	Cores float64
+	// MemGB is installed memory.
+	MemGB float64
+	// DiskMBps is the aggregate disk bandwidth.
+	DiskMBps float64
+	// NetMbps is the NIC bandwidth.
+	NetMbps float64
+	// MemBWGBps is the memory bandwidth (Memcache's unconstrained
+	// bottleneck in Table 1 run 7).
+	MemBWGBps float64
+	// OS is informational (the paper trains on CentOS and evaluates on
+	// Debian/Ubuntu to show robustness).
+	OS string
+
+	containers []*Container
+}
+
+// NewNode returns a node with the given capacities.
+func NewNode(name string, cores, memGB, diskMBps, netMbps float64) *Node {
+	return &Node{
+		Name:      name,
+		Cores:     cores,
+		MemGB:     memGB,
+		DiskMBps:  diskMBps,
+		NetMbps:   netMbps,
+		MemBWGBps: 40,
+		OS:        "linux",
+	}
+}
+
+// Containers returns the containers currently placed on the node.
+func (n *Node) Containers() []*Container {
+	out := make([]*Container, len(n.containers))
+	copy(out, n.containers)
+	return out
+}
+
+// Container is one service instance's virtual environment.
+type Container struct {
+	// ID is unique within the cluster.
+	ID string
+	// Service and App name what runs inside.
+	Service string
+	App     string
+	// CPULimit is the cgroup CPU quota in cores; 0 means unlimited.
+	CPULimit float64
+	// MemLimitGB is the cgroup memory limit; 0 means unlimited.
+	MemLimitGB float64
+
+	node *Node
+}
+
+// Node returns the hosting node, or nil if unplaced.
+func (c *Container) Node() *Node { return c.node }
+
+// Cluster is a set of nodes with container placement.
+type Cluster struct {
+	nodes      []*Node
+	nodeByName map[string]*Node
+	containers map[string]*Container
+}
+
+// New returns a cluster over the given nodes.
+func New(nodes ...*Node) (*Cluster, error) {
+	c := &Cluster{
+		nodeByName: make(map[string]*Node, len(nodes)),
+		containers: make(map[string]*Container),
+	}
+	for _, n := range nodes {
+		if n.Name == "" {
+			return nil, fmt.Errorf("cluster: node without a name")
+		}
+		if _, dup := c.nodeByName[n.Name]; dup {
+			return nil, fmt.Errorf("cluster: duplicate node %q", n.Name)
+		}
+		c.nodes = append(c.nodes, n)
+		c.nodeByName[n.Name] = n
+	}
+	return c, nil
+}
+
+// Nodes returns the cluster's nodes in insertion order.
+func (c *Cluster) Nodes() []*Node {
+	out := make([]*Node, len(c.nodes))
+	copy(out, c.nodes)
+	return out
+}
+
+// Node looks a node up by name.
+func (c *Cluster) Node(name string) (*Node, bool) {
+	n, ok := c.nodeByName[name]
+	return n, ok
+}
+
+// Place creates a container on the named node.
+func (c *Cluster) Place(nodeName string, ctr *Container) error {
+	n, ok := c.nodeByName[nodeName]
+	if !ok {
+		return fmt.Errorf("cluster: unknown node %q", nodeName)
+	}
+	if ctr.ID == "" {
+		return fmt.Errorf("cluster: container without an ID")
+	}
+	if _, dup := c.containers[ctr.ID]; dup {
+		return fmt.Errorf("cluster: duplicate container %q", ctr.ID)
+	}
+	ctr.node = n
+	n.containers = append(n.containers, ctr)
+	c.containers[ctr.ID] = ctr
+	return nil
+}
+
+// Remove deletes a container from the cluster (scale-in).
+func (c *Cluster) Remove(id string) error {
+	ctr, ok := c.containers[id]
+	if !ok {
+		return fmt.Errorf("cluster: unknown container %q", id)
+	}
+	delete(c.containers, id)
+	n := ctr.node
+	for i, x := range n.containers {
+		if x == ctr {
+			n.containers = append(n.containers[:i], n.containers[i+1:]...)
+			break
+		}
+	}
+	ctr.node = nil
+	return nil
+}
+
+// Container looks a container up by ID.
+func (c *Cluster) Container(id string) (*Container, bool) {
+	ctr, ok := c.containers[id]
+	return ctr, ok
+}
+
+// Containers returns all containers sorted by ID (deterministic iteration).
+func (c *Cluster) Containers() []*Container {
+	out := make([]*Container, 0, len(c.containers))
+	for _, ctr := range c.containers {
+		out = append(out, ctr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// LeastLoadedNode returns the node with the fewest containers; used by the
+// autoscaler to place replicas.
+func (c *Cluster) LeastLoadedNode() *Node {
+	if len(c.nodes) == 0 {
+		return nil
+	}
+	best := c.nodes[0]
+	for _, n := range c.nodes[1:] {
+		if len(n.containers) < len(best.containers) {
+			best = n
+		}
+	}
+	return best
+}
+
+// Demand is one container's resource request for a tick.
+type Demand struct {
+	// CPU in cores, Disk in MB/s, Net in Mbit/s, MemBW in GB/s.
+	CPU, Disk, Net, MemBW float64
+}
+
+// Grant is the arbitrated allocation for a tick.
+type Grant struct {
+	CPU, Disk, Net, MemBW float64
+	// CPUThrottled reports whether the cgroup CPU limit clipped the
+	// container's demand (the kernel's nr_throttled analogue).
+	CPUThrottled bool
+}
+
+// Arbitrate distributes one node's resources over the demands of its
+// containers for one tick. CPU uses max-min fair water-filling honoring
+// per-container cgroup limits; disk, network and memory bandwidth are
+// shared proportionally when oversubscribed. demands is keyed by container
+// ID and must only contain containers placed on this node.
+func (n *Node) Arbitrate(demands map[string]Demand) map[string]Grant {
+	grants := make(map[string]Grant, len(demands))
+
+	// Deterministic ordering.
+	ids := make([]string, 0, len(demands))
+	for id := range demands {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	// --- CPU: max-min fair with cgroup caps. -------------------------
+	type cpuState struct {
+		id      string
+		want    float64 // demand clipped by cgroup limit
+		rawWant float64
+		granted float64
+	}
+	states := make([]cpuState, 0, len(ids))
+	limitOf := func(id string) float64 {
+		for _, ctr := range n.containers {
+			if ctr.ID == id {
+				if ctr.CPULimit > 0 && ctr.CPULimit < n.Cores {
+					return ctr.CPULimit
+				}
+				return n.Cores
+			}
+		}
+		return n.Cores
+	}
+	for _, id := range ids {
+		d := demands[id]
+		lim := limitOf(id)
+		want := d.CPU
+		if want > lim {
+			want = lim
+		}
+		states = append(states, cpuState{id: id, want: want, rawWant: d.CPU})
+	}
+	remaining := n.Cores
+	unsat := len(states)
+	for unsat > 0 && remaining > 1e-12 {
+		share := remaining / float64(unsat)
+		progressed := false
+		for i := range states {
+			s := &states[i]
+			need := s.want - s.granted
+			if need <= 1e-12 {
+				continue
+			}
+			give := share
+			if give > need {
+				give = need
+			}
+			s.granted += give
+			remaining -= give
+			progressed = true
+		}
+		unsat = 0
+		for i := range states {
+			if states[i].want-states[i].granted > 1e-12 {
+				unsat++
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+
+	// --- Disk / Net / MemBW: proportional sharing. --------------------
+	var diskSum, netSum, bwSum float64
+	for _, id := range ids {
+		d := demands[id]
+		diskSum += d.Disk
+		netSum += d.Net
+		bwSum += d.MemBW
+	}
+	scale := func(total, capacity float64) float64 {
+		if capacity <= 0 || total <= capacity {
+			return 1
+		}
+		return capacity / total
+	}
+	diskF := scale(diskSum, n.DiskMBps)
+	netF := scale(netSum, n.NetMbps)
+	bwF := scale(bwSum, n.MemBWGBps)
+
+	for _, s := range states {
+		d := demands[s.id]
+		grants[s.id] = Grant{
+			CPU:   s.granted,
+			Disk:  d.Disk * diskF,
+			Net:   d.Net * netF,
+			MemBW: d.MemBW * bwF,
+			// Only the cgroup quota clip counts as kernel throttling;
+			// host contention shows up as load, not nr_throttled.
+			CPUThrottled: s.rawWant > s.want+1e-12,
+		}
+	}
+	return grants
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"monitorless/internal/pcp"
+)
+
+// Action is the per-service recommendation of the Advisor — the paper's
+// §2.2 remark that "one can also apply more complex state descriptions
+// based on multiple classes", realized by combining the saturation
+// classifier with the §5 over-provisioning classifier.
+type Action int
+
+// Actions, ordered by urgency.
+const (
+	// ActionScaleIn: every instance of the service is over-provisioned.
+	ActionScaleIn Action = iota
+	// ActionHold: neither saturated nor uniformly idle.
+	ActionHold
+	// ActionScaleOut: at least one instance is saturated.
+	ActionScaleOut
+)
+
+// String implements fmt.Stringer.
+func (a Action) String() string {
+	switch a {
+	case ActionScaleIn:
+		return "scale-in"
+	case ActionScaleOut:
+		return "scale-out"
+	default:
+		return "hold"
+	}
+}
+
+// Advisor fuses the saturation model and the over-provisioning model into
+// per-service actions. Saturation dominates: a service with one saturated
+// instance is ActionScaleOut even if its other instances look idle.
+type Advisor struct {
+	saturation *Orchestrator
+	idle       *Orchestrator
+}
+
+// NewAdvisor wires the two models. overprovision may be nil, in which
+// case the advisor never recommends scale-in.
+func NewAdvisor(saturation, overprovision *Model) (*Advisor, error) {
+	if saturation == nil {
+		return nil, fmt.Errorf("core: advisor needs a saturation model")
+	}
+	a := &Advisor{saturation: NewOrchestrator(saturation)}
+	if overprovision != nil {
+		a.idle = NewOrchestrator(overprovision)
+	}
+	return a, nil
+}
+
+// Ingest feeds one tick's observation into both models.
+func (a *Advisor) Ingest(obs pcp.Observation) error {
+	if err := a.saturation.Ingest(obs); err != nil {
+		return err
+	}
+	if a.idle != nil {
+		if err := a.idle.Ingest(obs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Forget drops a departed instance from both models.
+func (a *Advisor) Forget(id string) {
+	a.saturation.Forget(id)
+	if a.idle != nil {
+		a.idle.Forget(id)
+	}
+}
+
+// serviceOf extracts "<app>/<service>" from "<app>/<service>/<n>" IDs; IDs
+// without two slashes map to themselves.
+func serviceOf(id string) string {
+	first := strings.IndexByte(id, '/')
+	if first < 0 {
+		return id
+	}
+	second := strings.IndexByte(id[first+1:], '/')
+	if second < 0 {
+		return id
+	}
+	return id[:first+1+second]
+}
+
+// Advise returns the recommended action per "<app>/<service>" key, based
+// on the latest predictions of both models.
+func (a *Advisor) Advise() map[string]Action {
+	saturated := map[string]bool{}
+	for _, id := range a.saturation.SaturatedInstances() {
+		saturated[serviceOf(id)] = true
+	}
+
+	// Instance inventory and idle votes come from the saturation
+	// orchestrator's prediction set (both orchestrators see the same
+	// observations).
+	instances := map[string][]string{}
+	a.saturation.mu.Lock()
+	for id := range a.saturation.preds {
+		svc := serviceOf(id)
+		instances[svc] = append(instances[svc], id)
+	}
+	a.saturation.mu.Unlock()
+
+	idleInstances := map[string]bool{}
+	if a.idle != nil {
+		for _, id := range a.idle.SaturatedInstances() { // "positive" = over-provisioned
+			idleInstances[id] = true
+		}
+	}
+
+	out := make(map[string]Action, len(instances))
+	for svc, ids := range instances {
+		switch {
+		case saturated[svc]:
+			out[svc] = ActionScaleOut
+		case a.idle != nil && allIn(ids, idleInstances):
+			out[svc] = ActionScaleIn
+		default:
+			out[svc] = ActionHold
+		}
+	}
+	return out
+}
+
+// ScaleOuts lists the services recommended for scale-out, sorted.
+func (a *Advisor) ScaleOuts() []string { return a.withAction(ActionScaleOut) }
+
+// ScaleIns lists the services recommended for scale-in, sorted.
+func (a *Advisor) ScaleIns() []string { return a.withAction(ActionScaleIn) }
+
+func (a *Advisor) withAction(want Action) []string {
+	var out []string
+	for svc, act := range a.Advise() {
+		if act == want {
+			out = append(out, svc)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func allIn(ids []string, set map[string]bool) bool {
+	if len(ids) == 0 {
+		return false
+	}
+	for _, id := range ids {
+		if !set[id] {
+			return false
+		}
+	}
+	return true
+}

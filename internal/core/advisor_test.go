@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"monitorless/internal/pcp"
+)
+
+func TestServiceOf(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"shop/web/0", "shop/web"},
+		{"shop/web/r12", "shop/web"},
+		{"noslash", "noslash"},
+		{"one/slash", "one/slash"},
+	}
+	for _, c := range cases {
+		if got := serviceOf(c.in); got != c.want {
+			t.Errorf("serviceOf(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestActionString(t *testing.T) {
+	if ActionScaleOut.String() != "scale-out" || ActionScaleIn.String() != "scale-in" || ActionHold.String() != "hold" {
+		t.Error("Action strings wrong")
+	}
+}
+
+func TestAdvisorRequiresSaturationModel(t *testing.T) {
+	if _, err := NewAdvisor(nil, nil); err == nil {
+		t.Error("expected error for nil saturation model")
+	}
+}
+
+func TestAdvisorActions(t *testing.T) {
+	rep, ds := trainSubset(t)
+	sat, _ := sharedModel(t)
+	idle, err := TrainScaleIn(rep, smallTrainConfig(), 0.3)
+	if err != nil {
+		t.Fatalf("TrainScaleIn: %v", err)
+	}
+	adv, err := NewAdvisor(sat, idle)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Exemplars from run 1: a saturated vector, an idle vector (KPI far
+	// below Υ) and a mid-load vector.
+	lab := rep.Thresholds[1]
+	var satVec, idleVec, midVec []float64
+	for _, s := range ds.FilterRuns(1).Samples {
+		switch {
+		case s.Label == 1 && satVec == nil:
+			satVec = s.Values
+		case s.Label == 0 && s.KPI < 0.15*lab.Threshold && idleVec == nil:
+			idleVec = s.Values
+		case s.Label == 0 && s.KPI > 0.5*lab.Threshold && s.KPI < 0.8*lab.Threshold && midVec == nil:
+			midVec = s.Values
+		}
+	}
+	if satVec == nil || idleVec == nil || midVec == nil {
+		t.Skip("run 1 lacks one of the exemplar regimes at this scale")
+	}
+
+	w := sat.WindowSize()
+	for i := 0; i < w+2; i++ {
+		obs := pcp.Observation{T: i, Vectors: map[string][]float64{
+			"shop/web/0":   satVec,  // saturated → scale out
+			"shop/idle/0":  idleVec, // uniformly idle → scale in
+			"shop/idle/1":  idleVec,
+			"shop/mixed/0": idleVec, // mixed → hold (one busy instance)
+			"shop/mixed/1": midVec,
+		}}
+		if err := adv.Ingest(obs); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	actions := adv.Advise()
+	if actions["shop/web"] != ActionScaleOut {
+		t.Errorf("shop/web = %v, want scale-out", actions["shop/web"])
+	}
+	if actions["shop/idle"] != ActionScaleIn {
+		t.Errorf("shop/idle = %v, want scale-in", actions["shop/idle"])
+	}
+	if actions["shop/mixed"] == ActionScaleIn {
+		t.Errorf("shop/mixed = %v: a service with a busy instance must not scale in", actions["shop/mixed"])
+	}
+
+	outs := adv.ScaleOuts()
+	if len(outs) != 1 || outs[0] != "shop/web" {
+		t.Errorf("ScaleOuts = %v", outs)
+	}
+	ins := adv.ScaleIns()
+	if len(ins) != 1 || ins[0] != "shop/idle" {
+		t.Errorf("ScaleIns = %v", ins)
+	}
+
+	// Forget the saturated instance: the service drops out entirely.
+	adv.Forget("shop/web/0")
+	if _, ok := adv.Advise()["shop/web"]; ok {
+		t.Error("forgotten service still advised")
+	}
+}
+
+func TestAdvisorWithoutScaleInModel(t *testing.T) {
+	sat, ds := sharedModel(t)
+	adv, err := NewAdvisor(sat, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idleVec []float64
+	for _, s := range ds.Samples {
+		if s.Label == 0 {
+			idleVec = s.Values
+			break
+		}
+	}
+	if err := adv.Ingest(pcp.Observation{T: 0, Vectors: map[string][]float64{"a/b/0": idleVec}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := adv.Advise()["a/b"]; got != ActionHold {
+		t.Errorf("without a scale-in model the advisor must hold, got %v", got)
+	}
+}

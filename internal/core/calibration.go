@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"monitorless/internal/features"
+)
+
+// This file implements the paper's §5 "Calibration" direction: adapting
+// the trained model to a target application whose resource-usage patterns
+// differ from the training services, *without* labeled target data.
+
+// CoverageReport lists training-coverage gaps for a target domain — the
+// §3.2.3 validation step: features whose target-domain values fall outside
+// the range seen in training signal that the model may extrapolate there.
+type CoverageReport struct {
+	// Gaps names the raw metrics outside the trained range.
+	Gaps []string
+	// GapFraction is len(Gaps) relative to the raw schema width.
+	GapFraction float64
+}
+
+// CoverageCheck compares a target-domain raw table against the training
+// corpus ranges. trainTable must use the same raw schema the model was
+// trained on.
+func CoverageCheck(trainTable, target *features.Table) (*CoverageReport, error) {
+	scaler, err := features.FitMinMax(trainTable)
+	if err != nil {
+		return nil, fmt.Errorf("core: coverage: %w", err)
+	}
+	gaps, err := scaler.CoverageGaps(target)
+	if err != nil {
+		return nil, fmt.Errorf("core: coverage: %w", err)
+	}
+	return &CoverageReport{
+		Gaps:        gaps,
+		GapFraction: float64(len(gaps)) / float64(trainTable.NumCols()),
+	}, nil
+}
+
+// CalibrateThreshold adapts the model's decision threshold to a target
+// domain using only *unlabeled* target observations plus a prior on how
+// often the target saturates (e.g. "this deployment is sized so that at
+// most ~5% of seconds are saturated"). The returned threshold is the
+// (1−expectedRate) quantile of the model's probabilities on the target
+// run, clamped to [minThr, maxThr] so a wildly wrong prior cannot disable
+// the detector. The model is not modified; apply the result with
+// SetThreshold if desired.
+func (m *Model) CalibrateThreshold(target *features.Table, expectedRate, minThr, maxThr float64) (float64, error) {
+	if expectedRate <= 0 || expectedRate >= 1 {
+		return 0, fmt.Errorf("core: calibrate: expected rate %v outside (0,1)", expectedRate)
+	}
+	if minThr <= 0 {
+		minThr = 0.2
+	}
+	if maxThr <= 0 || maxThr > 1 {
+		maxThr = 0.8
+	}
+	if minThr >= maxThr {
+		return 0, fmt.Errorf("core: calibrate: empty clamp range [%v, %v]", minThr, maxThr)
+	}
+	engineered, err := m.Pipeline.Transform(target)
+	if err != nil {
+		return 0, fmt.Errorf("core: calibrate: %w", err)
+	}
+	var probs []float64
+	for ri := range engineered.Runs {
+		for _, row := range engineered.Runs[ri].Rows {
+			probs = append(probs, m.Forest.PredictProba(row))
+		}
+	}
+	if len(probs) == 0 {
+		return 0, fmt.Errorf("core: calibrate: empty target")
+	}
+	sort.Float64s(probs)
+	idx := int(float64(len(probs)) * (1 - expectedRate))
+	if idx >= len(probs) {
+		idx = len(probs) - 1
+	}
+	thr := probs[idx]
+	if thr < minThr {
+		thr = minThr
+	}
+	if thr > maxThr {
+		thr = maxThr
+	}
+	return thr, nil
+}
+
+// SetThreshold updates the decision threshold of the model and its forest
+// (used after CalibrateThreshold).
+func (m *Model) SetThreshold(t float64) {
+	m.Threshold = t
+	m.Forest.SetThreshold(t)
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"monitorless/internal/features"
+)
+
+func TestCoverageCheck(t *testing.T) {
+	_, ds := trainSubset(t)
+	trainTab := features.FromDataset(ds)
+
+	// Target identical to training: no gaps.
+	rep, err := CoverageCheck(trainTab, trainTab)
+	if err != nil {
+		t.Fatalf("CoverageCheck: %v", err)
+	}
+	if len(rep.Gaps) != 0 {
+		t.Errorf("self-coverage reported gaps: %v", rep.Gaps[:min(3, len(rep.Gaps))])
+	}
+
+	// Target with one feature pushed outside the trained range.
+	target := features.FromDataset(ds.FilterRuns(1))
+	out := target.Runs[0].Rows[0]
+	outCopy := make([]float64, len(out))
+	copy(outCopy, out)
+	outCopy[0] = 1e12
+	target.Runs[0].Rows[0] = outCopy
+	rep, err = CoverageCheck(trainTab, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Gaps) == 0 {
+		t.Error("out-of-range feature not reported")
+	}
+	if rep.GapFraction <= 0 || rep.GapFraction > 1 {
+		t.Errorf("GapFraction = %v", rep.GapFraction)
+	}
+}
+
+func TestCalibrateThreshold(t *testing.T) {
+	m, ds := sharedModel(t)
+	target := features.FromDataset(ds.FilterRuns(1))
+
+	// Run 1 is ~37% saturated; calibrating with that prior should land a
+	// usable threshold inside the clamp range.
+	thr, err := m.CalibrateThreshold(target, 0.37, 0.2, 0.8)
+	if err != nil {
+		t.Fatalf("CalibrateThreshold: %v", err)
+	}
+	if thr < 0.2 || thr > 0.8 {
+		t.Errorf("threshold %v outside clamp", thr)
+	}
+
+	// Applying the calibrated threshold must produce roughly the expected
+	// positive rate on the target.
+	preds, _, err := m.PredictTable(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = preds
+	old := m.Threshold
+	m.SetThreshold(thr)
+	defer m.SetThreshold(old)
+	pred2, _, err := m.PredictTable(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := 0
+	total := 0
+	for _, series := range pred2 {
+		for _, p := range series {
+			pos += p
+			total++
+		}
+	}
+	rate := float64(pos) / float64(total)
+	if rate < 0.15 || rate > 0.60 {
+		t.Errorf("calibrated positive rate %.2f, want near the 0.37 prior", rate)
+	}
+}
+
+func TestCalibrateThresholdValidation(t *testing.T) {
+	m, ds := sharedModel(t)
+	target := features.FromDataset(ds.FilterRuns(1))
+	if _, err := m.CalibrateThreshold(target, 0, 0.2, 0.8); err == nil {
+		t.Error("expected error for rate 0")
+	}
+	if _, err := m.CalibrateThreshold(target, 1.5, 0.2, 0.8); err == nil {
+		t.Error("expected error for rate > 1")
+	}
+	if _, err := m.CalibrateThreshold(target, 0.3, 0.8, 0.2); err == nil {
+		t.Error("expected error for inverted clamp")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

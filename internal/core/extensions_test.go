@@ -1,0 +1,223 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"monitorless/internal/dataset"
+	"monitorless/internal/features"
+	"monitorless/internal/pcp"
+)
+
+func TestDistillRulesReadable(t *testing.T) {
+	m, ds := sharedModel(t)
+	rules, err := m.DistillRules(features.FromDataset(ds), 3)
+	if err != nil {
+		t.Fatalf("DistillRules: %v", err)
+	}
+	if len(rules) == 0 {
+		t.Fatal("no rules distilled")
+	}
+	// At least one saturation rule, rendered with real feature names.
+	foundSat := false
+	for _, r := range rules {
+		if r.Saturated {
+			foundSat = true
+			if len(r.Conditions) == 0 {
+				continue
+			}
+			if strings.Contains(r.Conditions[0], "f0") {
+				t.Errorf("rule uses fallback names: %q", r)
+			}
+		}
+	}
+	if !foundSat {
+		t.Error("no saturation rule in the distillation")
+	}
+	// Rules are sorted: saturation rules first.
+	if !rules[0].Saturated {
+		t.Error("saturation rules should sort first")
+	}
+}
+
+func TestSurrogateFidelity(t *testing.T) {
+	m, ds := sharedModel(t)
+	tab := features.FromDataset(ds)
+	shallow, err := m.SurrogateFidelity(tab, 2)
+	if err != nil {
+		t.Fatalf("SurrogateFidelity: %v", err)
+	}
+	deep, err := m.SurrogateFidelity(tab, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shallow < 0.7 {
+		t.Errorf("depth-2 fidelity %.2f, want a faithful surrogate (CPU rules explain most of the model)", shallow)
+	}
+	if deep < shallow-1e-9 {
+		t.Errorf("deeper surrogate less faithful: %.3f vs %.3f", deep, shallow)
+	}
+}
+
+func TestBuildScaleInDataset(t *testing.T) {
+	rep, _ := trainSubset(t)
+	ds, err := BuildScaleInDataset(rep, 0.3)
+	if err != nil {
+		t.Fatalf("BuildScaleInDataset: %v", err)
+	}
+	if len(ds.Samples) == 0 {
+		t.Fatal("no scale-in samples")
+	}
+	frac := ds.SaturatedFraction() // here: over-provisioned fraction
+	if frac <= 0 || frac >= 1 {
+		t.Errorf("degenerate over-provisioning mix %.2f", frac)
+	}
+	// Over-provisioned samples must all be non-saturated originally and
+	// idle relative to their run's threshold.
+	orig := map[[2]int]dataset.Sample{}
+	for _, s := range rep.Dataset.Samples {
+		orig[[2]int{s.RunID, s.T}] = s
+	}
+	checked := 0
+	for _, s := range ds.Samples {
+		if s.Label != 1 {
+			continue
+		}
+		o := orig[[2]int{s.RunID, s.T}]
+		if o.Label != 0 {
+			t.Fatal("an originally saturated sample was marked over-provisioned")
+		}
+		lab := rep.Thresholds[s.RunID]
+		if s.KPI >= 0.3*lab.Threshold {
+			t.Fatalf("sample with KPI %.1f marked idle against Υ %.1f", s.KPI, lab.Threshold)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Error("no positive scale-in samples verified")
+	}
+}
+
+func TestBuildScaleInDatasetValidation(t *testing.T) {
+	if _, err := BuildScaleInDataset(nil, 0.3); err == nil {
+		t.Error("expected error for nil report")
+	}
+	rep, _ := trainSubset(t)
+	if _, err := BuildScaleInDataset(rep, 0); err == nil {
+		t.Error("expected error for idleFrac 0")
+	}
+	if _, err := BuildScaleInDataset(rep, 1.5); err == nil {
+		t.Error("expected error for idleFrac > 1")
+	}
+}
+
+func TestTrainScaleInClassifier(t *testing.T) {
+	rep, ds := trainSubset(t)
+	m, err := TrainScaleIn(rep, smallTrainConfig(), 0.3)
+	if err != nil {
+		t.Fatalf("TrainScaleIn: %v", err)
+	}
+	if m.Threshold != 0.6 {
+		t.Errorf("scale-in threshold %.2f, want the conservative 0.6", m.Threshold)
+	}
+	// The detector must separate idle from saturated samples: pick one of
+	// each from run 1 and compare probabilities.
+	var idle, busy []float64
+	lab := rep.Thresholds[1]
+	for _, s := range ds.FilterRuns(1).Samples {
+		if s.Label == 0 && s.KPI < 0.2*lab.Threshold && idle == nil {
+			idle = s.Values
+		}
+		if s.Label == 1 && busy == nil {
+			busy = s.Values
+		}
+	}
+	if idle == nil || busy == nil {
+		t.Skip("run 1 lacks an idle or busy sample at this scale")
+	}
+	w := m.WindowSize()
+	mkWindow := func(v []float64) [][]float64 {
+		win := make([][]float64, w)
+		for i := range win {
+			win[i] = v
+		}
+		return win
+	}
+	pIdle, _, err := m.PredictWindow(mkWindow(idle))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pBusy, _, err := m.PredictWindow(mkWindow(busy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pIdle <= pBusy {
+		t.Errorf("over-provisioning score idle=%.2f should exceed busy=%.2f", pIdle, pBusy)
+	}
+}
+
+func TestEdgeAgentMatchesCentral(t *testing.T) {
+	m, ds := sharedModel(t)
+
+	// Replay one run's vectors through both architectures.
+	run := ds.FilterRuns(1)
+	central := NewOrchestrator(m)
+	edgeOrch := NewOrchestrator(m)
+	edge := &EdgeAgent{model: m, windows: make(map[string][][]float64)}
+
+	w := m.WindowSize()
+	var window [][]float64
+	for i, s := range run.Samples {
+		if i >= 3*w {
+			break
+		}
+		obs := pcp.Observation{T: i, Vectors: map[string][]float64{"a/x/0": s.Values}}
+		if err := central.Ingest(obs); err != nil {
+			t.Fatal(err)
+		}
+		// Edge path: local windowing + compact report.
+		window = append(window, s.Values)
+		if len(window) > w {
+			window = window[len(window)-w:]
+		}
+		edge.windows["a/x/0"] = window
+		prob, _, err := m.PredictWindow(window)
+		if err != nil {
+			t.Fatal(err)
+		}
+		edgeOrch.IngestReport(PredictionReport{T: i, Probs: map[string]float64{"a/x/0": prob}})
+
+		pc, _ := central.InstancePrediction("a/x/0")
+		pe, _ := edgeOrch.InstancePrediction("a/x/0")
+		if pc.Prob != pe.Prob || pc.Saturated != pe.Saturated {
+			t.Fatalf("edge and central disagree at %d: %+v vs %+v", i, pc, pe)
+		}
+	}
+}
+
+func TestEdgeAgentSavesTraffic(t *testing.T) {
+	// Wire-size accounting: a full observation of realistic width dwarfs
+	// the per-instance probability report.
+	vec := make([]float64, 290)
+	obs := pcp.Observation{T: 1, Vectors: map[string][]float64{"app/svc/0": vec}}
+	rep := PredictionReport{T: 1, Probs: map[string]float64{"app/svc/0": 0.5}}
+	full := ObservationWireSize(obs)
+	compact := rep.WireSize()
+	if full < 50*compact {
+		t.Errorf("expected ≥50x reduction, got %d vs %d bytes", full, compact)
+	}
+}
+
+func TestPredictionReportNaNIgnored(t *testing.T) {
+	m, _ := sharedModel(t)
+	o := NewOrchestrator(m)
+	o.IngestReport(PredictionReport{T: 0, Probs: map[string]float64{"x": nan()}})
+	if _, ok := o.InstancePrediction("x"); ok {
+		t.Error("NaN probability should be dropped")
+	}
+}
+
+func nan() float64 {
+	var z float64
+	return z / z
+}

@@ -1,0 +1,224 @@
+// Package core assembles the paper's contribution: the monitorless model —
+// a feature pipeline plus a random-forest classifier trained on labeled
+// platform metrics from representative services (§3) — and the online
+// orchestrator that turns per-container metric vectors into saturation
+// predictions and application-level decisions (§2).
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"monitorless/internal/dataset"
+	"monitorless/internal/features"
+	"monitorless/internal/ml/forest"
+	"monitorless/internal/ml/tree"
+)
+
+// TrainConfig bundles the pipeline layout and classifier hyper-parameters.
+type TrainConfig struct {
+	// Pipeline is the §3.3 feature-engineering layout.
+	Pipeline features.Config
+	// Forest holds the classifier hyper-parameters (§3.4's tuning:
+	// 250 trees, 20 samples per leaf, information gain, no class weights).
+	Forest forest.Config
+	// Threshold is the decision threshold (paper: 0.4 to bias against
+	// false negatives, §4). Zero selects 0.4.
+	Threshold float64
+}
+
+// DefaultTrainConfig returns the paper's selected configuration.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{
+		Pipeline: features.DefaultConfig(),
+		Forest: forest.Config{
+			NumTrees:       250,
+			MinSamplesLeaf: 20,
+			Criterion:      tree.Entropy,
+		},
+		Threshold: 0.4,
+	}
+}
+
+// Model is a trained monitorless saturation classifier.
+type Model struct {
+	// Pipeline engineers raw metric vectors into model features.
+	Pipeline *features.Pipeline
+	// Forest is the fitted classifier.
+	Forest *forest.Forest
+	// Threshold is the decision threshold on P(saturated).
+	Threshold float64
+	// RawNames is the expected raw metric schema (sanity checks).
+	RawNames []string
+	// TrainSamples and TrainSaturatedFrac document the training set.
+	TrainSamples       int
+	TrainSaturatedFrac float64
+}
+
+// Train fits the feature pipeline and classifier on a labeled dataset.
+func Train(ds *dataset.Dataset, cfg TrainConfig) (*Model, error) {
+	if ds == nil || len(ds.Samples) == 0 {
+		return nil, fmt.Errorf("core: empty training dataset")
+	}
+	if cfg.Threshold == 0 {
+		cfg.Threshold = 0.4
+	}
+	pipe, err := features.NewPipeline(cfg.Pipeline)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	table := features.FromDataset(ds)
+	engineered, err := pipe.Fit(table)
+	if err != nil {
+		return nil, fmt.Errorf("core: feature pipeline: %w", err)
+	}
+	x, y, _ := engineered.Flatten()
+
+	fcfg := cfg.Forest
+	fcfg.Threshold = cfg.Threshold
+	fr := forest.New(fcfg)
+	if err := fr.Fit(x, y); err != nil {
+		return nil, fmt.Errorf("core: forest: %w", err)
+	}
+	return &Model{
+		Pipeline:           pipe,
+		Forest:             fr,
+		Threshold:          cfg.Threshold,
+		RawNames:           ds.Names(),
+		TrainSamples:       len(ds.Samples),
+		TrainSaturatedFrac: ds.SaturatedFraction(),
+	}, nil
+}
+
+// WindowSize returns how many trailing raw samples each instance must
+// retain for online prediction.
+func (m *Model) WindowSize() int { return m.Pipeline.WindowSize() }
+
+// PredictWindow classifies the most recent sample of one instance given
+// its trailing window of raw metric vectors (oldest first).
+func (m *Model) PredictWindow(window [][]float64) (prob float64, saturated bool, err error) {
+	vec, err := m.Pipeline.TransformLatest(window)
+	if err != nil {
+		return 0, false, fmt.Errorf("core: predict: %w", err)
+	}
+	p := m.Forest.PredictProba(vec)
+	return p, p >= m.Threshold, nil
+}
+
+// PredictTable classifies every row of a raw table (batch evaluation) and
+// returns per-run prediction series aligned with the table's rows.
+func (m *Model) PredictTable(t *features.Table) (map[int][]int, map[int][]float64, error) {
+	engineered, err := m.Pipeline.Transform(t)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: predict table: %w", err)
+	}
+	preds := make(map[int][]int, len(engineered.Runs))
+	probs := make(map[int][]float64, len(engineered.Runs))
+	for ri := range engineered.Runs {
+		run := &engineered.Runs[ri]
+		ps := make([]int, len(run.Rows))
+		qs := make([]float64, len(run.Rows))
+		for j, row := range run.Rows {
+			q := m.Forest.PredictProba(row)
+			qs[j] = q
+			if q >= m.Threshold {
+				ps[j] = 1
+			}
+		}
+		preds[run.ID] = ps
+		probs[run.ID] = qs
+	}
+	return preds, probs, nil
+}
+
+// FeatureImportances pairs engineered feature names with the forest's
+// importance weights, sorted descending (Table 4).
+func (m *Model) FeatureImportances() []FeatureImportance {
+	imp := m.Forest.FeatureImportances()
+	names := m.Pipeline.OutputNames()
+	n := len(imp)
+	if len(names) < n {
+		n = len(names)
+	}
+	out := make([]FeatureImportance, n)
+	for i := 0; i < n; i++ {
+		out[i] = FeatureImportance{Name: names[i], Importance: imp[i]}
+	}
+	// Insertion-friendly sort by descending importance.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Importance > out[j-1].Importance; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// FeatureImportance is one Table 4 row.
+type FeatureImportance struct {
+	Name       string
+	Importance float64
+}
+
+// modelWire is the gob image of a model.
+type modelWire struct {
+	PipelineBlob       []byte
+	Forest             *forest.Forest
+	Threshold          float64
+	RawNames           []string
+	TrainSamples       int
+	TrainSaturatedFrac float64
+}
+
+// Save serializes the model.
+func (m *Model) Save(w io.Writer) error {
+	blob, err := m.Pipeline.EncodeGob()
+	if err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+	wire := modelWire{
+		PipelineBlob:       blob,
+		Forest:             m.Forest,
+		Threshold:          m.Threshold,
+		RawNames:           m.RawNames,
+		TrainSamples:       m.TrainSamples,
+		TrainSaturatedFrac: m.TrainSaturatedFrac,
+	}
+	if err := gob.NewEncoder(w).Encode(wire); err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+	return nil
+}
+
+// Load deserializes a model written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var wire modelWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
+	pipe, err := features.DecodePipeline(wire.PipelineBlob)
+	if err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
+	return &Model{
+		Pipeline:           pipe,
+		Forest:             wire.Forest,
+		Threshold:          wire.Threshold,
+		RawNames:           wire.RawNames,
+		TrainSamples:       wire.TrainSamples,
+		TrainSaturatedFrac: wire.TrainSaturatedFrac,
+	}, nil
+}
+
+// SaveBytes is a convenience wrapper around Save.
+func (m *Model) SaveBytes() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// LoadBytes is a convenience wrapper around Load.
+func LoadBytes(b []byte) (*Model, error) { return Load(bytes.NewReader(b)) }

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"monitorless/internal/pcp"
+)
+
+// Orchestrator is the paper's §2 central component: it receives the
+// agents' per-instance metric vectors, keeps the trailing window each
+// prediction needs, infers per-container saturation with the monitorless
+// model, and aggregates instance predictions into application decisions
+// with a logical OR (§4).
+type Orchestrator struct {
+	mu      sync.Mutex
+	model   *Model
+	windows map[string][][]float64
+	preds   map[string]Prediction
+	// appOf maps instance ID → application name for aggregation.
+	appOf map[string]string
+}
+
+// Prediction is one instance's latest inference.
+type Prediction struct {
+	// Prob is P(saturated).
+	Prob float64
+	// Saturated applies the model threshold.
+	Saturated bool
+	// T is the observation second.
+	T int
+}
+
+// NewOrchestrator returns an orchestrator over a trained model.
+func NewOrchestrator(m *Model) *Orchestrator {
+	return &Orchestrator{
+		model:   m,
+		windows: make(map[string][][]float64),
+		preds:   make(map[string]Prediction),
+		appOf:   make(map[string]string),
+	}
+}
+
+// Model returns the underlying classifier.
+func (o *Orchestrator) Model() *Model { return o.model }
+
+// RegisterInstance associates an instance with its application (used by
+// the OR aggregation). Ingest auto-registers unknown instances under the
+// app name prefix of "<app>/<service>/<n>" IDs when not registered.
+func (o *Orchestrator) RegisterInstance(id, app string) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.appOf[id] = app
+}
+
+// Forget drops an instance's window and latest prediction (scale-in).
+func (o *Orchestrator) Forget(id string) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	delete(o.windows, id)
+	delete(o.preds, id)
+	delete(o.appOf, id)
+}
+
+// Ingest processes one tick's observation: it appends each vector to its
+// instance window and refreshes the instance predictions.
+func (o *Orchestrator) Ingest(obs pcp.Observation) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	w := o.model.WindowSize()
+	for id, vec := range obs.Vectors {
+		win := append(o.windows[id], vec)
+		if len(win) > w {
+			win = win[len(win)-w:]
+		}
+		o.windows[id] = win
+		prob, sat, err := o.model.PredictWindow(win)
+		if err != nil {
+			return fmt.Errorf("core: ingest %s: %w", id, err)
+		}
+		o.preds[id] = Prediction{Prob: prob, Saturated: sat, T: obs.T}
+		if _, known := o.appOf[id]; !known {
+			o.appOf[id] = appFromID(id)
+		}
+	}
+	return nil
+}
+
+// appFromID extracts the application from "<app>/<service>/<n>" IDs.
+func appFromID(id string) string {
+	for i := 0; i < len(id); i++ {
+		if id[i] == '/' {
+			return id[:i]
+		}
+	}
+	return id
+}
+
+// InstancePrediction returns the latest prediction for one instance.
+func (o *Orchestrator) InstancePrediction(id string) (Prediction, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	p, ok := o.preds[id]
+	return p, ok
+}
+
+// SaturatedInstances lists the instances currently predicted saturated,
+// sorted by ID.
+func (o *Orchestrator) SaturatedInstances() []string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	var out []string
+	for id, p := range o.preds {
+		if p.Saturated {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AppSaturated aggregates the instance predictions of one application
+// with a logical OR: ŷ_A = ⋁ ŷ_I (§4).
+func (o *Orchestrator) AppSaturated(app string) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for id, p := range o.preds {
+		if o.appOf[id] == app && p.Saturated {
+			return true
+		}
+	}
+	return false
+}
+
+// AppPredictions returns the OR-aggregated saturation decision per
+// application.
+func (o *Orchestrator) AppPredictions() map[string]bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make(map[string]bool)
+	for id, p := range o.preds {
+		app := o.appOf[id]
+		out[app] = out[app] || p.Saturated
+	}
+	return out
+}
+
+// Bus is the in-process stand-in for the agents→orchestrator network path
+// (§2's "orchestrator periodically receives metrics from the agents").
+// Agents publish observations; the orchestrator consumes them.
+type Bus struct {
+	ch chan pcp.Observation
+}
+
+// NewBus returns a bus with the given buffer depth.
+func NewBus(depth int) *Bus {
+	if depth <= 0 {
+		depth = 16
+	}
+	return &Bus{ch: make(chan pcp.Observation, depth)}
+}
+
+// Publish sends one observation (blocks when the buffer is full).
+func (b *Bus) Publish(obs pcp.Observation) { b.ch <- obs }
+
+// Close ends the stream.
+func (b *Bus) Close() { close(b.ch) }
+
+// Consume feeds every published observation into the orchestrator until
+// the bus closes, returning the first ingest error.
+func (b *Bus) Consume(o *Orchestrator) error {
+	for obs := range b.ch {
+		if err := o.Ingest(obs); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,305 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"monitorless/internal/apps"
+	"monitorless/internal/cluster"
+	"monitorless/internal/pcp"
+	"monitorless/internal/workload"
+)
+
+func tinyDataset() *Dataset {
+	return &Dataset{
+		Defs: []pcp.MetricDef{
+			{Name: "a", Kind: pcp.Gauge, Domain: pcp.DomCPU},
+			{Name: "b", Kind: pcp.Counter, Domain: pcp.DomMem},
+		},
+		Samples: []Sample{
+			{RunID: 1, T: 0, Label: 0, KPI: 12.5, Values: []float64{1.5, 2}},
+			{RunID: 1, T: 1, Label: 1, KPI: 900, Values: []float64{3, 4}},
+			{RunID: 2, T: 0, Label: 0, KPI: 7, Values: []float64{5, 6.25}},
+		},
+	}
+}
+
+func TestDatasetAccessors(t *testing.T) {
+	d := tinyDataset()
+	if got := d.Names(); got[0] != "a" || got[1] != "b" {
+		t.Errorf("Names = %v", got)
+	}
+	if x := d.X(); len(x) != 3 || x[1][1] != 4 {
+		t.Errorf("X malformed: %v", x)
+	}
+	if y := d.Y(); y[0] != 0 || y[1] != 1 {
+		t.Errorf("Y malformed: %v", y)
+	}
+	if g := d.Groups(); g[2] != 2 {
+		t.Errorf("Groups malformed: %v", g)
+	}
+	if f := d.SaturatedFraction(); math.Abs(f-1.0/3.0) > 1e-12 {
+		t.Errorf("SaturatedFraction = %v", f)
+	}
+	if ids := d.RunIDs(); len(ids) != 2 || ids[0] != 1 || ids[1] != 2 {
+		t.Errorf("RunIDs = %v", ids)
+	}
+	if (&Dataset{}).SaturatedFraction() != 0 {
+		t.Error("empty dataset fraction should be 0")
+	}
+}
+
+func TestFilterRuns(t *testing.T) {
+	d := tinyDataset()
+	f := d.FilterRuns(2)
+	if len(f.Samples) != 1 || f.Samples[0].RunID != 2 {
+		t.Errorf("FilterRuns(2) = %+v", f.Samples)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	d := &Dataset{}
+	if err := d.Merge(tinyDataset()); err != nil {
+		t.Fatalf("Merge into empty: %v", err)
+	}
+	if err := d.Merge(tinyDataset()); err != nil {
+		t.Fatalf("Merge same schema: %v", err)
+	}
+	if len(d.Samples) != 6 {
+		t.Errorf("merged %d samples, want 6", len(d.Samples))
+	}
+	bad := &Dataset{Defs: []pcp.MetricDef{{Name: "only"}}}
+	if err := d.Merge(bad); err == nil {
+		t.Error("expected schema mismatch error")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := tinyDataset()
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	back, err := ReadCSV(&buf, nil)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if len(back.Samples) != len(d.Samples) {
+		t.Fatalf("round trip lost samples: %d vs %d", len(back.Samples), len(d.Samples))
+	}
+	for i := range d.Samples {
+		a, b := d.Samples[i], back.Samples[i]
+		if a.RunID != b.RunID || a.T != b.T || a.Label != b.Label {
+			t.Fatalf("sample %d metadata mismatch", i)
+		}
+		if math.Abs(a.KPI-b.KPI) > 1e-9 {
+			t.Fatalf("sample %d KPI mismatch: %v vs %v", i, a.KPI, b.KPI)
+		}
+		for j := range a.Values {
+			if math.Abs(a.Values[j]-b.Values[j]) > 1e-9 {
+				t.Fatalf("sample %d value %d: %v vs %v", i, j, a.Values[j], b.Values[j])
+			}
+		}
+	}
+}
+
+func TestReadCSVWithCatalog(t *testing.T) {
+	cat := pcp.DefaultCatalog()
+	d := &Dataset{Defs: cat.CombinedDefs()}
+	d.Samples = append(d.Samples, Sample{RunID: 1, Values: make([]float64, len(d.Defs))})
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kind/domain metadata must be restored from the catalog.
+	idx := cat.HostIndex("kernel.all.pswitch")
+	if back.Defs[idx].Kind != pcp.Counter {
+		t.Error("catalog metadata not restored")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(bytes.NewReader(nil), nil); err == nil {
+		t.Error("expected error for empty input")
+	}
+	if _, err := ReadCSV(bytes.NewReader([]byte("x,y\n")), nil); err == nil {
+		t.Error("expected error for malformed header")
+	}
+	if _, err := ReadCSV(bytes.NewReader([]byte("runid,t,label,kpi,a\n1,2\n")), nil); err == nil {
+		t.Error("expected error for short row")
+	}
+	if _, err := ReadCSV(bytes.NewReader([]byte("runid,t,label,kpi,a\nx,0,0,1,1\n")), nil); err == nil {
+		t.Error("expected error for bad runid")
+	}
+	if _, err := ReadCSV(bytes.NewReader([]byte("runid,t,label,kpi,a\n1,0,0,zz,1\n")), nil); err == nil {
+		t.Error("expected error for bad kpi")
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	cfgs := Table1()
+	if len(cfgs) != 25 {
+		t.Fatalf("Table1 has %d rows, want 25", len(cfgs))
+	}
+	ids := map[int]bool{}
+	for _, c := range cfgs {
+		if ids[c.ID] {
+			t.Errorf("duplicate run ID %d", c.ID)
+		}
+		ids[c.ID] = true
+		if c.MaxRate <= 0 || c.MinRate <= 0 {
+			t.Errorf("run %d has empty traffic range", c.ID)
+		}
+		if c.Service == "" {
+			t.Errorf("run %d has no service", c.ID)
+		}
+	}
+	// Parallel pairs from the paper.
+	pairs := map[int]int{3: 18, 4: 19, 5: 20, 6: 22, 10: 23}
+	for _, c := range cfgs {
+		if want, ok := pairs[c.ID]; ok && c.Par != want {
+			t.Errorf("run %d Par = %d, want %d", c.ID, c.Par, want)
+		}
+	}
+}
+
+func TestTable1Profiles(t *testing.T) {
+	for _, c := range Table1() {
+		p := c.Profile()
+		if p.CPUPerReq <= 0 {
+			t.Errorf("run %d profile has no CPU demand", c.ID)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for unknown service")
+		}
+	}()
+	RunConfig{Service: "bogus"}.Profile()
+}
+
+func TestTrafficPatterns(t *testing.T) {
+	for _, c := range Table1() {
+		p := c.Traffic(1)
+		for tt := 0; tt < 500; tt += 25 {
+			v := p.At(tt)
+			if v < 0 {
+				t.Errorf("run %d traffic negative at %d", c.ID, tt)
+			}
+			if v > c.MaxRate*1.5 {
+				t.Errorf("run %d traffic %v way above MaxRate %v", c.ID, v, c.MaxRate)
+			}
+		}
+	}
+}
+
+func TestPairGroups(t *testing.T) {
+	groups := PairGroups(Table1())
+	seen := map[int]int{}
+	pairCount := 0
+	for _, g := range groups {
+		if len(g) > 2 {
+			t.Fatalf("group with %d members", len(g))
+		}
+		if len(g) == 2 {
+			pairCount++
+		}
+		for _, c := range g {
+			seen[c.ID]++
+		}
+	}
+	if pairCount != 5 {
+		t.Errorf("found %d pairs, want 5", pairCount)
+	}
+	if len(seen) != 25 {
+		t.Errorf("groups cover %d runs, want 25", len(seen))
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Errorf("run %d appears %d times", id, n)
+		}
+	}
+}
+
+func TestGenerateSmallRun(t *testing.T) {
+	// Generate just runs 1 (solr, container CPU) and 8 (memcache,
+	// container CPU) with short durations; verify labels exist and both
+	// classes appear for run 1.
+	cfgs := []RunConfig{Table1()[0], Table1()[7]}
+	rep, err := Generate(cfgs, GenOptions{Duration: 300, RampSeconds: 200, Seed: 1})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	d := rep.Dataset
+	if len(d.Samples) == 0 {
+		t.Fatal("no samples generated")
+	}
+	if len(d.Defs) == 0 {
+		t.Fatal("no schema")
+	}
+	runs := d.RunIDs()
+	if len(runs) != 2 {
+		t.Fatalf("RunIDs = %v, want runs 1 and 8", runs)
+	}
+	frac := d.SaturatedFraction()
+	if frac <= 0 || frac >= 1 {
+		t.Errorf("saturated fraction %v: want both classes present", frac)
+	}
+	lab1, ok := rep.Thresholds[1]
+	if !ok || !lab1.Saturates() {
+		t.Errorf("run 1 should have a finite threshold, got %+v", lab1)
+	}
+	// Run 1's knee should be near its 857 r/s CPU capacity.
+	if lab1.Threshold < 500 || lab1.Threshold > 1000 {
+		t.Errorf("run 1 threshold %v, want near ~857", lab1.Threshold)
+	}
+}
+
+func TestGenerateParallelPair(t *testing.T) {
+	var pair []RunConfig
+	for _, c := range Table1() {
+		if c.ID == 3 || c.ID == 18 {
+			pair = append(pair, c)
+		}
+	}
+	rep, err := Generate(pair, GenOptions{Duration: 200, RampSeconds: 150, Seed: 2})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	runs := rep.Dataset.RunIDs()
+	if len(runs) != 2 {
+		t.Fatalf("pair should yield 2 runs, got %v", runs)
+	}
+}
+
+func TestThresholdFromRamp(t *testing.T) {
+	build := func(load workload.Pattern) (*apps.Engine, *apps.App, error) {
+		c, err := cluster.New(apps.TrainingNode("t1"))
+		if err != nil {
+			return nil, nil, err
+		}
+		app, err := apps.Build(c, "x", load, []apps.ServiceSpec{
+			{Name: "solr", Node: "t1", Profile: apps.SolrProfile(), Visit: 1, CPULimit: 3},
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		eng, err := apps.NewEngine(c, app)
+		return eng, app, err
+	}
+	lab, err := ThresholdFromRamp(build, 1200, 300)
+	if err != nil {
+		t.Fatalf("ThresholdFromRamp: %v", err)
+	}
+	if !lab.Saturates() {
+		t.Fatal("solr@3cores under a 1200 r/s ramp must saturate")
+	}
+	if lab.Threshold < 500 || lab.Threshold > 1000 {
+		t.Errorf("threshold %v, want near the ~857 r/s capacity", lab.Threshold)
+	}
+}

@@ -1,0 +1,190 @@
+package dataset
+
+import (
+	"fmt"
+
+	"monitorless/internal/apps"
+	"monitorless/internal/cluster"
+	"monitorless/internal/label"
+	"monitorless/internal/pcp"
+	"monitorless/internal/workload"
+)
+
+// GenOptions controls training-data generation.
+type GenOptions struct {
+	// Duration is the measured seconds per run (default 900).
+	Duration int
+	// RampSeconds is the length of the threshold-discovery ramp (default 500).
+	RampSeconds int
+	// Warmup drops this many leading samples of each run (default 5).
+	Warmup int
+	// Seed drives workload jitter and measurement noise.
+	Seed int64
+	// Catalog defaults to pcp.DefaultCatalog().
+	Catalog *pcp.Catalog
+}
+
+func (o GenOptions) withDefaults() GenOptions {
+	if o.Duration <= 0 {
+		o.Duration = 900
+	}
+	if o.RampSeconds <= 0 {
+		o.RampSeconds = 500
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = 5
+	}
+	if o.Catalog == nil {
+		o.Catalog = pcp.DefaultCatalog()
+	}
+	return o
+}
+
+// Report is the outcome of a generation pass.
+type Report struct {
+	// Dataset holds all labeled samples.
+	Dataset *Dataset
+	// Thresholds maps run ID to the Υ-labeler discovered by its ramp.
+	Thresholds map[int]label.Labeler
+}
+
+// Generate executes the given Table 1 configurations (parallel partners
+// together) and returns the labeled dataset.
+func Generate(cfgs []RunConfig, opt GenOptions) (*Report, error) {
+	opt = opt.withDefaults()
+	rep := &Report{
+		Dataset:    &Dataset{Defs: opt.Catalog.CombinedDefs()},
+		Thresholds: make(map[int]label.Labeler),
+	}
+	for _, group := range PairGroups(cfgs) {
+		if err := generateGroup(group, opt, rep); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+// buildGroup assembles a fresh training host running every config of the
+// group under the given load patterns (one per config, aligned by index).
+func buildGroup(group []RunConfig, loads []workload.Pattern) (*apps.Engine, []*apps.App, error) {
+	c, err := cluster.New(apps.TrainingNode("train"))
+	if err != nil {
+		return nil, nil, err
+	}
+	var appList []*apps.App
+	for i, cfg := range group {
+		app, err := apps.Build(c, fmt.Sprintf("run%d", cfg.ID), loads[i], []apps.ServiceSpec{{
+			Name:       cfg.Service,
+			Node:       "train",
+			Profile:    cfg.Profile(),
+			Visit:      1,
+			CPULimit:   cfg.CPULimit,
+			MemLimitGB: cfg.MemLimitGB,
+		}})
+		if err != nil {
+			return nil, nil, fmt.Errorf("dataset: build run %d: %w", cfg.ID, err)
+		}
+		appList = append(appList, app)
+	}
+	eng, err := apps.NewEngine(c, appList...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return eng, appList, nil
+}
+
+func generateGroup(group []RunConfig, opt GenOptions, rep *Report) error {
+	// --- Phase 1: simultaneous linear ramps discover each run's Υ. ----
+	ramps := make([]workload.Pattern, len(group))
+	for i, cfg := range group {
+		from := cfg.MinRate / 10
+		if from < 1 {
+			from = 1
+		}
+		ramps[i] = workload.Ramp{From: from, To: cfg.MaxRate * 1.15, Duration: opt.RampSeconds}
+	}
+	eng, appList, err := buildGroup(group, ramps)
+	if err != nil {
+		return err
+	}
+	offered := make([][]float64, len(group))
+	observed := make([][]float64, len(group))
+	eng.Run(opt.RampSeconds, func(int) {
+		for i, a := range appList {
+			offered[i] = append(offered[i], a.KPI.Offered)
+			observed[i] = append(observed[i], a.KPI.Throughput)
+		}
+	})
+	for i, cfg := range group {
+		lab, _, err := label.DiscoverThreshold(offered[i], observed[i], label.Options{})
+		if err != nil {
+			return fmt.Errorf("dataset: threshold for run %d: %w", cfg.ID, err)
+		}
+		rep.Thresholds[cfg.ID] = lab
+	}
+
+	// --- Phase 2: measured run under the Table 1 traffic. -------------
+	loads := make([]workload.Pattern, len(group))
+	for i, cfg := range group {
+		loads[i] = cfg.Traffic(opt.Seed)
+	}
+	eng, appList, err = buildGroup(group, loads)
+	if err != nil {
+		return err
+	}
+	agent := pcp.NewAgent(pcp.NewCollector(opt.Catalog, opt.Seed+int64(group[0].ID)*1009))
+
+	for t := 0; t < opt.Duration; t++ {
+		eng.Tick()
+		obs, ok := agent.Observe(eng)
+		if !ok || t < opt.Warmup {
+			continue
+		}
+		for i, cfg := range group {
+			lab := rep.Thresholds[cfg.ID]
+			y := lab.Label(appList[i].KPI.Throughput)
+			for _, s := range appList[i].Services() {
+				for _, inst := range s.Instances() {
+					vec, present := obs.Vectors[inst.Ctr.ID]
+					if !present {
+						continue
+					}
+					rep.Dataset.Samples = append(rep.Dataset.Samples, Sample{
+						RunID:  cfg.ID,
+						T:      t,
+						Label:  y,
+						KPI:    appList[i].KPI.Throughput,
+						Values: vec,
+					})
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// BuildFunc constructs a fresh engine and target application under the
+// given load; used for ramp-based threshold discovery of evaluation apps.
+type BuildFunc func(load workload.Pattern) (*apps.Engine, *apps.App, error)
+
+// ThresholdFromRamp builds the application under a linear ramp up to
+// maxRate and discovers its saturation threshold Υ (§2.2, §4).
+func ThresholdFromRamp(build BuildFunc, maxRate float64, seconds int) (label.Labeler, error) {
+	if seconds < 20 {
+		seconds = 20
+	}
+	eng, app, err := build(workload.Ramp{From: maxRate / 100, To: maxRate, Duration: seconds})
+	if err != nil {
+		return label.Labeler{}, fmt.Errorf("dataset: ramp build: %w", err)
+	}
+	var offered, observed []float64
+	eng.Run(seconds, func(int) {
+		offered = append(offered, app.KPI.Offered)
+		observed = append(observed, app.KPI.Throughput)
+	})
+	lab, _, err := label.DiscoverThreshold(offered, observed, label.Options{})
+	if err != nil {
+		return label.Labeler{}, fmt.Errorf("dataset: ramp threshold: %w", err)
+	}
+	return lab, nil
+}

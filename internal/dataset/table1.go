@@ -1,0 +1,132 @@
+package dataset
+
+import (
+	"fmt"
+
+	"monitorless/internal/apps"
+	"monitorless/internal/workload"
+)
+
+// RunConfig is one row of the paper's Table 1.
+type RunConfig struct {
+	// ID is the Table 1 row number (1–25).
+	ID int
+	// Service is "solr", "memcache" or "cassandra".
+	Service string
+	// Mix is the YCSB mix (Cassandra only).
+	Mix workload.Mix
+	// CPULimit / MemLimitGB are the container limits (0 = unlimited).
+	CPULimit   float64
+	MemLimitGB float64
+	// Par is the partner run executed on the same host (0 = isolated).
+	Par int
+	// TrafficDesc matches the paper's Traffic column.
+	TrafficDesc string
+	// Bottleneck is the paper's expected limiting resource (informational).
+	Bottleneck string
+	// MinRate / MaxRate bound the offered load (requests/s).
+	MinRate, MaxRate float64
+	// sine selects the sin1000/sinnoise1000 shapes vs. stepped constants.
+	sine  bool
+	noise bool
+}
+
+// Profile returns the service profile for this run.
+func (rc RunConfig) Profile() apps.Profile {
+	switch rc.Service {
+	case "solr":
+		return apps.SolrProfile()
+	case "memcache":
+		return apps.MemcacheProfile()
+	case "cassandra":
+		return apps.CassandraProfile(rc.Mix)
+	default:
+		panic(fmt.Sprintf("dataset: unknown service %q", rc.Service))
+	}
+}
+
+// Traffic builds the run's load pattern. The seed decorrelates repeats.
+func (rc RunConfig) Traffic(seed int64) workload.Pattern {
+	switch {
+	case rc.sine && rc.noise:
+		return workload.SineNoise{
+			Sine: workload.Sine{Min: rc.MinRate, Max: rc.MaxRate, Period: 600},
+			Seed: seed + int64(rc.ID),
+		}
+	case rc.sine:
+		return workload.Sine{Min: rc.MinRate, Max: rc.MaxRate, Period: 600}
+	case rc.MinRate == rc.MaxRate:
+		return workload.NewJittered(workload.Constant{Rate: rc.MaxRate}, 0.05, seed+int64(rc.ID))
+	default:
+		levels := make([]float64, 6)
+		for i := range levels {
+			levels[i] = rc.MinRate + (rc.MaxRate-rc.MinRate)*float64(i)/5
+		}
+		// Visit the levels out of order so steps aren't one long ramp.
+		order := []int{0, 3, 1, 5, 2, 4}
+		shuffled := make([]float64, len(levels))
+		for i, j := range order {
+			shuffled[i] = levels[j]
+		}
+		return workload.NewJittered(workload.Steps{Levels: shuffled, StepLen: 100}, 0.05, seed+int64(rc.ID))
+	}
+}
+
+// Table1 returns the paper's 25 training configurations. Traffic ranges
+// follow the paper; parallel pairs (Par column) share a host.
+func Table1() []RunConfig {
+	return []RunConfig{
+		{ID: 1, Service: "solr", CPULimit: 3, TrafficDesc: "sin1000", Bottleneck: "Container-CPU", MinRate: 1, MaxRate: 1000, sine: true},
+		{ID: 2, Service: "solr", TrafficDesc: "sin1000", Bottleneck: "Host-CPU", MinRate: 1, MaxRate: 1000, sine: true},
+		{ID: 3, Service: "solr", MemLimitGB: 8, Par: 18, TrafficDesc: "sinnoise1000", Bottleneck: "IO-Bandwidth", MinRate: 1, MaxRate: 1000, sine: true, noise: true},
+		{ID: 4, Service: "solr", MemLimitGB: 8, Par: 19, TrafficDesc: "sinnoise1000", Bottleneck: "IO-Bandwidth", MinRate: 1, MaxRate: 1000, sine: true, noise: true},
+		{ID: 5, Service: "solr", CPULimit: 3, MemLimitGB: 8, Par: 20, TrafficDesc: "sinnoise1000", Bottleneck: "IO-Bandwidth", MinRate: 1, MaxRate: 1000, sine: true, noise: true},
+		{ID: 6, Service: "solr", CPULimit: 1.5, MemLimitGB: 8, Par: 22, TrafficDesc: "sinnoise1000", Bottleneck: "Container-CPU", MinRate: 1, MaxRate: 1000, sine: true, noise: true},
+		{ID: 7, Service: "memcache", TrafficDesc: "2K-50K R/s", Bottleneck: "Mem-Bandwidth", MinRate: 2000, MaxRate: 50000},
+		{ID: 8, Service: "memcache", CPULimit: 1, TrafficDesc: "20K-85K R/s", Bottleneck: "Container-CPU", MinRate: 20000, MaxRate: 85000},
+		{ID: 9, Service: "memcache", MemLimitGB: 8, TrafficDesc: "39K-45K R/s", Bottleneck: "IO-Queue", MinRate: 39000, MaxRate: 45000},
+		{ID: 10, Service: "memcache", MemLimitGB: 4, Par: 23, TrafficDesc: "10K-65K R/s", Bottleneck: "IO-Queue", MinRate: 10000, MaxRate: 65000},
+		{ID: 11, Service: "cassandra", Mix: workload.MixA, TrafficDesc: "A: 30K-100K R/s", Bottleneck: "Network-Util.", MinRate: 30000, MaxRate: 100000},
+		{ID: 12, Service: "cassandra", Mix: workload.MixB, TrafficDesc: "B: 20K-70K R/s", Bottleneck: "Host-CPU", MinRate: 20000, MaxRate: 70000},
+		{ID: 13, Service: "cassandra", Mix: workload.MixD, TrafficDesc: "D: 40K-90K R/s", Bottleneck: "Network-Util.", MinRate: 40000, MaxRate: 90000},
+		{ID: 14, Service: "cassandra", Mix: workload.MixA, CPULimit: 20, MemLimitGB: 30, TrafficDesc: "A: 300-1200 R/s", Bottleneck: "IO-Bandwidth", MinRate: 300, MaxRate: 1200},
+		{ID: 15, Service: "cassandra", Mix: workload.MixB, CPULimit: 20, MemLimitGB: 30, TrafficDesc: "B: 100-900 R/s", Bottleneck: "IO-Bandwidth", MinRate: 100, MaxRate: 900},
+		{ID: 16, Service: "cassandra", Mix: workload.MixB, CPULimit: 20, MemLimitGB: 30, TrafficDesc: "B: 700-1000 R/s", Bottleneck: "IO-Bandwidth", MinRate: 700, MaxRate: 1000},
+		{ID: 17, Service: "cassandra", Mix: workload.MixB, CPULimit: 20, MemLimitGB: 30, TrafficDesc: "B: 100-1000 R/s", Bottleneck: "IO-Bandwidth", MinRate: 100, MaxRate: 1000},
+		{ID: 18, Service: "cassandra", Mix: workload.MixA, CPULimit: 6, Par: 3, TrafficDesc: "A: 15K-25K R/s", Bottleneck: "Container-CPU", MinRate: 15000, MaxRate: 25000},
+		{ID: 19, Service: "cassandra", Mix: workload.MixB, CPULimit: 6, Par: 4, TrafficDesc: "B: 10K-15K R/s", Bottleneck: "Container-CPU", MinRate: 10000, MaxRate: 15000},
+		{ID: 20, Service: "cassandra", Mix: workload.MixD, CPULimit: 6, Par: 5, TrafficDesc: "D: 10K-25K R/s", Bottleneck: "Container-CPU", MinRate: 10000, MaxRate: 25000},
+		{ID: 21, Service: "cassandra", Mix: workload.MixA, CPULimit: 6, TrafficDesc: "A: 5K-20K R/s", Bottleneck: "Container-CPU", MinRate: 5000, MaxRate: 20000},
+		{ID: 22, Service: "cassandra", Mix: workload.MixB, CPULimit: 6, Par: 6, TrafficDesc: "B: 5K-20K R/s", Bottleneck: "Container-CPU", MinRate: 5000, MaxRate: 20000},
+		{ID: 23, Service: "cassandra", Mix: workload.MixB, CPULimit: 6, Par: 10, TrafficDesc: "B: 10K R/s", Bottleneck: "Container-CPU", MinRate: 10000, MaxRate: 10000},
+		{ID: 24, Service: "cassandra", Mix: workload.MixF, CPULimit: 1, TrafficDesc: "F: 200 R/s", Bottleneck: "IO-Wait", MinRate: 200, MaxRate: 200},
+		{ID: 25, Service: "cassandra", Mix: workload.MixF, CPULimit: 1, TrafficDesc: "F: 20 R/s", Bottleneck: "IO-Wait", MinRate: 20, MaxRate: 20},
+	}
+}
+
+// PairGroups partitions configs into execution groups: parallel partners
+// run together on one host; the rest run alone. Each group is keyed by the
+// smallest run ID it contains and returned in ascending order.
+func PairGroups(cfgs []RunConfig) [][]RunConfig {
+	byID := map[int]RunConfig{}
+	for _, c := range cfgs {
+		byID[c.ID] = c
+	}
+	done := map[int]bool{}
+	var groups [][]RunConfig
+	for _, c := range cfgs {
+		if done[c.ID] {
+			continue
+		}
+		group := []RunConfig{c}
+		done[c.ID] = true
+		if c.Par != 0 {
+			if p, ok := byID[c.Par]; ok && !done[p.ID] {
+				group = append(group, p)
+				done[p.ID] = true
+			}
+		}
+		groups = append(groups, group)
+	}
+	return groups
+}

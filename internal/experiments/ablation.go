@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"monitorless/internal/core"
+	"monitorless/internal/features"
+	"monitorless/internal/ml/score"
+	"monitorless/internal/ml/tree"
+)
+
+// AblationRow reports one pipeline/model variant of the ablation study:
+// how each §3.3 design choice contributes to the transfer quality the
+// paper demonstrates.
+type AblationRow struct {
+	// Name labels the variant.
+	Name string
+	// Features is the engineered feature count.
+	Features int
+	// TrainTime is the end-to-end fit cost.
+	TrainTime time.Duration
+	// ElggF1 / TeaStoreF1 are the lagged F1₂ scores on the two
+	// evaluation applications; ElggFN / TeaStoreFN the false negatives.
+	ElggF1, TeaStoreF1 float64
+	ElggFN, TeaStoreFN int
+}
+
+// ablationVariant describes one configuration mutation.
+type ablationVariant struct {
+	name   string
+	mutate func(cfg *core.TrainConfig)
+}
+
+// Ablation retrains the monitorless model under systematic configuration
+// mutations and scores each variant on the Elgg and TeaStore runs. The
+// "full" row is the paper's configuration and serves as the reference.
+func Ablation(ctx *Context, elgg, tea *EvalData) ([]AblationRow, error) {
+	variants := []ablationVariant{
+		{"full (paper)", func(*core.TrainConfig) {}},
+		{"threshold 0.5", func(c *core.TrainConfig) { c.Threshold = 0.5 }},
+		{"no normalization", func(c *core.TrainConfig) { c.Pipeline.Normalize = false }},
+		{"no time features", func(c *core.TrainConfig) { c.Pipeline.TimeFeatures = false }},
+		{"no products", func(c *core.TrainConfig) { c.Pipeline.Products = false }},
+		{"PCA second reduction", func(c *core.TrainConfig) { c.Pipeline.Reduce2 = features.ReducePCA }},
+		{"no second reduction", func(c *core.TrainConfig) { c.Pipeline.Reduce2 = features.ReduceNone }},
+		{"gini criterion", func(c *core.TrainConfig) { c.Forest.Criterion = tree.Gini }},
+		{"25 trees", func(c *core.TrainConfig) { c.Forest.NumTrees = 25 }},
+	}
+
+	var rows []AblationRow
+	for _, v := range variants {
+		cfg := ctx.Scale.TrainConfig()
+		v.mutate(&cfg)
+		start := time.Now()
+		m, err := core.Train(ctx.Report.Dataset, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: ablation %q: %w", v.name, err)
+		}
+		trainTime := time.Since(start)
+
+		scoreOn := func(data *EvalData) (score.Confusion, error) {
+			pred, _, err := data.ModelPredictions(m)
+			if err != nil {
+				return score.Confusion{}, err
+			}
+			return score.CountLagged(pred, data.Truth, Lag)
+		}
+		ec, err := scoreOn(elgg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: ablation %q elgg: %w", v.name, err)
+		}
+		tc, err := scoreOn(tea)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: ablation %q teastore: %w", v.name, err)
+		}
+		rows = append(rows, AblationRow{
+			Name:       v.name,
+			Features:   m.Pipeline.NumOutputs(),
+			TrainTime:  trainTime,
+			ElggF1:     ec.F1(),
+			ElggFN:     ec.FN,
+			TeaStoreF1: tc.F1(),
+			TeaStoreFN: tc.FN,
+		})
+	}
+	return rows, nil
+}
+
+// PrintAblation renders the ablation table.
+func PrintAblation(w io.Writer, rows []AblationRow) {
+	fmt.Fprintln(w, "Ablation: contribution of each design choice (F1_2 / FN_2)")
+	fmt.Fprintf(w, "  %-22s %9s %12s %12s %8s %12s %8s\n",
+		"Variant", "Features", "Train", "Elgg F1_2", "FN_2", "TeaStore F1_2", "FN_2")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-22s %9d %12s %12.3f %8d %12.3f %8d\n",
+			r.Name, r.Features, r.TrainTime.Round(time.Millisecond),
+			r.ElggF1, r.ElggFN, r.TeaStoreF1, r.TeaStoreFN)
+	}
+}

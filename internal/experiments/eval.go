@@ -1,0 +1,404 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"monitorless/internal/apps"
+	"monitorless/internal/cluster"
+	"monitorless/internal/core"
+	"monitorless/internal/dataset"
+	"monitorless/internal/features"
+	"monitorless/internal/label"
+	"monitorless/internal/ml"
+	"monitorless/internal/ml/score"
+	"monitorless/internal/pcp"
+	"monitorless/internal/workload"
+)
+
+// BuildTarget constructs a fresh engine and the target application under
+// the given load (interference apps, if any, are wired inside).
+type BuildTarget func(load workload.Pattern) (*apps.Engine, *apps.App, error)
+
+// EvalData is one evaluation run's raw material: per-instance metric
+// series, ground-truth labels, and the utilization series the threshold
+// baselines consume.
+type EvalData struct {
+	// Raw holds one features.Run per instance (run ID = instance index),
+	// rows aligned across instances tick by tick.
+	Raw *features.Table
+	// InstIDs maps run ID → container ID.
+	InstIDs []string
+	// ServiceOf maps container ID → service name.
+	ServiceOf map[string]string
+	// Truth is the per-tick application saturation label.
+	Truth []int
+	// Loads / RTs are the per-tick offered load and end-to-end RT.
+	Loads, RTs []float64
+	// Times records the simulation second of each row.
+	Times []int
+	// CPUUtil / MemUtil are per-instance utilization series (percent).
+	CPUUtil, MemUtil map[string][]float64
+	// Threshold is the ramp-discovered labeler.
+	Threshold label.Labeler
+}
+
+// CollectOptions configures an evaluation run.
+type CollectOptions struct {
+	// MaxRate bounds the threshold-discovery ramp.
+	MaxRate float64
+	// Duration is the measured seconds; RampSeconds sizes the ramp.
+	Duration, RampSeconds int
+	// Record filters which ticks are kept (nil = all after warmup).
+	Record func(t int) bool
+	// Warmup skips leading ticks (default 5).
+	Warmup int
+	// Seed drives the metric collector.
+	Seed int64
+}
+
+// CollectEval runs the §4 evaluation protocol: discover the application's
+// saturation threshold with a linear ramp, then run the real workload and
+// record per-instance platform vectors plus ground-truth labels.
+func CollectEval(build BuildTarget, load workload.Pattern, opt CollectOptions) (*EvalData, error) {
+	if opt.Warmup <= 0 {
+		opt.Warmup = 5
+	}
+	if opt.RampSeconds <= 0 {
+		opt.RampSeconds = 300
+	}
+	lab, err := dataset.ThresholdFromRamp(func(l workload.Pattern) (*apps.Engine, *apps.App, error) {
+		return build(l)
+	}, opt.MaxRate, opt.RampSeconds)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: ramp: %w", err)
+	}
+
+	eng, target, err := build(load)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: build: %w", err)
+	}
+	cat := pcp.DefaultCatalog()
+	agent := pcp.NewAgent(pcp.NewCollector(cat, opt.Seed))
+
+	// Fixed instance set, sorted for determinism.
+	var ids []string
+	serviceOf := map[string]string{}
+	for _, s := range target.Services() {
+		for _, inst := range s.Instances() {
+			ids = append(ids, inst.Ctr.ID)
+			serviceOf[inst.Ctr.ID] = s.Name
+		}
+	}
+	sort.Strings(ids)
+
+	cols := make([]features.Column, 0)
+	defs := cat.CombinedDefs()
+	for _, d := range defs {
+		cols = append(cols, features.Column{
+			Name:   d.Name,
+			Domain: string(d.Domain),
+			Util:   d.Kind.IsUtilization(),
+			Log:    d.LogScale,
+		})
+	}
+
+	data := &EvalData{
+		Raw:       &features.Table{Cols: cols},
+		InstIDs:   ids,
+		ServiceOf: serviceOf,
+		CPUUtil:   map[string][]float64{},
+		MemUtil:   map[string][]float64{},
+		Threshold: lab,
+	}
+	for i := range ids {
+		data.Raw.Runs = append(data.Raw.Runs, features.Run{ID: i})
+	}
+
+	instOf := map[string]*apps.Instance{}
+	for _, s := range target.Services() {
+		for _, inst := range s.Instances() {
+			instOf[inst.Ctr.ID] = inst
+		}
+	}
+
+	for t := 0; t < opt.Duration; t++ {
+		eng.Tick()
+		obs, ok := agent.Observe(eng)
+		if !ok || t < opt.Warmup {
+			continue
+		}
+		if opt.Record != nil && !opt.Record(t) {
+			continue
+		}
+		complete := true
+		for _, id := range ids {
+			if obs.Vectors[id] == nil {
+				complete = false
+				break
+			}
+		}
+		if !complete {
+			continue
+		}
+		// The threshold baselines consume the *monitored* relative
+		// utilizations (C-CPU-U, S-MEM-U), exactly what a production
+		// threshold rule would read — measurement noise included.
+		cpuIdx := cat.NumHost() + cat.ContainerIndex("C-CPU-U")
+		memIdx := cat.NumHost() + cat.ContainerIndex("S-MEM-U")
+		for i, id := range ids {
+			vec := obs.Vectors[id]
+			data.Raw.Runs[i].Rows = append(data.Raw.Runs[i].Rows, vec)
+			data.CPUUtil[id] = append(data.CPUUtil[id], vec[cpuIdx])
+			data.MemUtil[id] = append(data.MemUtil[id], vec[memIdx])
+		}
+		data.Truth = append(data.Truth, lab.Label(target.KPI.Throughput))
+		data.Loads = append(data.Loads, target.KPI.Offered)
+		data.RTs = append(data.RTs, target.KPI.AvgRT)
+		data.Times = append(data.Times, t)
+	}
+	if len(data.Truth) == 0 {
+		return nil, fmt.Errorf("experiments: evaluation recorded no samples")
+	}
+	return data, nil
+}
+
+// Samples returns the recorded tick count.
+func (e *EvalData) Samples() int { return len(e.Truth) }
+
+// SaturatedFraction is the positive share of the ground truth.
+func (e *EvalData) SaturatedFraction() float64 {
+	n := 0
+	for _, y := range e.Truth {
+		n += y
+	}
+	return float64(n) / float64(len(e.Truth))
+}
+
+// ModelPredictions classifies every instance with the monitorless model
+// and aggregates per tick with the paper's logical OR. It returns the
+// aggregated series and the per-instance prediction series.
+func (e *EvalData) ModelPredictions(m *core.Model) (appPred []int, perInst map[string][]int, err error) {
+	preds, _, err := m.PredictTable(e.Raw)
+	if err != nil {
+		return nil, nil, err
+	}
+	return e.aggregate(preds)
+}
+
+// ClassifierPredictions runs an arbitrary classifier over the engineered
+// features of a fitted pipeline (the Table 3 comparison path).
+func (e *EvalData) ClassifierPredictions(pipe *features.Pipeline, clf ml.Classifier) ([]int, error) {
+	engineered, err := pipe.Transform(e.Raw)
+	if err != nil {
+		return nil, err
+	}
+	preds := map[int][]int{}
+	for ri := range engineered.Runs {
+		run := &engineered.Runs[ri]
+		ps := make([]int, len(run.Rows))
+		for j, row := range run.Rows {
+			ps[j] = clf.Predict(row)
+		}
+		preds[run.ID] = ps
+	}
+	app, _, err := e.aggregate(preds)
+	return app, err
+}
+
+// aggregate ORs per-instance series into the application series.
+func (e *EvalData) aggregate(preds map[int][]int) ([]int, map[string][]int, error) {
+	n := len(e.Truth)
+	app := make([]int, n)
+	perInst := make(map[string][]int, len(e.InstIDs))
+	for i, id := range e.InstIDs {
+		series := preds[i]
+		if len(series) != n {
+			return nil, nil, fmt.Errorf("experiments: instance %s has %d predictions for %d ticks", id, len(series), n)
+		}
+		perInst[id] = series
+		for t, p := range series {
+			if p == 1 {
+				app[t] = 1
+			}
+		}
+	}
+	return app, perInst, nil
+}
+
+// BaselineMode selects a threshold baseline.
+type BaselineMode int
+
+// Baseline modes from §4: single-resource thresholds and their
+// disjunctive/conjunctive combinations.
+const (
+	BaselineCPU BaselineMode = iota
+	BaselineMem
+	BaselineCPUOrMem
+	BaselineCPUAndMem
+)
+
+// String implements fmt.Stringer.
+func (b BaselineMode) String() string {
+	switch b {
+	case BaselineCPU:
+		return "CPU"
+	case BaselineMem:
+		return "MEM"
+	case BaselineCPUOrMem:
+		return "CPU-OR-MEM"
+	case BaselineCPUAndMem:
+		return "CPU-AND-MEM"
+	default:
+		return fmt.Sprintf("BaselineMode(%d)", int(b))
+	}
+}
+
+// ThresholdPredictions evaluates a static-threshold rule: an instance is
+// saturated when its utilization crosses the threshold(s); the app is the
+// OR over instances.
+func (e *EvalData) ThresholdPredictions(mode BaselineMode, cpuThr, memThr float64) []int {
+	n := len(e.Truth)
+	out := make([]int, n)
+	for _, id := range e.InstIDs {
+		cpu := e.CPUUtil[id]
+		mem := e.MemUtil[id]
+		for t := 0; t < n; t++ {
+			fire := false
+			switch mode {
+			case BaselineCPU:
+				fire = cpu[t] >= cpuThr
+			case BaselineMem:
+				fire = mem[t] >= memThr
+			case BaselineCPUOrMem:
+				fire = cpu[t] >= cpuThr || mem[t] >= memThr
+			case BaselineCPUAndMem:
+				fire = cpu[t] >= cpuThr && mem[t] >= memThr
+			}
+			if fire {
+				out[t] = 1
+			}
+		}
+	}
+	return out
+}
+
+// OptimizedBaseline searches the single-resource threshold that maximizes
+// F1₂ against the ground truth — the paper's deliberately unfair
+// a-posteriori tuning ("the best possible outcome for threshold-based
+// approaches"). Only BaselineCPU and BaselineMem are searchable; the
+// paper's OR/AND combos reuse the single-resource optima (see
+// CombineBaseline).
+func (e *EvalData) OptimizedBaseline(mode BaselineMode, lag int) (thr float64, conf score.Confusion) {
+	best := score.Confusion{}
+	bestF1 := -1.0
+	// CPU rules are tuned at 1% granularity (the paper reports 97%, 99%);
+	// memory rules at the 5% granularity an operator would configure —
+	// finer steps only chase measurement-noise tails around the static
+	// JVM heap level.
+	step := 1.0
+	if mode == BaselineMem {
+		step = 5.0
+	}
+	for t := step; t <= 100; t += step {
+		var pred []int
+		switch mode {
+		case BaselineCPU:
+			pred = e.ThresholdPredictions(BaselineCPU, t, 0)
+		case BaselineMem:
+			pred = e.ThresholdPredictions(BaselineMem, 0, t)
+		default:
+			return 0, best
+		}
+		c, err := score.CountLagged(pred, e.Truth, lag)
+		if err != nil {
+			continue
+		}
+		// Ties break toward the higher threshold (the paper reports the
+		// upper end of flat optima, e.g. "MEM (90%)" when every lower
+		// threshold fires identically).
+		if f := c.F1(); f >= bestF1 {
+			bestF1 = f
+			best = c
+			thr = t
+		}
+	}
+	return thr, best
+}
+
+// CombineBaseline evaluates the OR/AND combination at the given (already
+// optimized) single-resource thresholds, as the paper constructs them.
+func (e *EvalData) CombineBaseline(mode BaselineMode, cpuThr, memThr float64, lag int) (score.Confusion, error) {
+	pred := e.ThresholdPredictions(mode, cpuThr, memThr)
+	return score.CountLagged(pred, e.Truth, lag)
+}
+
+// --- Standard application builders (§4 setups). -----------------------
+
+// BuildElgg returns the §4.1 three-tier builder: Elgg + InnoDB + Memcache
+// on one training-class host.
+func BuildElgg() BuildTarget {
+	return func(load workload.Pattern) (*apps.Engine, *apps.App, error) {
+		c, err := cluster.New(apps.TrainingNode("host"))
+		if err != nil {
+			return nil, nil, err
+		}
+		app, err := apps.NewElgg(c, "host", load)
+		if err != nil {
+			return nil, nil, err
+		}
+		eng, err := apps.NewEngine(c, app)
+		if err != nil {
+			return nil, nil, err
+		}
+		return eng, app, nil
+	}
+}
+
+// BuildTeaStore returns the §4.2 multi-tenant builder with TeaStore as the
+// target and Sockshop as co-located interference.
+func BuildTeaStore(interferenceRate float64, seed int64) BuildTarget {
+	return func(load workload.Pattern) (*apps.Engine, *apps.App, error) {
+		c, err := cluster.New(apps.EvalNodes()...)
+		if err != nil {
+			return nil, nil, err
+		}
+		tea, err := apps.NewTeaStore(c, load)
+		if err != nil {
+			return nil, nil, err
+		}
+		shop, err := apps.NewSockshop(c, workload.NewJittered(workload.Constant{Rate: interferenceRate}, 0.15, seed))
+		if err != nil {
+			return nil, nil, err
+		}
+		eng, err := apps.NewEngine(c, tea, shop)
+		if err != nil {
+			return nil, nil, err
+		}
+		return eng, tea, nil
+	}
+}
+
+// BuildSockshop returns the §4.2.3 builder with Sockshop as the target and
+// TeaStore as interference.
+func BuildSockshop(interferenceRate float64, seed int64) BuildTarget {
+	return func(load workload.Pattern) (*apps.Engine, *apps.App, error) {
+		c, err := cluster.New(apps.EvalNodes()...)
+		if err != nil {
+			return nil, nil, err
+		}
+		shop, err := apps.NewSockshop(c, load)
+		if err != nil {
+			return nil, nil, err
+		}
+		tea, err := apps.NewTeaStore(c, workload.NewJittered(workload.Constant{Rate: interferenceRate}, 0.15, seed))
+		if err != nil {
+			return nil, nil, err
+		}
+		eng, err := apps.NewEngine(c, shop, tea)
+		if err != nil {
+			return nil, nil, err
+		}
+		return eng, shop, nil
+	}
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"monitorless/internal/core"
+)
+
+// PrintTable1 renders the training-run summary.
+func PrintTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintln(w, "Table 1: training datasets (generated)")
+	fmt.Fprintf(w, "%3s  %-10s %-18s %-14s %8s %6s %12s %4s\n",
+		"#", "Service", "Traffic", "Bottleneck", "Samples", "Sat%", "Υ", "Par")
+	for _, r := range rows {
+		thr := fmt.Sprintf("%.1f", r.ThresholdY)
+		if r.NeverSat {
+			thr = "-"
+		}
+		par := ""
+		if r.ParallelRun != 0 {
+			par = fmt.Sprintf("%d", r.ParallelRun)
+		}
+		fmt.Fprintf(w, "%3d  %-10s %-18s %-14s %8d %5.1f%% %12s %4s\n",
+			r.ID, r.Service, r.Traffic, r.Bottleneck, r.Samples, 100*r.Saturated, thr, par)
+	}
+}
+
+// PrintTable2 renders the grid-search outcome.
+func PrintTable2(w io.Writer, rows []Table2Row) {
+	fmt.Fprintln(w, "Table 2: hyper-parameter grid search (grouped 5-fold CV)")
+	for _, r := range rows {
+		keys := make([]string, 0, len(r.BestParams))
+		for k := range r.BestParams {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var parts []string
+		for _, k := range keys {
+			parts = append(parts, fmt.Sprintf("%s=%v", k, r.BestParams[k]))
+		}
+		fmt.Fprintf(w, "  %-20s meanF1=%.3f (%d configs)  best: %s\n",
+			r.Algorithm, r.MeanF1, r.Evaluated, strings.Join(parts, ", "))
+	}
+}
+
+// PrintTable3 renders the algorithm comparison.
+func PrintTable3(w io.Writer, rows []Table3Row) {
+	fmt.Fprintln(w, "Table 3: performance of the applied algorithms")
+	fmt.Fprintf(w, "  %-20s %14s %14s %8s\n", "Algorithm", "Training Time", "Class. Time", "F1_2")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-20s %14s %14s %8.3f\n",
+			r.Algorithm, r.TrainTime.Round(1e6), r.ClassifyTime, r.F1)
+	}
+}
+
+// PrintTable4 renders the feature-importance ranking.
+func PrintTable4(w io.Writer, rows []core.FeatureImportance) {
+	fmt.Fprintln(w, "Table 4: top features by random-forest importance")
+	for i, r := range rows {
+		fmt.Fprintf(w, "  %2d. %-60s %.4f\n", i+1, r.Name, r.Importance)
+	}
+}
+
+// PrintEvalTable renders a Table 5/6/8-style comparison.
+func PrintEvalTable(w io.Writer, t *EvalTable) {
+	fmt.Fprintf(w, "%s  (%d samples, %.1f%% saturated)\n", t.Title, t.Samples, 100*t.SaturatedFrac)
+	fmt.Fprintf(w, "  %-22s %6s %6s %6s %6s %8s %8s\n", "Algorithm", "TN_2", "FP_2", "FN_2", "TP_2", "F1_2", "Acc_2")
+	for _, r := range t.Rows {
+		c := r.Confusion
+		fmt.Fprintf(w, "  %-22s %6d %6d %6d %6d %8.3f %8.3f\n",
+			r.Name, c.TN, c.FP, c.FN, c.TP, c.F1(), c.Accuracy())
+	}
+}
+
+// PrintTable7 renders the autoscaling comparison.
+func PrintTable7(w io.Writer, rows []Table7Row) {
+	fmt.Fprintln(w, "Table 7: autoscaling on the TeaStore deployment")
+	fmt.Fprintf(w, "  %-28s %18s %14s %10s\n", "Algorithm", "Provisioning (Avg)", "SLO viol. (#)", "ScaleOuts")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-28s %17.1f%% %14d %10d\n", r.Policy, r.ProvisioningPct, r.SLOViolations, r.ScaleOuts)
+	}
+}
+
+// PrintFigure2 renders the labeling walk-through as a text summary plus a
+// CSV-like series suitable for plotting.
+func PrintFigure2(w io.Writer, f *Figure2Data, series bool) {
+	fmt.Fprintf(w, "Figure 2: knee at load=%.1f req/s, KPI=%.1f; threshold Υ=%.1f\n", f.KneeX, f.KneeY, f.ThresholdY)
+	if !series {
+		return
+	}
+	fmt.Fprintln(w, "load,observed,smoothed,difference")
+	for i := range f.Loads {
+		fmt.Fprintf(w, "%.2f,%.2f,%.2f,%.4f\n", f.Loads[i], f.Observed[i], f.Smoothed[i], f.Difference[i])
+	}
+}
+
+// PrintFigure3 renders the per-service marker series.
+func PrintFigure3(w io.Writer, f *Figure3Data, series bool) {
+	fmt.Fprintln(w, "Figure 3: per-service predictions over the TeaStore run")
+	for _, svc := range f.Services {
+		var tp, fp, fn int
+		for _, d := range f.Dots[svc] {
+			switch d.Kind {
+			case DotTP:
+				tp++
+			case DotFP:
+				fp++
+			default:
+				fn++
+			}
+		}
+		fmt.Fprintf(w, "  %-16s TP=%-5d FP=%-5d FN=%d\n", svc, tp, fp, fn)
+	}
+	if !series {
+		return
+	}
+	fmt.Fprintln(w, "t,load,rt,service,kind")
+	for _, svc := range f.Services {
+		for _, d := range f.Dots[svc] {
+			fmt.Fprintf(w, "%d,%.1f,%.3f,%s,%s\n", f.Times[d.T], f.Load[d.T], f.RT[d.T], svc, d.Kind)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"monitorless/internal/core"
+	"monitorless/internal/ml/score"
+)
+
+func TestPrintTable2(t *testing.T) {
+	var buf bytes.Buffer
+	PrintTable2(&buf, []Table2Row{
+		{Algorithm: "Random Forest", BestParams: map[string]any{"criterion": "entropy", "n_estimators": 250}, MeanF1: 0.93, Evaluated: 12},
+	})
+	out := buf.String()
+	for _, frag := range []string{"Random Forest", "meanF1=0.930", "criterion=entropy", "12 configs"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestPrintTable3(t *testing.T) {
+	var buf bytes.Buffer
+	PrintTable3(&buf, []Table3Row{
+		{Algorithm: "SVC", TrainTime: 837800 * time.Millisecond, ClassifyTime: 200 * time.Microsecond, F1: 0.579},
+	})
+	out := buf.String()
+	if !strings.Contains(out, "SVC") || !strings.Contains(out, "0.579") {
+		t.Errorf("Table 3 output malformed:\n%s", out)
+	}
+}
+
+func TestPrintTable7(t *testing.T) {
+	var buf bytes.Buffer
+	PrintTable7(&buf, []Table7Row{
+		{Policy: "monitorless", SLOViolations: 7, ProvisioningPct: 10, ScaleOuts: 9},
+	})
+	out := buf.String()
+	for _, frag := range []string{"monitorless", "10.0%", "7"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Table 7 output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestPrintEvalTableFormatsConfusion(t *testing.T) {
+	var buf bytes.Buffer
+	PrintEvalTable(&buf, &EvalTable{
+		Title:         "Table X",
+		Samples:       100,
+		SaturatedFrac: 0.25,
+		Rows: []EvalRow{
+			{Name: "CPU (95%)", Confusion: score.Confusion{TN: 70, FP: 5, FN: 5, TP: 20}},
+		},
+	})
+	out := buf.String()
+	for _, frag := range []string{"Table X", "25.0% saturated", "CPU (95%)", "0.800", "0.900"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestPrintFigure3Series(t *testing.T) {
+	fig := &Figure3Data{
+		Times:    []int{10, 11},
+		Load:     []float64{100, 200},
+		RT:       []float64{0.1, 2.5},
+		Services: []string{"auth", "APP"},
+		Dots: map[string][]Dot{
+			"auth": {{T: 0, Kind: DotTP}, {T: 1, Kind: DotFP}},
+			"APP":  {{T: 1, Kind: DotFN}},
+		},
+	}
+	var buf bytes.Buffer
+	PrintFigure3(&buf, fig, true)
+	out := buf.String()
+	for _, frag := range []string{"auth", "TP=1", "FP=1", "FN=1", "t,load,rt,service,kind", "11,200.0,2.500,APP,FN"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestPrintAblation(t *testing.T) {
+	var buf bytes.Buffer
+	PrintAblation(&buf, []AblationRow{
+		{Name: "full (paper)", Features: 247, TrainTime: 20 * time.Second, ElggF1: 0.991, TeaStoreF1: 0.653},
+	})
+	out := buf.String()
+	for _, frag := range []string{"full (paper)", "247", "0.991", "0.653"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestPrintTable4FromModel(t *testing.T) {
+	var buf bytes.Buffer
+	PrintTable4(&buf, []core.FeatureImportance{{Name: "C-CPU-U × C-CPU-HIGH", Importance: 0.12}})
+	if !strings.Contains(buf.String(), "C-CPU-U × C-CPU-HIGH") {
+		t.Errorf("Table 4 output malformed:\n%s", buf.String())
+	}
+}

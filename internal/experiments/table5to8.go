@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"fmt"
+
+	"monitorless/internal/apps"
+	"monitorless/internal/autoscale"
+	"monitorless/internal/ml/score"
+	"monitorless/internal/workload"
+)
+
+// Lag is the paper's evaluation lag k=2 (§4).
+const Lag = 2
+
+// EvalRow is one row of Tables 5/6/8.
+type EvalRow struct {
+	// Name labels the approach ("CPU (97%)", "monitorless", ...).
+	Name string
+	// CPUThr / MemThr are the a-posteriori optimal thresholds (percent),
+	// zero when unused.
+	CPUThr, MemThr float64
+	// Confusion carries TN₂ FP₂ FN₂ TP₂ and derives F1₂/Acc₂.
+	Confusion score.Confusion
+}
+
+// EvalTable is one full baselines-vs-monitorless comparison.
+type EvalTable struct {
+	Title         string
+	Rows          []EvalRow
+	Samples       int
+	SaturatedFrac float64
+}
+
+// buildEvalTable scores the four optimally-tuned threshold baselines and
+// the monitorless model on one evaluation run.
+func buildEvalTable(ctx *Context, title string, data *EvalData) (*EvalTable, map[string][]int, error) {
+	table := &EvalTable{
+		Title:         title,
+		Samples:       data.Samples(),
+		SaturatedFrac: data.SaturatedFraction(),
+	}
+	cpuThr, cpuConf := data.OptimizedBaseline(BaselineCPU, Lag)
+	memThr, memConf := data.OptimizedBaseline(BaselineMem, Lag)
+	table.Rows = append(table.Rows,
+		EvalRow{Name: fmt.Sprintf("CPU (%.0f%%)", cpuThr), CPUThr: cpuThr, Confusion: cpuConf},
+		EvalRow{Name: fmt.Sprintf("MEM (%.0f%%)", memThr), MemThr: memThr, Confusion: memConf},
+	)
+	// The paper's combinations reuse the single-resource optima.
+	for _, mode := range []BaselineMode{BaselineCPUOrMem, BaselineCPUAndMem} {
+		conf, err := data.CombineBaseline(mode, cpuThr, memThr, Lag)
+		if err != nil {
+			return nil, nil, err
+		}
+		table.Rows = append(table.Rows, EvalRow{Name: mode.String(), CPUThr: cpuThr, MemThr: memThr, Confusion: conf})
+	}
+	pred, perInst, err := data.ModelPredictions(ctx.Model)
+	if err != nil {
+		return nil, nil, err
+	}
+	conf, err := score.CountLagged(pred, data.Truth, Lag)
+	if err != nil {
+		return nil, nil, err
+	}
+	table.Rows = append(table.Rows, EvalRow{Name: "monitorless", Confusion: conf})
+	return table, perInst, nil
+}
+
+// ElggLoad is the §4.1 workload: sinnoise1000 scaled to 1/10 intensity.
+func ElggLoad(seed int64) workload.Pattern {
+	return workload.SineNoise{
+		Sine: workload.Sine{Min: 0.5, Max: 100, Period: 600},
+		Seed: seed,
+	}
+}
+
+// CollectElgg runs the §4.1 three-tier evaluation.
+func CollectElgg(ctx *Context) (*EvalData, error) {
+	return CollectEval(BuildElgg(), ElggLoad(ctx.Scale.Seed+5), CollectOptions{
+		MaxRate:     130,
+		Duration:    ctx.Scale.ElggDuration,
+		RampSeconds: ctx.Scale.RampSeconds,
+		Seed:        ctx.Scale.Seed + 51,
+	})
+}
+
+// Table5 evaluates the three-tier web application (§4.1).
+func Table5(ctx *Context, data *EvalData) (*EvalTable, error) {
+	t, _, err := buildEvalTable(ctx, "Table 5: three-tier web application (Elgg)", data)
+	return t, err
+}
+
+// TeaStoreBase is the cloud-trace mean rate used for the §4.2 TeaStore run.
+const TeaStoreBase = 135
+
+// SockshopInterferenceRate is the constant Sockshop load applied while
+// TeaStore is the measurement target.
+const SockshopInterferenceRate = 60
+
+// CollectTeaStore runs the §4.2 multi-tenant TeaStore evaluation.
+func CollectTeaStore(ctx *Context) (*EvalData, error) {
+	return CollectEval(
+		BuildTeaStore(SockshopInterferenceRate, ctx.Scale.Seed+7),
+		apps.TeaStoreLoad(TeaStoreBase, ctx.Scale.Seed+9),
+		CollectOptions{
+			MaxRate:     400,
+			Duration:    ctx.Scale.TeaStoreDuration,
+			RampSeconds: ctx.Scale.RampSeconds,
+			Seed:        ctx.Scale.Seed + 52,
+		})
+}
+
+// Table6 evaluates TeaStore and returns the per-instance predictions that
+// Figure 3 visualizes.
+func Table6(ctx *Context, data *EvalData) (*EvalTable, map[string][]int, error) {
+	return buildEvalTable(ctx, "Table 6: TeaStore (multi-tenant)", data)
+}
+
+// TeaStoreInterferenceRate is the constant TeaStore load applied while
+// Sockshop is the measurement target.
+const TeaStoreInterferenceRate = 60
+
+// SockshopRatePerUser converts Locust users into requests/s.
+const SockshopRatePerUser = 0.27
+
+// CollectSockshop runs the §4.2.3 Sockshop evaluation: three Locust runs,
+// recording only their 1000-second windows (the paper's 3×999 samples).
+func CollectSockshop(ctx *Context) (*EvalData, error) {
+	f := ctx.Scale.SockshopScale
+	if f <= 0 {
+		f = 1
+	}
+	scale := func(v int) int { return int(float64(v) * f) }
+	starts := []int{scale(1000), scale(3000), scale(5000)}
+	hatch, hold := scale(700), scale(300)
+	load := workload.NewJittered(workload.Sum{
+		workload.LocustHatch{MaxUsers: 700, RatePerUser: SockshopRatePerUser, Start: starts[0], HatchDuration: hatch, HoldDuration: hold},
+		workload.LocustHatch{MaxUsers: 700, RatePerUser: SockshopRatePerUser, Start: starts[1], HatchDuration: hatch, HoldDuration: hold},
+		workload.LocustHatch{MaxUsers: 700, RatePerUser: SockshopRatePerUser, Start: starts[2], HatchDuration: hatch, HoldDuration: hold},
+	}, 0.08, ctx.Scale.Seed+13)
+	record := func(t int) bool {
+		for _, s := range starts {
+			if t >= s && t < s+hatch+hold {
+				return true
+			}
+		}
+		return false
+	}
+	return CollectEval(
+		BuildSockshop(TeaStoreInterferenceRate, ctx.Scale.Seed+11),
+		load,
+		CollectOptions{
+			MaxRate:     300,
+			Duration:    scale(6000) + 10,
+			RampSeconds: ctx.Scale.RampSeconds,
+			Record:      record,
+			Seed:        ctx.Scale.Seed + 53,
+		})
+}
+
+// Table8 evaluates Sockshop (§4.2.3).
+func Table8(ctx *Context, data *EvalData) (*EvalTable, error) {
+	t, _, err := buildEvalTable(ctx, "Table 8: Sockshop (multi-tenant)", data)
+	return t, err
+}
+
+// Table7Row mirrors the autoscaling comparison rows.
+type Table7Row = autoscale.Result
+
+// Table7 runs the §4.2.2 autoscaling study on the TeaStore deployment:
+// each policy gets a fresh environment under the same workload; thresholds
+// for the baseline scalers come from the Table 6 a-posteriori optimization.
+func Table7(ctx *Context, table6 *EvalTable) ([]Table7Row, error) {
+	// Extract the optimized thresholds from Table 6.
+	var cpuThr, memThr, orCPU, orMem, andCPU, andMem float64
+	for _, row := range table6.Rows {
+		switch {
+		case row.Name == "CPU-OR-MEM":
+			orCPU, orMem = row.CPUThr, row.MemThr
+		case row.Name == "CPU-AND-MEM":
+			andCPU, andMem = row.CPUThr, row.MemThr
+		case len(row.Name) >= 3 && row.Name[:3] == "CPU":
+			cpuThr = row.CPUThr
+		case len(row.Name) >= 3 && row.Name[:3] == "MEM":
+			memThr = row.MemThr
+		}
+	}
+
+	scalers := []struct {
+		s         autoscale.Scaler
+		withModel bool
+	}{
+		{&autoscale.ThresholdScaler{Label: fmt.Sprintf("A-posteriori CPU (%.0f%%)", cpuThr), UseCPU: true, CPUThr: cpuThr}, false},
+		{&autoscale.ThresholdScaler{Label: fmt.Sprintf("A-posteriori MEM (%.0f%%)", memThr), UseMem: true, MemThr: memThr}, false},
+		{&autoscale.ThresholdScaler{Label: "CPU-OR-MEM", UseCPU: true, UseMem: true, CPUThr: orCPU, MemThr: orMem}, false},
+		{&autoscale.ThresholdScaler{Label: "CPU-AND-MEM", UseCPU: true, UseMem: true, And: true, CPUThr: andCPU, MemThr: andMem}, false},
+		{autoscale.MonitorlessScaler{}, true},
+		{autoscale.NoScaling{}, false},
+		{&autoscale.RTScaler{SLO: 0.75, Services: []string{"recommender", "auth"}}, false},
+	}
+
+	build := func() (*autoscale.Env, error) {
+		eng, tea, err := BuildTeaStore(SockshopInterferenceRate, ctx.Scale.Seed+7)(apps.TeaStoreLoad(TeaStoreBase, ctx.Scale.Seed+9))
+		if err != nil {
+			return nil, err
+		}
+		return &autoscale.Env{Engine: eng, Target: tea, Cluster: eng.Cluster()}, nil
+	}
+
+	opt := autoscale.Options{
+		Duration:        ctx.Scale.AutoscaleDuration,
+		ReplicaLifespan: 120,
+		SLORt:           0.75,
+		SLOFailFrac:     0.10,
+		Couple:          [][]string{{"recommender", "auth"}},
+		Seed:            ctx.Scale.Seed + 54,
+	}
+
+	var rows []Table7Row
+	for _, sc := range scalers {
+		model := ctx.Model
+		if !sc.withModel {
+			model = nil
+		}
+		res, err := autoscale.Simulate(build, sc.s, model, opt)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table7 %s: %w", sc.s.Name(), err)
+		}
+		rows = append(rows, res)
+	}
+	return rows, nil
+}

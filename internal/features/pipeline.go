@@ -1,0 +1,284 @@
+package features
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+)
+
+// ReduceKind selects a reduction step (§3.3.7 steps 3 and 5).
+type ReduceKind string
+
+// Reduction options.
+const (
+	ReduceNone   ReduceKind = "none"
+	ReduceFilter ReduceKind = "filter"
+	ReducePCA    ReduceKind = "pca"
+)
+
+// Config declares a pipeline layout over the §3.3.7 grid axes.
+type Config struct {
+	// Normalize enables the StandardScaler step (step 2).
+	Normalize bool
+	// Reduce1 is the first reduction (step 3).
+	Reduce1 ReduceKind
+	// TimeFeatures enables X-AVG/X-LAG variants (step 4).
+	TimeFeatures bool
+	// Products enables multiplicative combinations (step 4).
+	Products bool
+	// Reduce2 is the second reduction (step 5).
+	Reduce2 ReduceKind
+	// FilterTopK is the per-run importance cut for filter reductions
+	// (paper: 30).
+	FilterTopK int
+	// FilterTrees bounds the per-run filter forests (default 20).
+	FilterTrees int
+	// PCAMax / PCAVariance configure PCA reductions (paper: 50 / 99.99%).
+	PCAMax      int
+	PCAVariance float64
+	// Seed makes the pipeline deterministic.
+	Seed int64
+}
+
+// Validate rejects the combination the paper excludes as unfeasible:
+// multiplicative expansion without a prior reduction (§3.3.7).
+func (c Config) Validate() error {
+	if c.Products && (c.Reduce1 == ReduceNone || c.Reduce1 == "") {
+		return fmt.Errorf("features: products without a first reduction explode the feature space (excluded by the paper)")
+	}
+	for _, r := range []ReduceKind{c.Reduce1, c.Reduce2} {
+		switch r {
+		case "", ReduceNone, ReduceFilter, ReducePCA:
+		default:
+			return fmt.Errorf("features: unknown reduction %q", r)
+		}
+	}
+	return nil
+}
+
+// DefaultConfig is the layout the paper's grid search selects: normalize,
+// filter, time+products, filter again.
+func DefaultConfig() Config {
+	return Config{
+		Normalize:    true,
+		Reduce1:      ReduceFilter,
+		TimeFeatures: true,
+		Products:     true,
+		Reduce2:      ReduceFilter,
+		FilterTopK:   30,
+	}
+}
+
+// GridConfigs enumerates the §3.3.7 search space (steps 2–5), excluding
+// the unfeasible no-reduction + products combination.
+func GridConfigs() []Config {
+	reduces := []ReduceKind{ReduceNone, ReduceFilter, ReducePCA}
+	var out []Config
+	for _, norm := range []bool{false, true} {
+		for _, r1 := range reduces {
+			for _, timeF := range []bool{false, true} {
+				for _, prod := range []bool{false, true} {
+					for _, r2 := range reduces {
+						c := Config{
+							Normalize:    norm,
+							Reduce1:      r1,
+							TimeFeatures: timeF,
+							Products:     prod,
+							Reduce2:      r2,
+							FilterTopK:   30,
+						}
+						if c.Validate() == nil {
+							out = append(out, c)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Pipeline is the fitted §3.3 feature-engineering chain.
+type Pipeline struct {
+	Cfg     Config
+	Steps   []Step
+	OutCols []Column
+	// RawCols preserves the raw input schema for the online path.
+	RawCols []Column
+	InCols  int
+}
+
+// NewPipeline validates the config and returns an unfitted pipeline.
+func NewPipeline(cfg Config) (*Pipeline, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Pipeline{Cfg: cfg}, nil
+}
+
+// buildReduce instantiates a reduction step.
+func (p *Pipeline) buildReduce(kind ReduceKind, seedOffset int64) Step {
+	switch kind {
+	case ReduceFilter:
+		return &RFFilter{TopK: p.Cfg.FilterTopK, Trees: p.Cfg.FilterTrees, Seed: p.Cfg.Seed + seedOffset}
+	case ReducePCA:
+		return &PCAReduce{MaxComponents: p.Cfg.PCAMax, VarianceTarget: p.Cfg.PCAVariance}
+	default:
+		return nil
+	}
+}
+
+// Fit learns every step on the training table and returns the transformed
+// training table.
+func (p *Pipeline) Fit(t *Table) (*Table, error) {
+	if err := t.validate(); err != nil {
+		return nil, err
+	}
+	p.InCols = t.NumCols()
+	p.RawCols = append([]Column(nil), t.Cols...)
+	p.Steps = nil
+
+	plan := []Step{&Expand{}}
+	if p.Cfg.Normalize {
+		plan = append(plan, &StandardScale{})
+	}
+	if s := p.buildReduce(p.Cfg.Reduce1, 101); s != nil {
+		plan = append(plan, s)
+	}
+	if p.Cfg.TimeFeatures {
+		plan = append(plan, &TimeFeatures{})
+	}
+	if p.Cfg.Products {
+		plan = append(plan, &Products{})
+	}
+	if s := p.buildReduce(p.Cfg.Reduce2, 211); s != nil {
+		plan = append(plan, s)
+	}
+	plan = append(plan, &DropZeroVariance{})
+
+	cur := t
+	for _, step := range plan {
+		if err := step.Fit(cur); err != nil {
+			return nil, fmt.Errorf("features: fit %s: %w", step.Name(), err)
+		}
+		next, err := step.Transform(cur)
+		if err != nil {
+			return nil, fmt.Errorf("features: transform %s during fit: %w", step.Name(), err)
+		}
+		p.Steps = append(p.Steps, step)
+		cur = next
+	}
+	p.OutCols = cur.Cols
+	return cur, nil
+}
+
+// Transform applies the fitted pipeline to a table with the same raw
+// schema as the training table.
+func (p *Pipeline) Transform(t *Table) (*Table, error) {
+	if len(p.Steps) == 0 {
+		return nil, fmt.Errorf("features: pipeline is not fitted")
+	}
+	if t.NumCols() != p.InCols {
+		return nil, fmt.Errorf("features: pipeline fitted on %d raw cols, got %d", p.InCols, t.NumCols())
+	}
+	cur := t
+	for _, step := range p.Steps {
+		next, err := step.Transform(cur)
+		if err != nil {
+			return nil, fmt.Errorf("features: transform %s: %w", step.Name(), err)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// OutputNames lists the engineered feature names after fitting.
+func (p *Pipeline) OutputNames() []string {
+	out := make([]string, len(p.OutCols))
+	for i, c := range p.OutCols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// NumOutputs returns the engineered feature count.
+func (p *Pipeline) NumOutputs() int { return len(p.OutCols) }
+
+// WindowSize returns how many trailing raw samples TransformLatest needs
+// to compute the time-dependent features exactly (1 when disabled).
+func (p *Pipeline) WindowSize() int {
+	if !p.Cfg.TimeFeatures {
+		return 1
+	}
+	maxW := 0
+	for _, s := range p.Steps {
+		if tf, ok := s.(*TimeFeatures); ok {
+			for _, w := range tf.AvgWindows {
+				if w > maxW {
+					maxW = w
+				}
+			}
+			for _, w := range tf.LagWindows {
+				if w > maxW {
+					maxW = w
+				}
+			}
+		}
+	}
+	return maxW + 1
+}
+
+// TransformLatest engineers the feature vector for the most recent raw
+// sample of one instance, given its trailing window of raw samples (oldest
+// first). This is the online path the orchestrator uses per prediction.
+func (p *Pipeline) TransformLatest(window [][]float64) ([]float64, error) {
+	if len(window) == 0 {
+		return nil, fmt.Errorf("features: empty window")
+	}
+	if p.RawCols == nil {
+		return nil, fmt.Errorf("features: pipeline is not fitted")
+	}
+	t := &Table{
+		Cols: p.RawCols,
+		Runs: []Run{{ID: 0, Rows: window}},
+	}
+	out, err := p.Transform(t)
+	if err != nil {
+		return nil, err
+	}
+	rows := out.Runs[0].Rows
+	return rows[len(rows)-1], nil
+}
+
+func registerGobTypes() {
+	gob.Register(&Expand{})
+	gob.Register(&StandardScale{})
+	gob.Register(&RFFilter{})
+	gob.Register(&PCAReduce{})
+	gob.Register(&TimeFeatures{})
+	gob.Register(&Products{})
+	gob.Register(&DropZeroVariance{})
+}
+
+var gobOnce sync.Once
+
+// EncodeGob serializes the fitted pipeline.
+func (p *Pipeline) EncodeGob() ([]byte, error) {
+	gobOnce.Do(registerGobTypes)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(p); err != nil {
+		return nil, fmt.Errorf("features: encode pipeline: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodePipeline deserializes a pipeline encoded with EncodeGob.
+func DecodePipeline(data []byte) (*Pipeline, error) {
+	gobOnce.Do(registerGobTypes)
+	var p Pipeline
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&p); err != nil {
+		return nil, fmt.Errorf("features: decode pipeline: %w", err)
+	}
+	return &p, nil
+}

@@ -1,0 +1,182 @@
+// Package features implements the paper's §3.3 feature engineering
+// pipeline: hot-encoded CPU/MEM utilization levels, logarithmic scaling of
+// unbounded byte metrics, standard-score normalization, random-forest
+// importance filtering and PCA reduction, X-AVG/X-LAG time-dependent
+// variants, multiplicative feature combinations, zero-variance removal,
+// and the grid-searchable pipeline (§3.3.7) that orders them.
+package features
+
+import (
+	"fmt"
+	"sort"
+
+	"monitorless/internal/dataset"
+)
+
+// Column is the metadata of one feature column.
+type Column struct {
+	// Name is the engineered feature name ("network.tcp.currestab ×
+	// C-CPU-HIGH", "kernel.all.pswitch-AVG14", ...).
+	Name string
+	// Domain groups columns by subsystem (cross-domain products).
+	Domain string
+	// Util marks relative-scale utilization columns (binary-feature
+	// sources).
+	Util bool
+	// Binary marks hot-encoded level columns (always product-eligible).
+	Binary bool
+	// TimeDerived marks X-AVG/X-LAG columns (excluded from products).
+	TimeDerived bool
+	// Log marks columns that the expansion step moved to a log scale.
+	Log bool
+}
+
+// Run is one ordered sequence of samples from a single experiment.
+type Run struct {
+	// ID is the run identifier (cross-validation group).
+	ID int
+	// Rows holds one feature vector per second, in time order.
+	Rows [][]float64
+	// Labels holds the saturation label per row (may be nil at
+	// prediction time).
+	Labels []int
+}
+
+// Table is an ordered collection of runs over a shared column schema.
+type Table struct {
+	Cols []Column
+	Runs []Run
+}
+
+// FromDataset converts a labeled dataset into a Table, grouping samples by
+// run ID and preserving time order within each run.
+func FromDataset(ds *dataset.Dataset) *Table {
+	cols := make([]Column, len(ds.Defs))
+	for i, d := range ds.Defs {
+		cols[i] = Column{
+			Name:   d.Name,
+			Domain: string(d.Domain),
+			Util:   d.Kind.IsUtilization(),
+			Log:    d.LogScale,
+		}
+	}
+
+	t := &Table{Cols: cols}
+	order := map[int]int{}
+	for _, s := range ds.Samples {
+		idx, ok := order[s.RunID]
+		if !ok {
+			idx = len(t.Runs)
+			order[s.RunID] = idx
+			t.Runs = append(t.Runs, Run{ID: s.RunID})
+		}
+		r := &t.Runs[idx]
+		r.Rows = append(r.Rows, s.Values)
+		r.Labels = append(r.Labels, s.Label)
+	}
+	return t
+}
+
+// NumRows counts all rows across runs.
+func (t *Table) NumRows() int {
+	n := 0
+	for i := range t.Runs {
+		n += len(t.Runs[i].Rows)
+	}
+	return n
+}
+
+// NumCols returns the schema width.
+func (t *Table) NumCols() int { return len(t.Cols) }
+
+// Names lists the column names.
+func (t *Table) Names() []string {
+	out := make([]string, len(t.Cols))
+	for i, c := range t.Cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Flatten returns all rows, labels and group IDs in run order, for
+// handing to the classifiers and grouped CV.
+func (t *Table) Flatten() (x [][]float64, y []int, groups []int) {
+	for i := range t.Runs {
+		r := &t.Runs[i]
+		for j, row := range r.Rows {
+			x = append(x, row)
+			if r.Labels != nil {
+				y = append(y, r.Labels[j])
+			} else {
+				y = append(y, 0)
+			}
+			groups = append(groups, r.ID)
+		}
+	}
+	return x, y, groups
+}
+
+// clone duplicates the table structure with fresh row slices (labels are
+// shared; they are never mutated).
+func (t *Table) clone() *Table {
+	out := &Table{Cols: append([]Column(nil), t.Cols...)}
+	out.Runs = make([]Run, len(t.Runs))
+	for i := range t.Runs {
+		src := &t.Runs[i]
+		rows := make([][]float64, len(src.Rows))
+		for j, r := range src.Rows {
+			rows[j] = append([]float64(nil), r...)
+		}
+		out.Runs[i] = Run{ID: src.ID, Rows: rows, Labels: src.Labels}
+	}
+	return out
+}
+
+// selectColumns returns a new table keeping only the given column indices
+// (in the given order).
+func (t *Table) selectColumns(keep []int) *Table {
+	cols := make([]Column, len(keep))
+	for i, k := range keep {
+		cols[i] = t.Cols[k]
+	}
+	out := &Table{Cols: cols, Runs: make([]Run, len(t.Runs))}
+	for ri := range t.Runs {
+		src := &t.Runs[ri]
+		rows := make([][]float64, len(src.Rows))
+		for j, row := range src.Rows {
+			nr := make([]float64, len(keep))
+			for i, k := range keep {
+				nr[i] = row[k]
+			}
+			rows[j] = nr
+		}
+		out.Runs[ri] = Run{ID: src.ID, Rows: rows, Labels: src.Labels}
+	}
+	return out
+}
+
+// validate checks rectangular shape.
+func (t *Table) validate() error {
+	for ri := range t.Runs {
+		r := &t.Runs[ri]
+		for j, row := range r.Rows {
+			if len(row) != len(t.Cols) {
+				return fmt.Errorf("features: run %d row %d has %d values, want %d", r.ID, j, len(row), len(t.Cols))
+			}
+		}
+		if r.Labels != nil && len(r.Labels) != len(r.Rows) {
+			return fmt.Errorf("features: run %d has %d labels for %d rows", r.ID, len(r.Labels), len(r.Rows))
+		}
+	}
+	return nil
+}
+
+// sortedRunIDs returns the run IDs ascending.
+func (t *Table) sortedRunIDs() []int {
+	ids := make([]int, 0, len(t.Runs))
+	for i := range t.Runs {
+		ids = append(ids, t.Runs[i].ID)
+	}
+	sort.Ints(ids)
+	return ids
+}

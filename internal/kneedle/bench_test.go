@@ -1,0 +1,27 @@
+package kneedle
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkDetect(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	n := 600
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = float64(i + 1)
+		v := x[i]
+		if v > 400 {
+			v = 400 + 0.05*(v-400)
+		}
+		y[i] = v * (1 + 0.02*r.NormFloat64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Detect(x, y, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package kneedle_test
+
+import (
+	"fmt"
+
+	"monitorless/internal/kneedle"
+)
+
+// A throughput curve that rises linearly to 100 req/s at load 100 and
+// flattens afterwards: Kneedle locates the bend.
+func ExampleDetect() {
+	var x, y []float64
+	for i := 1; i <= 200; i++ {
+		x = append(x, float64(i))
+		v := float64(i)
+		if v > 100 {
+			v = 100 + 0.05*(v-100)
+		}
+		y = append(y, v)
+	}
+	res, err := kneedle.Detect(x, y, kneedle.Options{SmoothWindow: 11})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	knee, _ := res.Best()
+	fmt.Printf("knee near load %.0f\n", knee.X)
+	// Output: knee near load 100
+}

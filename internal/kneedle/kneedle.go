@@ -1,0 +1,218 @@
+// Package kneedle implements the Kneedle knee/elbow detection algorithm of
+// Satopaa et al. (ICDCSW '11), as specialised by the monitorless paper
+// (§2.2) for locating the saturation point of a KPI-vs-load curve:
+//
+//  1. smooth f with a Savitzky-Golay filter,
+//  2. normalize the points to the unit square,
+//  3. compute the difference curve d_i = β_i − α_i,
+//  4. candidate knees are the local maxima of the difference curve.
+package kneedle
+
+import (
+	"errors"
+	"fmt"
+
+	"math"
+
+	"monitorless/internal/smooth"
+)
+
+// Curvature selects the expected concavity of the input curve.
+type Curvature int
+
+const (
+	// Concave marks curves that rise quickly then flatten (throughput vs
+	// load); the paper's default.
+	Concave Curvature = iota
+	// Convex marks curves that stay flat then rise quickly (response time
+	// vs load). The paper's mirroring trick (§2.2) is applied.
+	Convex
+)
+
+// Options configures knee detection.
+type Options struct {
+	// SmoothWindow is the Savitzky-Golay window (odd). Zero selects a
+	// window of roughly 1/10 of the series length (at least 5).
+	SmoothWindow int
+	// SmoothOrder is the polynomial order (default 2).
+	SmoothOrder int
+	// Curvature declares the curve shape (default Concave).
+	Curvature Curvature
+}
+
+// Knee describes one detected candidate knee.
+type Knee struct {
+	// Index into the input series.
+	Index int
+	// X and Y are the original (unnormalized) coordinates of the knee.
+	X, Y float64
+	// Difference is the normalized difference-curve value at the knee;
+	// larger means a sharper knee.
+	Difference float64
+}
+
+// Result carries the detection output and the intermediate curves, which
+// the paper recommends inspecting visually (we expose them for Figure 2).
+type Result struct {
+	// Smoothed is the Savitzky-Golay smoothed y series.
+	Smoothed []float64
+	// NormX, NormY are the unit-square normalized coordinates.
+	NormX, NormY []float64
+	// Difference is the β−α difference curve.
+	Difference []float64
+	// Knees lists candidate knees sorted by descending difference value.
+	Knees []Knee
+}
+
+// ErrTooShort is returned for series that cannot hold a smoothing window.
+var ErrTooShort = errors.New("kneedle: series too short")
+
+// ErrFlat is returned when the series has no x or y spread to normalize.
+var ErrFlat = errors.New("kneedle: flat series (no spread to normalize)")
+
+// Detect runs the Kneedle pipeline on the discrete function f(x_i) = y_i.
+// x must be strictly increasing.
+func Detect(x, y []float64, opt Options) (*Result, error) {
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("kneedle: len(x)=%d != len(y)=%d", len(x), len(y))
+	}
+	n := len(x)
+	if n < 5 {
+		return nil, ErrTooShort
+	}
+	for i := 1; i < n; i++ {
+		if x[i] <= x[i-1] {
+			return nil, fmt.Errorf("kneedle: x must be strictly increasing (violated at %d)", i)
+		}
+	}
+
+	window := opt.SmoothWindow
+	if window == 0 {
+		window = n / 10
+		if window < 5 {
+			window = 5
+		}
+		if window%2 == 0 {
+			window++
+		}
+	}
+	if window >= n {
+		window = n
+		if window%2 == 0 {
+			window--
+		}
+	}
+	order := opt.SmoothOrder
+	if order == 0 {
+		order = 2
+	}
+	if order >= window {
+		order = window - 1
+	}
+
+	sm, err := smooth.Smooth(y, window, order)
+	if err != nil {
+		return nil, fmt.Errorf("kneedle: smoothing: %w", err)
+	}
+
+	// Mirror for convex curves so the concave machinery applies (§2.2).
+	ys := make([]float64, n)
+	copy(ys, sm)
+	xs := make([]float64, n)
+	copy(xs, x)
+	if opt.Curvature == Convex {
+		maxY := maxOf(ys)
+		for i := range ys {
+			ys[i] = maxY - ys[i]
+		}
+		maxX := xs[n-1]
+		for i, j := 0, n-1; i < j; i, j = i+1, j-1 {
+			xs[i], xs[j] = maxX-xs[j], maxX-xs[i]
+			ys[i], ys[j] = ys[j], ys[i]
+		}
+	}
+
+	normX, err := normalizeUnit(xs)
+	if err != nil {
+		return nil, err
+	}
+	normY, err := normalizeUnit(ys)
+	if err != nil {
+		return nil, err
+	}
+
+	diff := make([]float64, n)
+	for i := range diff {
+		diff[i] = normY[i] - normX[i]
+	}
+
+	var knees []Knee
+	for i := 1; i < n-1; i++ {
+		if diff[i] > diff[i-1] && diff[i] >= diff[i+1] {
+			idx := i
+			if opt.Curvature == Convex {
+				idx = n - 1 - i // undo the mirroring
+			}
+			knees = append(knees, Knee{
+				Index:      idx,
+				X:          x[idx],
+				Y:          sm[idx],
+				Difference: diff[i],
+			})
+		}
+	}
+	// Sort by descending sharpness (insertion sort; candidate lists are tiny).
+	for i := 1; i < len(knees); i++ {
+		for j := i; j > 0 && knees[j].Difference > knees[j-1].Difference; j-- {
+			knees[j], knees[j-1] = knees[j-1], knees[j]
+		}
+	}
+
+	return &Result{
+		Smoothed:   sm,
+		NormX:      normX,
+		NormY:      normY,
+		Difference: diff,
+		Knees:      knees,
+	}, nil
+}
+
+// Best returns the sharpest knee, mirroring the paper's "manually choose
+// the local maximum" step with the sensible automatic default.
+func (r *Result) Best() (Knee, bool) {
+	if len(r.Knees) == 0 {
+		return Knee{}, false
+	}
+	return r.Knees[0], true
+}
+
+func normalizeUnit(v []float64) ([]float64, error) {
+	lo, hi := v[0], v[0]
+	for _, x := range v {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if hi-lo <= 1e-12*math.Max(1, math.Abs(hi)) {
+		return nil, ErrFlat
+	}
+	out := make([]float64, len(v))
+	scale := 1 / (hi - lo)
+	for i, x := range v {
+		out[i] = (x - lo) * scale
+	}
+	return out, nil
+}
+
+func maxOf(v []float64) float64 {
+	m := v[0]
+	for _, x := range v {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,170 @@
+package kneedle
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// saturatingThroughput models the paper's Figure 2 shape: throughput grows
+// linearly with load until the knee, then flattens.
+func saturatingThroughput(load, knee float64) float64 {
+	if load <= knee {
+		return load
+	}
+	return knee + (load-knee)*0.05
+}
+
+func rampSeries(n int, maxLoad, knee, noise float64, seed int64) (x, y []float64) {
+	r := rand.New(rand.NewSource(seed))
+	x = make([]float64, n)
+	y = make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = maxLoad * float64(i+1) / float64(n)
+		y[i] = saturatingThroughput(x[i], knee) * (1 + noise*r.NormFloat64())
+	}
+	return x, y
+}
+
+func TestDetectFindsKnee(t *testing.T) {
+	x, y := rampSeries(300, 1000, 700, 0.02, 1)
+	res, err := Detect(x, y, Options{})
+	if err != nil {
+		t.Fatalf("Detect: %v", err)
+	}
+	best, ok := res.Best()
+	if !ok {
+		t.Fatal("no knee found")
+	}
+	if best.X < 600 || best.X > 800 {
+		t.Errorf("knee at x=%v, want ~700", best.X)
+	}
+}
+
+func TestDetectNoiseRobust(t *testing.T) {
+	x, y := rampSeries(400, 1000, 500, 0.10, 2)
+	res, err := Detect(x, y, Options{SmoothWindow: 31, SmoothOrder: 2})
+	if err != nil {
+		t.Fatalf("Detect: %v", err)
+	}
+	best, ok := res.Best()
+	if !ok {
+		t.Fatal("no knee found")
+	}
+	if best.X < 380 || best.X > 650 {
+		t.Errorf("knee at x=%v, want ~500 despite noise", best.X)
+	}
+}
+
+func TestDetectConvex(t *testing.T) {
+	// Response-time style curve: flat then exploding after the knee.
+	n := 300
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = float64(i + 1)
+		if x[i] < 200 {
+			y[i] = 10
+		} else {
+			y[i] = 10 + math.Pow(x[i]-200, 1.5)
+		}
+	}
+	res, err := Detect(x, y, Options{Curvature: Convex})
+	if err != nil {
+		t.Fatalf("Detect: %v", err)
+	}
+	best, ok := res.Best()
+	if !ok {
+		t.Fatal("no knee found")
+	}
+	if best.X < 150 || best.X > 280 {
+		t.Errorf("convex knee at x=%v, want ~200-250", best.X)
+	}
+}
+
+func TestDetectValidation(t *testing.T) {
+	if _, err := Detect([]float64{1, 2}, []float64{1}, Options{}); err == nil {
+		t.Error("expected length mismatch error")
+	}
+	if _, err := Detect([]float64{1, 2, 3}, []float64{1, 2, 3}, Options{}); err == nil {
+		t.Error("expected too-short error")
+	}
+	if _, err := Detect([]float64{1, 2, 2, 3, 4, 5}, []float64{1, 2, 3, 4, 5, 6}, Options{}); err == nil {
+		t.Error("expected non-increasing-x error")
+	}
+}
+
+func TestDetectFlatSeries(t *testing.T) {
+	x := make([]float64, 20)
+	y := make([]float64, 20)
+	for i := range x {
+		x[i] = float64(i + 1)
+		y[i] = 5
+	}
+	if _, err := Detect(x, y, Options{}); err == nil {
+		t.Error("expected flat-series error")
+	}
+}
+
+func TestResultCurvesAligned(t *testing.T) {
+	x, y := rampSeries(100, 100, 60, 0.01, 3)
+	res, err := Detect(x, y, Options{})
+	if err != nil {
+		t.Fatalf("Detect: %v", err)
+	}
+	if len(res.Smoothed) != len(x) || len(res.NormX) != len(x) ||
+		len(res.NormY) != len(x) || len(res.Difference) != len(x) {
+		t.Fatal("intermediate curves must align with the input length")
+	}
+	for i := range res.NormX {
+		if res.NormX[i] < -1e-9 || res.NormX[i] > 1+1e-9 {
+			t.Fatalf("NormX[%d]=%v outside unit interval", i, res.NormX[i])
+		}
+		if res.NormY[i] < -1e-9 || res.NormY[i] > 1+1e-9 {
+			t.Fatalf("NormY[%d]=%v outside unit interval", i, res.NormY[i])
+		}
+	}
+}
+
+func TestKneesSortedBySharpness(t *testing.T) {
+	x, y := rampSeries(300, 1000, 700, 0.05, 4)
+	res, err := Detect(x, y, Options{})
+	if err != nil {
+		t.Fatalf("Detect: %v", err)
+	}
+	for i := 1; i < len(res.Knees); i++ {
+		if res.Knees[i].Difference > res.Knees[i-1].Difference {
+			t.Fatal("knees not sorted by descending difference")
+		}
+	}
+}
+
+// Property: detection is invariant to positive linear rescaling of y (the
+// unit-square normalization guarantees it).
+func TestDetectScaleInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x, y := rampSeries(150, 500, 250, 0.03, seed)
+		scale := 0.5 + 10*r.Float64()
+		offset := -100 + 200*r.Float64()
+		y2 := make([]float64, len(y))
+		for i := range y {
+			y2[i] = y[i]*scale + offset
+		}
+		r1, err1 := Detect(x, y, Options{SmoothWindow: 11})
+		r2, err2 := Detect(x, y2, Options{SmoothWindow: 11})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		b1, ok1 := r1.Best()
+		b2, ok2 := r2.Best()
+		if !ok1 || !ok2 {
+			return false
+		}
+		return b1.Index == b2.Index
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

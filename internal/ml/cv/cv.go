@@ -1,0 +1,194 @@
+// Package cv implements the model selection machinery of §3.4: grouped
+// k-fold cross-validation whose folds are whole training *runs* (the paper
+// partitions its 25 Table 1 datasets into 20 train / 5 validation sets per
+// fold, never splitting a run), and an exhaustive hyper-parameter grid
+// search on top of it.
+package cv
+
+import (
+	"fmt"
+	"sort"
+
+	"monitorless/internal/ml"
+	"monitorless/internal/ml/score"
+)
+
+// GroupKFold partitions the distinct values of groups into k folds and
+// returns, per fold, the sample indices of the held-out groups. Groups are
+// assigned to folds round-robin in sorted group order, which keeps the
+// split deterministic.
+func GroupKFold(groups []int, k int) ([][]int, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("cv: need at least 2 folds, got %d", k)
+	}
+	distinct := map[int]bool{}
+	for _, g := range groups {
+		distinct[g] = true
+	}
+	if len(distinct) < k {
+		return nil, fmt.Errorf("cv: %d folds requested but only %d groups", k, len(distinct))
+	}
+	ids := make([]int, 0, len(distinct))
+	for g := range distinct {
+		ids = append(ids, g)
+	}
+	sort.Ints(ids)
+
+	foldOf := map[int]int{}
+	for i, g := range ids {
+		foldOf[g] = i % k
+	}
+	folds := make([][]int, k)
+	for i, g := range groups {
+		f := foldOf[g]
+		folds[f] = append(folds[f], i)
+	}
+	return folds, nil
+}
+
+// Factory builds a fresh classifier from a parameter assignment.
+type Factory func(params map[string]any) (ml.Classifier, error)
+
+// Result summarizes one cross-validated configuration.
+type Result struct {
+	// Params is the evaluated parameter assignment.
+	Params map[string]any
+	// MeanF1 and MeanAccuracy average the per-fold validation scores.
+	MeanF1, MeanAccuracy float64
+	// FoldF1 holds the per-fold F1 scores.
+	FoldF1 []float64
+}
+
+// CrossValidate fits the factory's model on each training fold and scores
+// it on the held-out fold, returning the averaged result.
+func CrossValidate(factory Factory, params map[string]any, x [][]float64, y, groups []int, k int) (Result, error) {
+	folds, err := GroupKFold(groups, k)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Params: params}
+	inFold := make([]bool, len(x))
+	for _, holdout := range folds {
+		for i := range inFold {
+			inFold[i] = false
+		}
+		for _, i := range holdout {
+			inFold[i] = true
+		}
+		trainX := make([][]float64, 0, len(x)-len(holdout))
+		trainY := make([]int, 0, len(x)-len(holdout))
+		for i := range x {
+			if !inFold[i] {
+				trainX = append(trainX, x[i])
+				trainY = append(trainY, y[i])
+			}
+		}
+		clf, err := factory(params)
+		if err != nil {
+			return Result{}, fmt.Errorf("cv: factory: %w", err)
+		}
+		if err := clf.Fit(trainX, trainY); err != nil {
+			return Result{}, fmt.Errorf("cv: fit: %w", err)
+		}
+		pred := make([]int, len(holdout))
+		truth := make([]int, len(holdout))
+		for j, i := range holdout {
+			pred[j] = clf.Predict(x[i])
+			truth[j] = y[i]
+		}
+		c, err := score.Count(pred, truth)
+		if err != nil {
+			return Result{}, err
+		}
+		res.FoldF1 = append(res.FoldF1, c.F1())
+		res.MeanF1 += c.F1()
+		res.MeanAccuracy += c.Accuracy()
+	}
+	res.MeanF1 /= float64(len(folds))
+	res.MeanAccuracy /= float64(len(folds))
+	return res, nil
+}
+
+// Grid is a named parameter space: each key maps to its candidate values.
+type Grid map[string][]any
+
+// Enumerate expands the grid into every parameter assignment, in a
+// deterministic (sorted-key, row-major) order.
+func (g Grid) Enumerate() []map[string]any {
+	keys := make([]string, 0, len(g))
+	for k := range g {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	assignments := []map[string]any{{}}
+	for _, key := range keys {
+		vals := g[key]
+		next := make([]map[string]any, 0, len(assignments)*len(vals))
+		for _, base := range assignments {
+			for _, v := range vals {
+				m := make(map[string]any, len(base)+1)
+				for bk, bv := range base {
+					m[bk] = bv
+				}
+				m[key] = v
+				next = append(next, m)
+			}
+		}
+		assignments = next
+	}
+	return assignments
+}
+
+// GridSearch cross-validates every assignment in the grid and returns all
+// results sorted by descending mean F1, best first.
+func GridSearch(factory Factory, grid Grid, x [][]float64, y, groups []int, k int) ([]Result, error) {
+	assignments := grid.Enumerate()
+	if len(assignments) == 0 {
+		return nil, fmt.Errorf("cv: empty grid")
+	}
+	results := make([]Result, 0, len(assignments))
+	for _, params := range assignments {
+		r, err := CrossValidate(factory, params, x, y, groups, k)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, r)
+	}
+	sort.SliceStable(results, func(i, j int) bool { return results[i].MeanF1 > results[j].MeanF1 })
+	return results, nil
+}
+
+// Float reads a float parameter with a default.
+func Float(params map[string]any, key string, def float64) float64 {
+	if v, ok := params[key]; ok {
+		switch t := v.(type) {
+		case float64:
+			return t
+		case int:
+			return float64(t)
+		}
+	}
+	return def
+}
+
+// Int reads an int parameter with a default.
+func Int(params map[string]any, key string, def int) int {
+	if v, ok := params[key]; ok {
+		switch t := v.(type) {
+		case int:
+			return t
+		case float64:
+			return int(t)
+		}
+	}
+	return def
+}
+
+// Str reads a string parameter with a default.
+func Str(params map[string]any, key string, def string) string {
+	if v, ok := params[key].(string); ok {
+		return v
+	}
+	return def
+}

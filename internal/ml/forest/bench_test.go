@@ -1,0 +1,46 @@
+package forest
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchData(n, d int) ([][]float64, []int) {
+	r := rand.New(rand.NewSource(3))
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = r.NormFloat64()
+		}
+		x[i] = row
+		if row[0]+0.3*row[1] > 0.2 {
+			y[i] = 1
+		}
+	}
+	return x, y
+}
+
+func BenchmarkForestFit(b *testing.B) {
+	x, y := benchData(2000, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := New(Config{NumTrees: 30, MinSamplesLeaf: 10, Seed: int64(i)})
+		if err := f.Fit(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForestPredict(b *testing.B) {
+	x, y := benchData(2000, 50)
+	f := New(Config{NumTrees: 30, MinSamplesLeaf: 10, Seed: 1})
+	if err := f.Fit(x, y); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.PredictProba(x[i%len(x)])
+	}
+}

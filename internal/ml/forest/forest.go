@@ -1,0 +1,215 @@
+// Package forest implements random forests (Breiman 2001): bootstrap
+// aggregation of CART trees with per-split feature subsampling, feature
+// importances (used by the monitorless filter step and Table 4), class
+// weighting, and an adjustable decision threshold (the paper sets 0.4 to
+// bias the classifier against false negatives, §4).
+package forest
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"monitorless/internal/ml"
+	"monitorless/internal/ml/tree"
+)
+
+// Config holds the forest hyper-parameters, mirroring the axes of the
+// paper's Table 2 grid (n_estimators, min_samples_leaf, min_samples_split,
+// criterion, class_weight).
+type Config struct {
+	// NumTrees is the ensemble size (paper: 250 after tuning).
+	NumTrees int
+	// MaxDepth bounds each tree; 0 = unlimited.
+	MaxDepth int
+	// MinSamplesSplit / MinSamplesLeaf are CART stopping rules
+	// (paper: 20 samples per leaf after tuning).
+	MinSamplesSplit int
+	MinSamplesLeaf  int
+	// Criterion is gini or entropy (paper: information gain = entropy).
+	Criterion tree.Criterion
+	// MaxFeatures per split; -1 = √d (default), 0 = all.
+	MaxFeatures int
+	// ClassWeight is "", "balanced" or "subsample" (Table 2).
+	ClassWeight string
+	// Threshold is the P(saturated) cut-off for Predict (paper: 0.4).
+	// Zero selects 0.5.
+	Threshold float64
+	// Seed makes training deterministic.
+	Seed int64
+	// Parallelism bounds the number of concurrently fitted trees;
+	// 0 = GOMAXPROCS.
+	Parallelism int
+}
+
+// Forest is a fitted random forest.
+type Forest struct {
+	cfg         Config
+	trees       []*tree.Tree
+	importances []float64
+	nFeatures   int
+	fitted      bool
+}
+
+var _ ml.Classifier = (*Forest)(nil)
+var _ ml.FeatureImporter = (*Forest)(nil)
+
+// New returns an unfitted forest.
+func New(cfg Config) *Forest {
+	if cfg.NumTrees <= 0 {
+		cfg.NumTrees = 100
+	}
+	if cfg.MaxFeatures == 0 {
+		cfg.MaxFeatures = -1 // √d, the standard forest default
+	} else if cfg.MaxFeatures == -2 {
+		cfg.MaxFeatures = 0 // explicit "all features"
+	}
+	if cfg.Threshold == 0 {
+		cfg.Threshold = 0.5
+	}
+	return &Forest{cfg: cfg}
+}
+
+// Fit trains the forest on x, y.
+func (f *Forest) Fit(x [][]float64, y []int) error {
+	d, err := ml.ValidateTrainingSet(x, y)
+	if err != nil {
+		return err
+	}
+	baseW, err := ml.ClassWeights(y, f.cfg.ClassWeight)
+	if err != nil {
+		return fmt.Errorf("forest: %w", err)
+	}
+
+	n := len(x)
+	f.nFeatures = d
+	f.trees = make([]*tree.Tree, f.cfg.NumTrees)
+
+	par := f.cfg.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > f.cfg.NumTrees {
+		par = f.cfg.NumTrees
+	}
+
+	var (
+		wg       sync.WaitGroup
+		firstErr error
+		errOnce  sync.Once
+		sem      = make(chan struct{}, par)
+	)
+	for ti := 0; ti < f.cfg.NumTrees; ti++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(ti int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+
+			rng := rand.New(rand.NewSource(f.cfg.Seed + int64(ti)*7919))
+			// Bootstrap sample with replacement.
+			bx := make([][]float64, n)
+			by := make([]int, n)
+			bw := make([]float64, n)
+			var n1 int
+			for i := 0; i < n; i++ {
+				j := rng.Intn(n)
+				bx[i] = x[j]
+				by[i] = y[j]
+				bw[i] = baseW[j]
+				n1 += by[i]
+			}
+			if f.cfg.ClassWeight == "subsample" {
+				// Re-balance inside the bootstrap sample
+				// (scikit-learn's class_weight="balanced_subsample").
+				n0 := n - n1
+				if n0 > 0 && n1 > 0 {
+					w0 := float64(n) / (2 * float64(n0))
+					w1 := float64(n) / (2 * float64(n1))
+					for i := range bw {
+						if by[i] == 1 {
+							bw[i] = w1
+						} else {
+							bw[i] = w0
+						}
+					}
+				}
+			}
+
+			t := tree.New(tree.Config{
+				MaxDepth:        f.cfg.MaxDepth,
+				MinSamplesSplit: f.cfg.MinSamplesSplit,
+				MinSamplesLeaf:  f.cfg.MinSamplesLeaf,
+				Criterion:       f.cfg.Criterion,
+				MaxFeatures:     f.cfg.MaxFeatures,
+				Seed:            f.cfg.Seed + int64(ti)*104729,
+			})
+			if err := t.FitWeighted(bx, by, bw); err != nil {
+				errOnce.Do(func() { firstErr = fmt.Errorf("forest: tree %d: %w", ti, err) })
+				return
+			}
+			f.trees[ti] = t
+		}(ti)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+
+	// Average tree importances.
+	f.importances = make([]float64, d)
+	for _, t := range f.trees {
+		for i, v := range t.FeatureImportances() {
+			f.importances[i] += v
+		}
+	}
+	sum := 0.0
+	for _, v := range f.importances {
+		sum += v
+	}
+	if sum > 0 {
+		for i := range f.importances {
+			f.importances[i] /= sum
+		}
+	}
+	f.fitted = true
+	return nil
+}
+
+// PredictProba returns the mean leaf probability across trees.
+func (f *Forest) PredictProba(x []float64) float64 {
+	if !f.fitted {
+		return 0.5
+	}
+	s := 0.0
+	for _, t := range f.trees {
+		s += t.PredictProba(x)
+	}
+	return s / float64(len(f.trees))
+}
+
+// Predict applies the configured decision threshold.
+func (f *Forest) Predict(x []float64) int {
+	if f.PredictProba(x) >= f.cfg.Threshold {
+		return 1
+	}
+	return 0
+}
+
+// SetThreshold adjusts the decision threshold after training (the paper's
+// FN/FP asymmetry knob).
+func (f *Forest) SetThreshold(t float64) { f.cfg.Threshold = t }
+
+// Threshold returns the active decision threshold.
+func (f *Forest) Threshold() float64 { return f.cfg.Threshold }
+
+// FeatureImportances returns the tree-averaged impurity importances.
+func (f *Forest) FeatureImportances() []float64 {
+	out := make([]float64, len(f.importances))
+	copy(out, f.importances)
+	return out
+}
+
+// NumTrees returns the ensemble size.
+func (f *Forest) NumTrees() int { return len(f.trees) }

@@ -1,0 +1,48 @@
+package forest
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"monitorless/internal/ml/tree"
+)
+
+// forestWire mirrors Forest for gob encoding.
+type forestWire struct {
+	Cfg         Config
+	Trees       []*tree.Tree
+	Importances []float64
+	NFeatures   int
+	Fitted      bool
+}
+
+// GobEncode implements gob.GobEncoder.
+func (f *Forest) GobEncode() ([]byte, error) {
+	w := forestWire{
+		Cfg:         f.cfg,
+		Trees:       f.trees,
+		Importances: f.importances,
+		NFeatures:   f.nFeatures,
+		Fitted:      f.fitted,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, fmt.Errorf("forest: gob encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (f *Forest) GobDecode(data []byte) error {
+	var w forestWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return fmt.Errorf("forest: gob decode: %w", err)
+	}
+	f.cfg = w.Cfg
+	f.trees = w.Trees
+	f.importances = w.Importances
+	f.nFeatures = w.NFeatures
+	f.fitted = w.Fitted
+	return nil
+}

@@ -1,0 +1,125 @@
+// Package ml defines the shared contract between the from-scratch learners
+// (tree, forest, linear, boost, nn) and their consumers (feature pipeline,
+// cross-validation, the monitorless core). Everything is stdlib-only.
+package ml
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Classifier is a binary classifier over dense float feature vectors.
+// Labels are 0 (not saturated) and 1 (saturated).
+type Classifier interface {
+	// Fit trains the classifier. Implementations must not retain x or y.
+	Fit(x [][]float64, y []int) error
+	// PredictProba returns the estimated probability of class 1.
+	PredictProba(x []float64) float64
+	// Predict returns the predicted class label.
+	Predict(x []float64) int
+}
+
+// WeightedFitter is implemented by classifiers that accept per-sample
+// weights (used by AdaBoost and by balanced class weighting).
+type WeightedFitter interface {
+	FitWeighted(x [][]float64, y []int, w []float64) error
+}
+
+// FeatureImporter is implemented by models that expose per-feature
+// importances (the random forest filter step and Table 4 rely on it).
+type FeatureImporter interface {
+	// FeatureImportances returns one non-negative weight per input
+	// feature, summing to 1 (or all zeros for a degenerate fit).
+	FeatureImportances() []float64
+}
+
+// ErrNotFitted is returned by predictions on an untrained model.
+var ErrNotFitted = errors.New("ml: model is not fitted")
+
+// ErrNoData is returned when Fit receives an empty training set.
+var ErrNoData = errors.New("ml: empty training set")
+
+// ValidateTrainingSet checks the common preconditions shared by all
+// learners and returns the feature dimensionality.
+func ValidateTrainingSet(x [][]float64, y []int) (int, error) {
+	if len(x) == 0 {
+		return 0, ErrNoData
+	}
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("ml: %d samples but %d labels", len(x), len(y))
+	}
+	d := len(x[0])
+	if d == 0 {
+		return 0, errors.New("ml: samples have zero features")
+	}
+	for i, row := range x {
+		if len(row) != d {
+			return 0, fmt.Errorf("ml: ragged training set: sample %d has %d features, want %d", i, len(row), d)
+		}
+	}
+	for i, label := range y {
+		if label != 0 && label != 1 {
+			return 0, fmt.Errorf("ml: label %d at sample %d is not binary", label, i)
+		}
+	}
+	return d, nil
+}
+
+// PredictAll applies c.Predict to every row.
+func PredictAll(c Classifier, x [][]float64) []int {
+	out := make([]int, len(x))
+	for i, row := range x {
+		out[i] = c.Predict(row)
+	}
+	return out
+}
+
+// PredictProbaAll applies c.PredictProba to every row.
+func PredictProbaAll(c Classifier, x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	for i, row := range x {
+		out[i] = c.PredictProba(row)
+	}
+	return out
+}
+
+// ClassWeights computes per-sample weights. mode is one of:
+//   - "": uniform weights,
+//   - "balanced": n/(2·n_class) as in scikit-learn,
+//
+// matching the class_weight axis of the paper's Table 2 grids.
+func ClassWeights(y []int, mode string) ([]float64, error) {
+	w := make([]float64, len(y))
+	switch mode {
+	case "", "none", "None":
+		for i := range w {
+			w[i] = 1
+		}
+	case "balanced", "subsample":
+		// "subsample" differs from "balanced" only inside the forest's
+		// bootstrap loop; at the dataset level both start balanced.
+		var n1 int
+		for _, label := range y {
+			n1 += label
+		}
+		n0 := len(y) - n1
+		if n0 == 0 || n1 == 0 {
+			for i := range w {
+				w[i] = 1
+			}
+			return w, nil
+		}
+		w0 := float64(len(y)) / (2 * float64(n0))
+		w1 := float64(len(y)) / (2 * float64(n1))
+		for i, label := range y {
+			if label == 1 {
+				w[i] = w1
+			} else {
+				w[i] = w0
+			}
+		}
+	default:
+		return nil, fmt.Errorf("ml: unknown class weight mode %q", mode)
+	}
+	return w, nil
+}

@@ -1,0 +1,25 @@
+package score_test
+
+import (
+	"fmt"
+
+	"monitorless/internal/ml/score"
+)
+
+// The lagged metric forgives an early warning: the positive prediction at
+// t=1 precedes the ground-truth saturation at t=2 by one second, so it is
+// re-classified as a true negative and the miss at t=2 as a transferred
+// true positive (§4 of the paper).
+func ExampleCountLagged() {
+	pred := []int{0, 1, 0, 0}
+	truth := []int{0, 0, 1, 0}
+
+	plain, _ := score.Count(pred, truth)
+	lagged, _ := score.CountLagged(pred, truth, 2)
+
+	fmt.Println("plain: ", plain)
+	fmt.Println("lagged:", lagged)
+	// Output:
+	// plain:  TN=2 FP=1 FN=1 TP=0 F1=0.000 Acc=0.500
+	// lagged: TN=3 FP=0 FN=0 TP=1 F1=1.000 Acc=1.000
+}

@@ -1,0 +1,120 @@
+package score
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ROCPoint is one operating point of a classifier's ROC curve.
+type ROCPoint struct {
+	// Threshold is the probability cut producing this point.
+	Threshold float64
+	// TPR and FPR are the true/false positive rates.
+	TPR, FPR float64
+}
+
+// ROC computes the ROC curve of probability scores against binary truth,
+// sorted from the most conservative threshold to the most liberal. It
+// underlies the paper's §4 discussion of the FP/FN asymmetry: the
+// monitorless threshold of 0.4 trades a few extra FPs for near-zero FNs.
+func ROC(probs []float64, truth []int) ([]ROCPoint, error) {
+	if len(probs) != len(truth) {
+		return nil, fmt.Errorf("score: %d scores vs %d labels", len(probs), len(truth))
+	}
+	if len(probs) == 0 {
+		return nil, fmt.Errorf("score: empty input")
+	}
+	var pos, neg int
+	for _, y := range truth {
+		if y == 1 {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return nil, fmt.Errorf("score: ROC needs both classes (pos=%d neg=%d)", pos, neg)
+	}
+
+	type pair struct {
+		p float64
+		y int
+	}
+	pairs := make([]pair, len(probs))
+	for i := range probs {
+		pairs[i] = pair{probs[i], truth[i]}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].p > pairs[j].p })
+
+	var out []ROCPoint
+	tp, fp := 0, 0
+	i := 0
+	for i < len(pairs) {
+		thr := pairs[i].p
+		// Consume all samples tied at this threshold.
+		for i < len(pairs) && pairs[i].p == thr {
+			if pairs[i].y == 1 {
+				tp++
+			} else {
+				fp++
+			}
+			i++
+		}
+		out = append(out, ROCPoint{
+			Threshold: thr,
+			TPR:       float64(tp) / float64(pos),
+			FPR:       float64(fp) / float64(neg),
+		})
+	}
+	return out, nil
+}
+
+// AUC integrates the ROC curve with the trapezoid rule; 0.5 is chance,
+// 1.0 a perfect ranking.
+func AUC(probs []float64, truth []int) (float64, error) {
+	curve, err := ROC(probs, truth)
+	if err != nil {
+		return 0, err
+	}
+	auc := 0.0
+	prevFPR, prevTPR := 0.0, 0.0
+	for _, p := range curve {
+		auc += (p.FPR - prevFPR) * (p.TPR + prevTPR) / 2
+		prevFPR, prevTPR = p.FPR, p.TPR
+	}
+	return auc, nil
+}
+
+// BestF1Threshold sweeps the score thresholds and returns the one
+// maximizing the (lagged) F1 — the generic version of the a-posteriori
+// tuning the paper grants its baselines.
+func BestF1Threshold(probs []float64, truth []int, lag int) (float64, Confusion, error) {
+	if len(probs) != len(truth) || len(probs) == 0 {
+		return 0, Confusion{}, fmt.Errorf("score: %d scores vs %d labels", len(probs), len(truth))
+	}
+	candidates := append([]float64(nil), probs...)
+	sort.Float64s(candidates)
+	bestF1 := -1.0
+	bestThr := 0.5
+	var bestConf Confusion
+	pred := make([]int, len(probs))
+	for _, thr := range candidates {
+		for i, p := range probs {
+			if p >= thr {
+				pred[i] = 1
+			} else {
+				pred[i] = 0
+			}
+		}
+		c, err := CountLagged(pred, truth, lag)
+		if err != nil {
+			return 0, Confusion{}, err
+		}
+		if f := c.F1(); f > bestF1 {
+			bestF1 = f
+			bestThr = thr
+			bestConf = c
+		}
+	}
+	return bestThr, bestConf, nil
+}

@@ -1,0 +1,134 @@
+package score
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestROCPerfectClassifier(t *testing.T) {
+	probs := []float64{0.9, 0.8, 0.2, 0.1}
+	truth := []int{1, 1, 0, 0}
+	auc, err := AUC(probs, truth)
+	if err != nil {
+		t.Fatalf("AUC: %v", err)
+	}
+	if math.Abs(auc-1) > 1e-9 {
+		t.Errorf("perfect AUC = %v, want 1", auc)
+	}
+}
+
+func TestROCInvertedClassifier(t *testing.T) {
+	probs := []float64{0.1, 0.2, 0.8, 0.9}
+	truth := []int{1, 1, 0, 0}
+	auc, err := AUC(probs, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-0) > 1e-9 {
+		t.Errorf("inverted AUC = %v, want 0", auc)
+	}
+}
+
+func TestROCChanceLevel(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	n := 5000
+	probs := make([]float64, n)
+	truth := make([]int, n)
+	for i := range probs {
+		probs[i] = r.Float64()
+		truth[i] = r.Intn(2)
+	}
+	auc, err := AUC(probs, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-0.5) > 0.03 {
+		t.Errorf("random AUC = %v, want ~0.5", auc)
+	}
+}
+
+func TestROCValidation(t *testing.T) {
+	if _, err := ROC([]float64{1}, []int{1, 0}); err == nil {
+		t.Error("expected length mismatch error")
+	}
+	if _, err := ROC(nil, nil); err == nil {
+		t.Error("expected empty-input error")
+	}
+	if _, err := ROC([]float64{0.5, 0.6}, []int{1, 1}); err == nil {
+		t.Error("expected single-class error")
+	}
+}
+
+func TestROCMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 20 + r.Intn(100)
+		probs := make([]float64, n)
+		truth := make([]int, n)
+		truth[0], truth[1] = 0, 1 // guarantee both classes
+		for i := range probs {
+			probs[i] = r.Float64()
+			if i > 1 {
+				truth[i] = r.Intn(2)
+			}
+		}
+		curve, err := ROC(probs, truth)
+		if err != nil {
+			return false
+		}
+		prevT, prevF := 0.0, 0.0
+		for _, p := range curve {
+			if p.TPR < prevT-1e-12 || p.FPR < prevF-1e-12 {
+				return false // rates must be non-decreasing
+			}
+			if p.TPR < 0 || p.TPR > 1 || p.FPR < 0 || p.FPR > 1 {
+				return false
+			}
+			prevT, prevF = p.TPR, p.FPR
+		}
+		// The curve must end at (1, 1).
+		last := curve[len(curve)-1]
+		return math.Abs(last.TPR-1) < 1e-9 && math.Abs(last.FPR-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBestF1Threshold(t *testing.T) {
+	// Scores cleanly separate at 0.55.
+	probs := []float64{0.9, 0.8, 0.7, 0.6, 0.4, 0.3, 0.2, 0.1}
+	truth := []int{1, 1, 1, 1, 0, 0, 0, 0}
+	thr, conf, err := BestF1Threshold(probs, truth, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf.F1() != 1 {
+		t.Errorf("best F1 = %v, want 1", conf.F1())
+	}
+	if thr < 0.4 || thr > 0.61 {
+		t.Errorf("threshold %v outside the separating band", thr)
+	}
+}
+
+func TestBestF1ThresholdLagged(t *testing.T) {
+	// An early high score just before a saturation episode is rescued by
+	// the lag, allowing a lower (more sensitive) threshold to win.
+	probs := []float64{0.1, 0.7, 0.9, 0.2}
+	truth := []int{0, 0, 1, 0}
+	_, conf, err := BestF1Threshold(probs, truth, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf.F1() != 1 {
+		t.Errorf("lagged best F1 = %v, want 1 (early warning forgiven)", conf.F1())
+	}
+}
+
+func TestBestF1ThresholdValidation(t *testing.T) {
+	if _, _, err := BestF1Threshold(nil, nil, 0); err == nil {
+		t.Error("expected empty-input error")
+	}
+}

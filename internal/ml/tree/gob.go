@@ -1,0 +1,66 @@
+package tree
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// treeWire mirrors Tree for gob encoding (the working fields are
+// unexported to keep the public API small).
+type treeWire struct {
+	Cfg         Config
+	Features    []int32
+	Left        []int32
+	Right       []int32
+	Thresholds  []float64
+	Probs       []float64
+	NFeatures   int
+	Importances []float64
+	Fitted      bool
+}
+
+// GobEncode implements gob.GobEncoder.
+func (t *Tree) GobEncode() ([]byte, error) {
+	w := treeWire{
+		Cfg:         t.cfg,
+		NFeatures:   t.nFeatures,
+		Importances: t.importances,
+		Fitted:      t.fitted,
+	}
+	for _, n := range t.nodes {
+		w.Features = append(w.Features, n.feature)
+		w.Left = append(w.Left, n.left)
+		w.Right = append(w.Right, n.right)
+		w.Thresholds = append(w.Thresholds, n.threshold)
+		w.Probs = append(w.Probs, n.prob)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, fmt.Errorf("tree: gob encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (t *Tree) GobDecode(data []byte) error {
+	var w treeWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return fmt.Errorf("tree: gob decode: %w", err)
+	}
+	t.cfg = w.Cfg
+	t.nFeatures = w.NFeatures
+	t.importances = w.Importances
+	t.fitted = w.Fitted
+	t.nodes = t.nodes[:0]
+	for i := range w.Features {
+		t.nodes = append(t.nodes, node{
+			feature:   w.Features[i],
+			left:      w.Left[i],
+			right:     w.Right[i],
+			threshold: w.Thresholds[i],
+			prob:      w.Probs[i],
+		})
+	}
+	return nil
+}

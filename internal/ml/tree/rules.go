@@ -1,0 +1,72 @@
+package tree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Rule is one root-to-leaf path of a fitted tree, rendered as a
+// conjunction of threshold conditions.
+type Rule struct {
+	// Conditions are the path's tests, in root-to-leaf order.
+	Conditions []string
+	// Prob is the leaf's P(y=1).
+	Prob float64
+	// Saturated applies a 0.5 cut to the leaf probability.
+	Saturated bool
+}
+
+// String renders the rule as "IF a <= x AND b > y THEN saturated (p=…)".
+func (r Rule) String() string {
+	verdict := "not saturated"
+	if r.Saturated {
+		verdict = "SATURATED"
+	}
+	cond := "always"
+	if len(r.Conditions) > 0 {
+		cond = strings.Join(r.Conditions, " AND ")
+	}
+	return fmt.Sprintf("IF %s THEN %s (p=%.2f)", cond, verdict, r.Prob)
+}
+
+// Rules enumerates every root-to-leaf path using the given feature names
+// (index-aligned with the training features). Out-of-range features fall
+// back to "f<i>". This powers the paper's §5 interpretability direction:
+// depth-restricted trees distilled from the forest yield operator-readable
+// scaling rules.
+func (t *Tree) Rules(names []string) []Rule {
+	if len(t.nodes) == 0 {
+		return nil
+	}
+	name := func(f int32) string {
+		if int(f) < len(names) {
+			return names[f]
+		}
+		return fmt.Sprintf("f%d", f)
+	}
+	var out []Rule
+	var walk func(i int32, conds []string)
+	walk = func(i int32, conds []string) {
+		n := t.nodes[i]
+		if n.feature < 0 {
+			out = append(out, Rule{
+				Conditions: append([]string(nil), conds...),
+				Prob:       n.prob,
+				Saturated:  n.prob >= 0.5,
+			})
+			return
+		}
+		// Copy the prefix for each branch: plain append could share (and
+		// clobber) the backing array between the two recursions.
+		left := make([]string, len(conds)+1)
+		copy(left, conds)
+		left[len(conds)] = fmt.Sprintf("%s <= %.4g", name(n.feature), n.threshold)
+		walk(n.left, left)
+		right := make([]string, len(conds)+1)
+		copy(right, conds)
+		right[len(conds)] = fmt.Sprintf("%s > %.4g", name(n.feature), n.threshold)
+		walk(n.right, right)
+	}
+	walk(0, nil)
+	return out
+}

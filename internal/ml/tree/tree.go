@@ -1,0 +1,429 @@
+// Package tree implements CART decision trees (Breiman et al. 1984) for
+// binary classification with sample weights, gini/entropy criteria and the
+// best/random splitter options from the paper's Table 2 grid. The tree is
+// the base learner for the random forest, AdaBoost and (via a regression
+// variant in package boost) gradient boosting.
+package tree
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"monitorless/internal/ml"
+)
+
+// Criterion selects the impurity measure.
+type Criterion int
+
+const (
+	// Gini impurity: 2·p·(1−p) for binary labels.
+	Gini Criterion = iota
+	// Entropy (information gain): −p·log2(p) − (1−p)·log2(1−p).
+	Entropy
+)
+
+// String implements fmt.Stringer.
+func (c Criterion) String() string {
+	switch c {
+	case Gini:
+		return "gini"
+	case Entropy:
+		return "entropy"
+	default:
+		return fmt.Sprintf("Criterion(%d)", int(c))
+	}
+}
+
+// Splitter selects how candidate thresholds are generated.
+type Splitter int
+
+const (
+	// Best scans every boundary between distinct sorted feature values.
+	Best Splitter = iota
+	// Random draws one uniform threshold per candidate feature
+	// (scikit-learn's splitter="random", an axis in Table 2's AdaBoost grid).
+	Random
+)
+
+// Config holds the tree hyper-parameters. The zero value is a fully grown
+// gini tree considering all features.
+type Config struct {
+	// MaxDepth limits tree depth; 0 means unlimited.
+	MaxDepth int
+	// MinSamplesSplit is the minimum weighted sample count to split a node.
+	MinSamplesSplit int
+	// MinSamplesLeaf is the minimum sample count in each child.
+	MinSamplesLeaf int
+	// Criterion selects gini or entropy.
+	Criterion Criterion
+	// Splitter selects best or random thresholds.
+	Splitter Splitter
+	// MaxFeatures is the number of features examined per split;
+	// 0 means all, -1 means √d (the forest default).
+	MaxFeatures int
+	// Seed seeds the feature subsampling / random splitter RNG.
+	Seed int64
+}
+
+// node is one tree node in the flattened node array.
+type node struct {
+	feature   int32 // -1 for leaves
+	left      int32
+	right     int32
+	threshold float64
+	prob      float64 // P(y=1) among weighted training samples at the node
+}
+
+// Tree is a fitted CART decision tree.
+type Tree struct {
+	cfg         Config
+	nodes       []node
+	nFeatures   int
+	importances []float64
+	fitted      bool
+}
+
+var _ ml.Classifier = (*Tree)(nil)
+var _ ml.WeightedFitter = (*Tree)(nil)
+var _ ml.FeatureImporter = (*Tree)(nil)
+
+// New returns an unfitted tree with the given configuration.
+func New(cfg Config) *Tree {
+	if cfg.MinSamplesSplit < 2 {
+		cfg.MinSamplesSplit = 2
+	}
+	if cfg.MinSamplesLeaf < 1 {
+		cfg.MinSamplesLeaf = 1
+	}
+	return &Tree{cfg: cfg}
+}
+
+// Fit trains the tree with uniform sample weights.
+func (t *Tree) Fit(x [][]float64, y []int) error {
+	return t.FitWeighted(x, y, nil)
+}
+
+// FitWeighted trains the tree. w may be nil for uniform weights.
+func (t *Tree) FitWeighted(x [][]float64, y []int, w []float64) error {
+	d, err := ml.ValidateTrainingSet(x, y)
+	if err != nil {
+		return err
+	}
+	if w == nil {
+		w = make([]float64, len(y))
+		for i := range w {
+			w[i] = 1
+		}
+	} else if len(w) != len(y) {
+		return fmt.Errorf("tree: %d weights for %d samples", len(w), len(y))
+	}
+
+	t.nFeatures = d
+	t.nodes = t.nodes[:0]
+	t.importances = make([]float64, d)
+
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	b := &builder{
+		tree: t,
+		x:    x,
+		y:    y,
+		w:    w,
+		rng:  rand.New(rand.NewSource(t.cfg.Seed)),
+	}
+	b.totalWeight = 0
+	for _, wi := range w {
+		b.totalWeight += wi
+	}
+	if b.totalWeight <= 0 {
+		return fmt.Errorf("tree: total sample weight must be positive")
+	}
+	b.build(idx, 0)
+	t.fitted = true
+
+	// Normalize importances to sum to 1.
+	sum := 0.0
+	for _, v := range t.importances {
+		sum += v
+	}
+	if sum > 0 {
+		for i := range t.importances {
+			t.importances[i] /= sum
+		}
+	}
+	return nil
+}
+
+// builder carries the shared fitting state.
+type builder struct {
+	tree        *Tree
+	x           [][]float64
+	y           []int
+	w           []float64
+	rng         *rand.Rand
+	totalWeight float64
+}
+
+// impurity computes the criterion value for a (weight, positive-weight) pair.
+func (b *builder) impurity(total, pos float64) float64 {
+	if total <= 0 {
+		return 0
+	}
+	p := pos / total
+	switch b.tree.cfg.Criterion {
+	case Entropy:
+		h := 0.0
+		if p > 0 {
+			h -= p * math.Log2(p)
+		}
+		if p < 1 {
+			h -= (1 - p) * math.Log2(1-p)
+		}
+		return h
+	default:
+		return 2 * p * (1 - p)
+	}
+}
+
+// build grows the subtree over idx and returns its node index.
+func (b *builder) build(idx []int, depth int) int32 {
+	t := b.tree
+	var total, pos float64
+	for _, i := range idx {
+		total += b.w[i]
+		if b.y[i] == 1 {
+			pos += b.w[i]
+		}
+	}
+	prob := 0.0
+	if total > 0 {
+		prob = pos / total
+	}
+
+	nodeIdx := int32(len(t.nodes))
+	t.nodes = append(t.nodes, node{feature: -1, prob: prob})
+
+	if len(idx) < t.cfg.MinSamplesSplit ||
+		(t.cfg.MaxDepth > 0 && depth >= t.cfg.MaxDepth) ||
+		prob == 0 || prob == 1 {
+		return nodeIdx
+	}
+
+	feat, thr, gain := b.bestSplit(idx, total, pos)
+	if feat < 0 {
+		return nodeIdx
+	}
+
+	left := make([]int, 0, len(idx))
+	right := make([]int, 0, len(idx))
+	for _, i := range idx {
+		if b.x[i][feat] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < t.cfg.MinSamplesLeaf || len(right) < t.cfg.MinSamplesLeaf {
+		return nodeIdx
+	}
+
+	t.importances[feat] += total / b.totalWeight * gain
+
+	leftIdx := b.build(left, depth+1)
+	rightIdx := b.build(right, depth+1)
+	t.nodes[nodeIdx].feature = int32(feat)
+	t.nodes[nodeIdx].threshold = thr
+	t.nodes[nodeIdx].left = leftIdx
+	t.nodes[nodeIdx].right = rightIdx
+	return nodeIdx
+}
+
+// bestSplit searches the candidate features for the best (feature,
+// threshold) pair; returns feature -1 when no split improves impurity.
+func (b *builder) bestSplit(idx []int, total, pos float64) (int, float64, float64) {
+	t := b.tree
+	d := t.nFeatures
+	k := t.cfg.MaxFeatures
+	switch {
+	case k == 0 || k > d:
+		k = d
+	case k < 0:
+		k = int(math.Sqrt(float64(d)))
+		if k < 1 {
+			k = 1
+		}
+	}
+
+	features := b.sampleFeatures(d, k)
+	parentImp := b.impurity(total, pos)
+
+	bestFeat, bestThr, bestGain := -1, 0.0, 1e-12
+	for _, f := range features {
+		var thr, gain float64
+		var ok bool
+		if t.cfg.Splitter == Random {
+			thr, gain, ok = b.randomSplit(idx, f, total, pos, parentImp)
+		} else {
+			thr, gain, ok = b.scanSplits(idx, f, total, pos, parentImp)
+		}
+		if ok && gain > bestGain {
+			bestFeat, bestThr, bestGain = f, thr, gain
+		}
+	}
+	if bestFeat < 0 {
+		return -1, 0, 0
+	}
+	return bestFeat, bestThr, bestGain
+}
+
+// sampleFeatures returns k distinct feature indices out of d.
+func (b *builder) sampleFeatures(d, k int) []int {
+	if k >= d {
+		all := make([]int, d)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	perm := b.rng.Perm(d)
+	return perm[:k]
+}
+
+// scanSplits sorts idx by feature f and scans all boundaries.
+func (b *builder) scanSplits(idx []int, f int, total, pos, parentImp float64) (float64, float64, bool) {
+	order := make([]int, len(idx))
+	copy(order, idx)
+	sort.Slice(order, func(a, c int) bool { return b.x[order[a]][f] < b.x[order[c]][f] })
+
+	minLeaf := b.tree.cfg.MinSamplesLeaf
+	var leftW, leftPos float64
+	bestGain, bestThr := 0.0, 0.0
+	found := false
+	for i := 0; i < len(order)-1; i++ {
+		s := order[i]
+		leftW += b.w[s]
+		if b.y[s] == 1 {
+			leftPos += b.w[s]
+		}
+		v, next := b.x[s][f], b.x[order[i+1]][f]
+		if v == next {
+			continue
+		}
+		if i+1 < minLeaf || len(order)-i-1 < minLeaf {
+			continue
+		}
+		rightW := total - leftW
+		rightPos := pos - leftPos
+		imp := (leftW*b.impurity(leftW, leftPos) + rightW*b.impurity(rightW, rightPos)) / total
+		gain := parentImp - imp
+		if gain > bestGain {
+			bestGain = gain
+			bestThr = v + (next-v)/2
+			found = true
+		}
+	}
+	return bestThr, bestGain, found
+}
+
+// randomSplit draws a single uniform threshold between the observed min and
+// max of feature f (scikit-learn's ExtraTree-style random splitter).
+func (b *builder) randomSplit(idx []int, f int, total, pos, parentImp float64) (float64, float64, bool) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, i := range idx {
+		v := b.x[i][f]
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi <= lo {
+		return 0, 0, false
+	}
+	thr := lo + b.rng.Float64()*(hi-lo)
+	var leftW, leftPos float64
+	var nLeft int
+	for _, i := range idx {
+		if b.x[i][f] <= thr {
+			nLeft++
+			leftW += b.w[i]
+			if b.y[i] == 1 {
+				leftPos += b.w[i]
+			}
+		}
+	}
+	minLeaf := b.tree.cfg.MinSamplesLeaf
+	if nLeft < minLeaf || len(idx)-nLeft < minLeaf {
+		return 0, 0, false
+	}
+	rightW := total - leftW
+	rightPos := pos - leftPos
+	imp := (leftW*b.impurity(leftW, leftPos) + rightW*b.impurity(rightW, rightPos)) / total
+	gain := parentImp - imp
+	if gain <= 0 {
+		return 0, 0, false
+	}
+	return thr, gain, true
+}
+
+// PredictProba returns P(y=1 | x).
+func (t *Tree) PredictProba(x []float64) float64 {
+	if !t.fitted {
+		return 0.5
+	}
+	i := int32(0)
+	for {
+		n := t.nodes[i]
+		if n.feature < 0 {
+			return n.prob
+		}
+		if x[n.feature] <= n.threshold {
+			i = n.left
+		} else {
+			i = n.right
+		}
+	}
+}
+
+// Predict returns the majority class at the reached leaf.
+func (t *Tree) Predict(x []float64) int {
+	if t.PredictProba(x) >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// FeatureImportances returns normalized impurity-decrease importances.
+func (t *Tree) FeatureImportances() []float64 {
+	out := make([]float64, len(t.importances))
+	copy(out, t.importances)
+	return out
+}
+
+// NumNodes reports the size of the fitted tree.
+func (t *Tree) NumNodes() int { return len(t.nodes) }
+
+// Depth returns the depth of the fitted tree (root = 0 for a stump leaf).
+func (t *Tree) Depth() int {
+	if len(t.nodes) == 0 {
+		return 0
+	}
+	var walk func(i int32) int
+	walk = func(i int32) int {
+		n := t.nodes[i]
+		if n.feature < 0 {
+			return 0
+		}
+		l, r := walk(n.left), walk(n.right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return walk(0)
+}

@@ -1,0 +1,89 @@
+package pcp
+
+import "monitorless/internal/apps"
+
+// Agent is the paper's per-node monitoring agent (§2): it samples the
+// collector once per second, converts counter metrics into rates using the
+// previous reading, and emits one combined metric vector per service
+// instance (host metrics ∥ container metrics, the paper's M_{I,t}).
+type Agent struct {
+	col  *Collector
+	prev *Snapshot
+}
+
+// NewAgent returns an agent over the collector.
+func NewAgent(col *Collector) *Agent {
+	return &Agent{col: col}
+}
+
+// Catalog returns the metric schema.
+func (a *Agent) Catalog() *Catalog { return a.col.Catalog() }
+
+// Observation carries the processed per-instance vectors for one tick.
+type Observation struct {
+	// T is the simulation second.
+	T int
+	// Vectors maps container ID to its combined processed metric vector,
+	// laid out as Catalog.CombinedDefs().
+	Vectors map[string][]float64
+}
+
+// Observe samples the engine and returns processed vectors. The first call
+// after construction (or Reset) returns ok=false because counters need two
+// readings to become rates.
+func (a *Agent) Observe(eng *apps.Engine) (obs Observation, ok bool) {
+	cur := a.col.Collect(eng)
+	prev := a.prev
+	a.prev = cur
+	if prev == nil {
+		return Observation{T: cur.T}, false
+	}
+	dt := float64(cur.T - prev.T)
+	if dt <= 0 {
+		dt = 1
+	}
+	cat := a.col.Catalog()
+	hostProcessed := make(map[string][]float64, len(cur.Host))
+	for node, raw := range cur.Host {
+		hostProcessed[node] = processVector(cat.HostDefs, raw, prev.Host[node], dt)
+	}
+
+	out := Observation{T: cur.T, Vectors: make(map[string][]float64, len(cur.Ctr))}
+	for id, raw := range cur.Ctr {
+		hp := hostProcessed[cur.NodeOf[id]]
+		if hp == nil {
+			continue
+		}
+		cp := processVector(cat.ContainerDefs, raw, prev.Ctr[id], dt)
+		vec := make([]float64, 0, len(hp)+len(cp))
+		vec = append(vec, hp...)
+		vec = append(vec, cp...)
+		out.Vectors[id] = vec
+	}
+	return out, true
+}
+
+// Reset clears the previous reading (e.g. between independent runs).
+func (a *Agent) Reset() { a.prev = nil }
+
+// processVector converts counters to per-second rates against prev; other
+// kinds pass through. A missing prev (new container) yields zero rates.
+func processVector(defs []MetricDef, cur, prev []float64, dt float64) []float64 {
+	out := make([]float64, len(cur))
+	for i, d := range defs {
+		if d.Kind == Counter {
+			if prev == nil || i >= len(prev) {
+				out[i] = 0
+				continue
+			}
+			rate := (cur[i] - prev[i]) / dt
+			if rate < 0 {
+				rate = 0 // counter wrap/restart
+			}
+			out[i] = rate
+		} else {
+			out[i] = cur[i]
+		}
+	}
+	return out
+}

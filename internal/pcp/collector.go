@@ -1,0 +1,495 @@
+package pcp
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"monitorless/internal/apps"
+	"monitorless/internal/cluster"
+)
+
+// Snapshot is one tick's raw metric readings: counters are cumulative, as
+// a real PCP agent reports them.
+type Snapshot struct {
+	// T is the simulation second of the reading.
+	T int
+	// Host maps node name to its raw host vector.
+	Host map[string][]float64
+	// Ctr maps container ID to its raw container vector.
+	Ctr map[string][]float64
+	// NodeOf maps container ID to its node name.
+	NodeOf map[string]string
+}
+
+// Collector synthesizes PCP readings from the simulator state. It holds
+// cumulative counter state and random-walk state so consecutive snapshots
+// diff into meaningful rates.
+type Collector struct {
+	cat *Catalog
+	rng *rand.Rand
+
+	hostCum   map[string][]float64
+	ctrCum    map[string][]float64
+	hostWalk  map[string][]float64
+	ctrWalk   map[string][]float64
+	loadState map[string][3]float64
+}
+
+// NewCollector returns a collector over the catalog with deterministic
+// measurement noise derived from seed.
+func NewCollector(cat *Catalog, seed int64) *Collector {
+	return &Collector{
+		cat:       cat,
+		rng:       rand.New(rand.NewSource(seed)),
+		hostCum:   make(map[string][]float64),
+		ctrCum:    make(map[string][]float64),
+		hostWalk:  make(map[string][]float64),
+		ctrWalk:   make(map[string][]float64),
+		loadState: make(map[string][3]float64),
+	}
+}
+
+// Catalog returns the collector's metric schema.
+func (c *Collector) Catalog() *Catalog { return c.cat }
+
+// noisy perturbs v with ~2% multiplicative measurement noise (sampled
+// rates and derived utilizations).
+func (c *Collector) noisy(v float64) float64 {
+	return v * (1 + 0.02*c.rng.NormFloat64())
+}
+
+// noisyExact perturbs v with ~0.2% noise: memory gauges are exact byte
+// counters, not sampled rates, so their readings barely jitter.
+func (c *Collector) noisyExact(v float64) float64 {
+	return v * (1 + 0.002*c.rng.NormFloat64())
+}
+
+// nodeAggregate sums the instance states of all containers on one node.
+type nodeAggregate struct {
+	cpuUsed, cpuWant    float64
+	throughput, conc    float64
+	diskRead, diskWrite float64
+	diskWant            float64
+	netMbps             float64
+	memUsedGB           float64
+	memBW               float64
+	pageFaults          float64
+	drops               float64
+	nContainers         int
+	throttledContainers int
+}
+
+// Collect produces a snapshot of every node and container in the engine.
+func (c *Collector) Collect(eng *apps.Engine) *Snapshot {
+	snap := &Snapshot{
+		T:      eng.Now(),
+		Host:   make(map[string][]float64),
+		Ctr:    make(map[string][]float64),
+		NodeOf: make(map[string]string),
+	}
+
+	// Gather instances grouped by node, deterministically ordered.
+	aggs := make(map[*cluster.Node]*nodeAggregate)
+	type instRef struct {
+		id   string
+		node *cluster.Node
+		st   *apps.InstanceState
+		ctr  *cluster.Container
+	}
+	var refs []instRef
+	for _, a := range eng.Apps() {
+		for _, s := range a.Services() {
+			for _, inst := range s.Instances() {
+				node := inst.Ctr.Node()
+				if node == nil {
+					continue
+				}
+				refs = append(refs, instRef{id: inst.Ctr.ID, node: node, st: &inst.State, ctr: inst.Ctr})
+			}
+		}
+	}
+	sort.Slice(refs, func(i, j int) bool { return refs[i].id < refs[j].id })
+
+	for _, r := range refs {
+		agg := aggs[r.node]
+		if agg == nil {
+			agg = &nodeAggregate{}
+			aggs[r.node] = agg
+		}
+		st := r.st
+		agg.cpuUsed += st.CPUGranted
+		agg.cpuWant += st.CPUWant
+		agg.throughput += st.Throughput
+		agg.conc += st.Concurrency
+		agg.diskRead += st.DiskReadMBps
+		agg.diskWrite += st.DiskWriteMBps
+		agg.diskWant += st.DiskWantMBps
+		agg.netMbps += st.NetMbps
+		agg.memUsedGB += st.MemUsedGB
+		agg.memBW += st.MemBWGBps
+		agg.pageFaults += st.PageFaultRate
+		agg.drops += st.Drops
+		agg.nContainers++
+		if st.Throttled {
+			agg.throttledContainers++
+		}
+	}
+
+	nodes := eng.Cluster().Nodes()
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Name < nodes[j].Name })
+	for _, node := range nodes {
+		agg := aggs[node]
+		if agg == nil {
+			agg = &nodeAggregate{}
+		}
+		snap.Host[node.Name] = c.hostVector(node, agg)
+	}
+	for _, r := range refs {
+		snap.Ctr[r.id] = c.ctrVector(r.ctr, r.node, r.st)
+		snap.NodeOf[r.id] = r.node.Name
+	}
+	return snap
+}
+
+// bump adds a (noisy, non-negative) increment to a cumulative counter.
+func (c *Collector) bump(cum []float64, idx int, rate float64) {
+	if rate < 0 {
+		rate = 0
+	}
+	inc := c.noisy(rate)
+	if inc < 0 {
+		inc = 0
+	}
+	cum[idx] += inc
+}
+
+const gb = 1 << 30
+
+func (c *Collector) hostVector(node *cluster.Node, agg *nodeAggregate) []float64 {
+	defs := c.cat.HostDefs
+	cum := c.hostCum[node.Name]
+	if cum == nil {
+		cum = make([]float64, len(defs))
+		c.hostCum[node.Name] = cum
+	}
+	walk := c.hostWalk[node.Name]
+	if walk == nil {
+		walk = make([]float64, len(defs))
+		c.hostWalk[node.Name] = walk
+	}
+
+	// OS background activity.
+	osCPU := 0.02 * node.Cores
+	cpuUsed := math.Min(agg.cpuUsed+osCPU, node.Cores)
+	cpuUtil := 100 * cpuUsed / node.Cores
+	diskPressure := 0.0
+	if node.DiskMBps > 0 {
+		diskPressure = agg.diskWant / node.DiskMBps
+	}
+	iowaitCores := math.Min(diskPressure, 1) * 0.1 * node.Cores
+	netUtil := 0.0
+	if node.NetMbps > 0 {
+		netUtil = 100 * agg.netMbps / node.NetMbps
+	}
+	memUsedGB := math.Min(agg.memUsedGB+4, node.MemGB)
+	memUtil := 100 * memUsedGB / node.MemGB
+	bwUtil := 100 * agg.memBW / node.MemBWGBps
+
+	// Load averages with exponential smoothing per window.
+	ls := c.loadState[node.Name]
+	want := agg.cpuWant + osCPU
+	ls[0] = ls[0]*math.Exp(-1.0/60) + want*(1-math.Exp(-1.0/60))
+	ls[1] = ls[1]*math.Exp(-1.0/300) + want*(1-math.Exp(-1.0/300))
+	ls[2] = ls[2]*math.Exp(-1.0/900) + want*(1-math.Exp(-1.0/900))
+	c.loadState[node.Name] = ls
+
+	netPkts := agg.netMbps / 8 * 1e6 / 1200 // ~1.2 KB per packet
+	cachedGB := 0.35 * memUsedGB
+	nprocs := 180 + 25*float64(agg.nContainers) + 0.05*agg.conc
+
+	out := make([]float64, len(defs))
+	for i, d := range defs {
+		switch d.Name {
+		case "kernel.all.cpu.user":
+			c.bump(cum, i, cpuUsed*0.75*100)
+		case "kernel.all.cpu.sys":
+			c.bump(cum, i, cpuUsed*0.23*100)
+		case "kernel.all.cpu.idle":
+			c.bump(cum, i, math.Max(node.Cores-cpuUsed-iowaitCores, 0)*100)
+		case "kernel.all.cpu.wait.total":
+			c.bump(cum, i, iowaitCores*100)
+		case "kernel.all.cpu.nice":
+			c.bump(cum, i, cpuUsed*0.02*100)
+		case "kernel.all.cpu.steal":
+			c.bump(cum, i, 0.1)
+		case "H-CPU-U":
+			out[i] = clampPct(c.noisy(cpuUtil))
+		case "kernel.all.load.1":
+			out[i] = math.Max(c.noisy(ls[0]), 0)
+		case "kernel.all.load.5":
+			out[i] = math.Max(c.noisy(ls[1]), 0)
+		case "kernel.all.load.15":
+			out[i] = math.Max(c.noisy(ls[2]), 0)
+		case "kernel.all.pswitch":
+			c.bump(cum, i, 1500+agg.throughput*12)
+		case "kernel.all.intr":
+			c.bump(cum, i, 900+agg.throughput*6+netPkts*0.5)
+		case "kernel.all.sysfork":
+			c.bump(cum, i, 5+agg.throughput*0.05)
+		case "kernel.all.nprocs":
+			out[i] = math.Max(c.noisy(nprocs), 1)
+		case "kernel.all.runnable":
+			out[i] = math.Max(c.noisy(math.Max(want-node.Cores, 0)+2), 0)
+		case "mem.util.used":
+			out[i] = math.Max(c.noisy(memUsedGB*gb), 0)
+		case "mem.util.free":
+			out[i] = math.Max(c.noisy((node.MemGB-memUsedGB)*gb), 0)
+		case "mem.util.cached":
+			out[i] = math.Max(c.noisy(cachedGB*gb), 0)
+		case "mem.util.bufmem":
+			out[i] = math.Max(c.noisy(0.05*memUsedGB*gb), 0)
+		case "mem.util.available":
+			out[i] = math.Max(c.noisy((node.MemGB-memUsedGB+cachedGB)*gb), 0)
+		case "mem.util.slab":
+			out[i] = math.Max(c.noisy(0.02*node.MemGB*gb), 0)
+		case "H-MEM-U":
+			out[i] = clampPct(c.noisyExact(memUtil))
+		case "mem.vmstat.nr_inactive_anon":
+			out[i] = math.Max(c.noisy(0.25*memUsedGB*gb/4096), 0)
+		case "mem.vmstat.nr_active_anon":
+			out[i] = math.Max(c.noisy(0.45*memUsedGB*gb/4096), 0)
+		case "mem.vmstat.nr_inactive_file":
+			out[i] = math.Max(c.noisy(0.4*cachedGB*gb/4096), 0)
+		case "mem.vmstat.nr_active_file":
+			out[i] = math.Max(c.noisy(0.6*cachedGB*gb/4096), 0)
+		case "mem.vmstat.nr_kernel_stack":
+			out[i] = math.Max(c.noisy(nprocs*4), 0)
+		case "mem.vmstat.nr_dirty":
+			out[i] = math.Max(c.noisy(agg.diskWrite*256*2), 0)
+		case "mem.vmstat.pgpgin":
+			c.bump(cum, i, agg.diskRead*1024)
+		case "mem.vmstat.pgpgout":
+			c.bump(cum, i, agg.diskWrite*1024)
+		case "mem.vmstat.pgfault":
+			c.bump(cum, i, agg.throughput*40+agg.pageFaults)
+		case "mem.vmstat.pgmajfault":
+			c.bump(cum, i, agg.pageFaults)
+		case "mem.vmstat.pswpin":
+			c.bump(cum, i, agg.pageFaults*0.8)
+		case "mem.vmstat.pswpout":
+			c.bump(cum, i, agg.pageFaults*0.5)
+		case "perf.membw.util":
+			out[i] = clampPct(c.noisy(bwUtil))
+		case "network.tcp.currestab":
+			out[i] = math.Max(c.noisy(15+agg.conc), 0)
+		case "network.tcpconn.established":
+			out[i] = math.Max(c.noisy(15+agg.conc), 0)
+		case "network.sockstat.tcp.inuse":
+			out[i] = math.Max(c.noisy(23+1.15*agg.conc), 0)
+		case "network.sockstat.tcp.tw":
+			out[i] = math.Max(c.noisy(agg.throughput*0.5), 0)
+		case "network.tcp.activeopens":
+			c.bump(cum, i, agg.throughput*0.5)
+		case "network.tcp.passiveopens":
+			c.bump(cum, i, agg.throughput*0.5)
+		case "network.tcp.retranssegs":
+			press := math.Max(netUtil/100-0.7, 0)
+			c.bump(cum, i, press*press*400)
+		case "network.tcp.insegs":
+			c.bump(cum, i, 20+agg.throughput*6)
+		case "network.tcp.outsegs":
+			c.bump(cum, i, 20+agg.throughput*8)
+		case "network.interface.in.bytes":
+			c.bump(cum, i, 1e4+0.3*agg.netMbps/8*1e6)
+		case "network.interface.out.bytes":
+			c.bump(cum, i, 1e4+0.7*agg.netMbps/8*1e6)
+		case "network.interface.in.packets":
+			c.bump(cum, i, 10+0.4*netPkts)
+		case "network.interface.out.packets":
+			c.bump(cum, i, 10+0.6*netPkts)
+		case "network.interface.in.errors":
+			c.bump(cum, i, math.Max(netUtil/100-0.95, 0)*50)
+		case "network.interface.out.drops":
+			c.bump(cum, i, math.Max(netUtil/100-0.9, 0)*80)
+		case "H-NET-U":
+			out[i] = clampPct(c.noisy(netUtil))
+		case "disk.all.read":
+			c.bump(cum, i, agg.diskRead*16)
+		case "disk.all.write":
+			c.bump(cum, i, agg.diskWrite*16)
+		case "disk.all.read_bytes":
+			c.bump(cum, i, agg.diskRead*1e6)
+		case "disk.all.write_bytes":
+			c.bump(cum, i, agg.diskWrite*1e6)
+		case "disk.all.aveq":
+			q := 3*math.Min(diskPressure, 1) + 120*math.Max(diskPressure-0.75, 0)
+			out[i] = math.Max(c.noisy(q), 0)
+		case "disk.all.avactive":
+			out[i] = math.Max(c.noisy(math.Min(diskPressure, 1)*1000), 0)
+		case "H-DISK-U":
+			out[i] = clampPct(c.noisy(100 * math.Min(diskPressure, 1)))
+		case "vfs.inodes.free":
+			out[i] = math.Max(c.noisy(1e7-nprocs*20), 0)
+		case "vfs.inodes.count":
+			out[i] = c.noisy(1.2e7)
+		case "vfs.files.count":
+			out[i] = math.Max(c.noisy(5000+3*agg.conc+nprocs*8), 0)
+		case "vfs.files.free":
+			out[i] = math.Max(c.noisy(2e5-3*agg.conc), 0)
+		case "hinv.ncpu":
+			out[i] = node.Cores
+		case "hinv.ninterface":
+			out[i] = 2
+		case "hinv.ndisk":
+			out[i] = 4
+		case "hinv.physmem":
+			out[i] = node.MemGB * gb
+		default:
+			if v, ok := c.derivedHostValue(d.Name, node, agg); ok {
+				if d.Kind == Counter {
+					c.bump(cum, i, v)
+				} else if d.Kind == Utilization {
+					out[i] = clampPct(c.noisy(v))
+				} else {
+					out[i] = math.Max(c.noisy(v), 0)
+				}
+				break
+			}
+			// Noise metric: bounded random walk around 50.
+			walk[i] = 0.98*walk[i] + c.rng.NormFloat64()
+			out[i] = 50 + 10*walk[i]
+		}
+		if d.Kind == Counter {
+			out[i] = cum[i]
+		}
+	}
+	return out
+}
+
+func (c *Collector) ctrVector(ctr *cluster.Container, node *cluster.Node, st *apps.InstanceState) []float64 {
+	defs := c.cat.ContainerDefs
+	cum := c.ctrCum[ctr.ID]
+	if cum == nil {
+		cum = make([]float64, len(defs))
+		c.ctrCum[ctr.ID] = cum
+	}
+	walk := c.ctrWalk[ctr.ID]
+	if walk == nil {
+		walk = make([]float64, len(defs))
+		c.ctrWalk[ctr.ID] = walk
+	}
+
+	cpuLimit := st.CPULimit
+	if cpuLimit <= 0 {
+		cpuLimit = node.Cores
+	}
+	cpuUtil := 100 * st.CPUGranted / cpuLimit
+	memLimit := st.MemLimitGB
+	if memLimit <= 0 {
+		memLimit = node.MemGB
+	}
+	memUtil := 100 * st.MemUsedGB / memLimit
+	throttleIntensity := 0.0
+	if st.Throttled && st.CPULimit > 0 {
+		throttleIntensity = math.Min((st.CPUWant-st.CPULimit)/st.CPULimit, 1)
+	}
+	nthreads := 30 + 0.3*st.Concurrency
+	mappedGB := 0.1 * st.MemUsedGB
+	activeFileGB := 0.2 * st.MemUsedGB
+
+	out := make([]float64, len(defs))
+	for i, d := range defs {
+		switch d.Name {
+		case "cgroup.cpuacct.usage":
+			c.bump(cum, i, st.CPUGranted)
+		case "cgroup.cpuacct.usage_user":
+			c.bump(cum, i, st.CPUGranted*0.78)
+		case "cgroup.cpuacct.usage_sys":
+			c.bump(cum, i, st.CPUGranted*0.22)
+		case "C-CPU-U":
+			out[i] = clampPct(c.noisy(cpuUtil))
+		case "cgroup.cpusched.periods":
+			if st.CPULimit > 0 {
+				c.bump(cum, i, 10)
+			}
+		case "cgroup.cpusched.throttled":
+			c.bump(cum, i, 10*throttleIntensity)
+		case "cgroup.cpusched.throttled_time":
+			c.bump(cum, i, throttleIntensity)
+		case "cgroup.memory.usage":
+			out[i] = math.Max(c.noisy(st.MemUsedGB*gb), 0)
+		case "cgroup.memory.rss":
+			out[i] = math.Max(c.noisy(0.55*st.MemUsedGB*gb), 0)
+		case "cgroup.memory.cache":
+			out[i] = math.Max(c.noisy(0.35*st.MemUsedGB*gb), 0)
+		case "cgroup.memory.mapped_file":
+			out[i] = math.Max(c.noisy(mappedGB*gb), 0)
+		case "cgroup.memory.active_anon":
+			out[i] = math.Max(c.noisy(0.4*st.MemUsedGB*gb), 0)
+		case "cgroup.memory.inactive_anon":
+			out[i] = math.Max(c.noisy(0.15*st.MemUsedGB*gb), 0)
+		case "cgroup.memory.active_file":
+			out[i] = math.Max(c.noisy(activeFileGB*gb), 0)
+		case "cgroup.memory.inactive_file":
+			out[i] = math.Max(c.noisy(0.15*st.MemUsedGB*gb), 0)
+		case "cgroup.memory.kernel_stack":
+			out[i] = math.Max(c.noisy(nthreads*16*1024), 0)
+		case "S-MEM-U":
+			out[i] = clampPct(c.noisyExact(memUtil))
+		case "S-MEM-U-mapped":
+			out[i] = clampPct(c.noisyExact(100 * mappedGB / memLimit))
+		case "S-MEM-U-active_file":
+			out[i] = clampPct(c.noisyExact(100 * activeFileGB / memLimit))
+		case "cgroup.memory.pgfault":
+			c.bump(cum, i, st.Throughput*30+st.PageFaultRate)
+		case "cgroup.memory.pgmajfault":
+			c.bump(cum, i, st.PageFaultRate)
+		case "container.network.in.bytes":
+			c.bump(cum, i, 1e3+0.3*st.NetMbps/8*1e6)
+		case "container.network.out.bytes":
+			c.bump(cum, i, 1e3+0.7*st.NetMbps/8*1e6)
+		case "container.network.in.packets":
+			c.bump(cum, i, 5+st.Throughput*1.2)
+		case "container.network.out.packets":
+			c.bump(cum, i, 5+st.Throughput*1.5)
+		case "container.tcp.conns":
+			out[i] = math.Max(c.noisy(2+st.Concurrency), 0)
+		case "container.disk.read_bytes":
+			c.bump(cum, i, st.DiskReadMBps*1e6)
+		case "container.disk.write_bytes":
+			c.bump(cum, i, st.DiskWriteMBps*1e6)
+		case "container.disk.iops":
+			c.bump(cum, i, (st.DiskReadMBps+st.DiskWriteMBps)*16)
+		case "container.nprocs":
+			out[i] = math.Max(c.noisy(8+0.02*st.Concurrency), 1)
+		case "container.nthreads":
+			out[i] = math.Max(c.noisy(nthreads), 1)
+		default:
+			if v, ok := c.derivedContainerValue(d.Name, st); ok {
+				if d.Kind == Counter {
+					c.bump(cum, i, v)
+				} else {
+					out[i] = math.Max(c.noisy(v), 0)
+				}
+				break
+			}
+			walk[i] = 0.98*walk[i] + c.rng.NormFloat64()
+			out[i] = 50 + 10*walk[i]
+		}
+		if d.Kind == Counter {
+			out[i] = cum[i]
+		}
+	}
+	return out
+}
+
+func clampPct(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 100 {
+		return 100
+	}
+	return v
+}

@@ -1,0 +1,131 @@
+package pcp
+
+import (
+	"math"
+	"strconv"
+	"strings"
+
+	"monitorless/internal/apps"
+	"monitorless/internal/cluster"
+)
+
+// Derivation of FullCatalog's per-device metric families from node
+// aggregates. Each helper returns (value, true) when it recognizes the
+// metric name; counters receive per-second rates (the caller accumulates
+// them), gauges receive instantaneous values.
+
+// nameHash gives a stable per-metric fraction in [0, 1) used to vary
+// static quantities (filesystem sizes, IRQ line weights) across devices.
+func nameHash(name string) float64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return float64(h%1000) / 1000
+}
+
+// trailingIndex parses the integer suffix of names like ".cpu17", ".eth1"
+// or ".line9"; returns 0 when absent.
+func trailingIndex(name string) int {
+	i := len(name)
+	for i > 0 && name[i-1] >= '0' && name[i-1] <= '9' {
+		i--
+	}
+	if i == len(name) {
+		return 0
+	}
+	n, err := strconv.Atoi(name[i:])
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// derivedHostValue synthesizes one FullCatalog host metric from the node
+// aggregate. ok=false means the name belongs to no derived family.
+func (c *Collector) derivedHostValue(name string, node *cluster.Node, agg *nodeAggregate) (float64, bool) {
+	cpuUsed := math.Min(agg.cpuUsed+0.02*node.Cores, node.Cores)
+	switch {
+	case strings.HasPrefix(name, "kernel.percpu.cpu.user."):
+		return cpuUsed * 0.75 * 100 / node.Cores, true
+	case strings.HasPrefix(name, "kernel.percpu.cpu.sys."):
+		return cpuUsed * 0.23 * 100 / node.Cores, true
+	case strings.HasPrefix(name, "kernel.percpu.cpu.idle."):
+		return math.Max(node.Cores-cpuUsed, 0) * 100 / node.Cores, true
+	case strings.HasPrefix(name, "disk.dev.read_bytes."):
+		return agg.diskRead * 1e6 / 4, true
+	case strings.HasPrefix(name, "disk.dev.write_bytes."):
+		return agg.diskWrite * 1e6 / 4, true
+	case strings.HasPrefix(name, "disk.dev.read."):
+		return agg.diskRead * 16 / 4, true
+	case strings.HasPrefix(name, "disk.dev.write."):
+		return agg.diskWrite * 16 / 4, true
+	case strings.HasPrefix(name, "disk.dev.aveq."), strings.HasPrefix(name, "disk.dev.avactive."):
+		pressure := 0.0
+		if node.DiskMBps > 0 {
+			pressure = math.Min(agg.diskWant/node.DiskMBps, 1)
+		}
+		if strings.HasPrefix(name, "disk.dev.aveq.") {
+			return 3*pressure + 120*math.Max(pressure-0.75, 0), true
+		}
+		return pressure * 1000, true
+	case strings.HasPrefix(name, "network.perif."):
+		// eth0 carries ~80% of the traffic, eth1 the rest.
+		share := 0.8
+		if trailingIndex(name) == 1 {
+			share = 0.2
+		}
+		bytesRate := agg.netMbps / 8 * 1e6
+		pkts := bytesRate / 1200
+		switch {
+		case strings.Contains(name, ".in.bytes."):
+			return 1e3 + 0.3*bytesRate*share, true
+		case strings.Contains(name, ".out.bytes."):
+			return 1e3 + 0.7*bytesRate*share, true
+		case strings.Contains(name, ".in.packets."):
+			return 5 + 0.4*pkts*share, true
+		case strings.Contains(name, ".out.packets."):
+			return 5 + 0.6*pkts*share, true
+		case strings.Contains(name, ".in.errors."):
+			util := 0.0
+			if node.NetMbps > 0 {
+				util = agg.netMbps / node.NetMbps
+			}
+			return math.Max(util-0.95, 0) * 50 * share, true
+		case strings.Contains(name, ".out.drops."):
+			util := 0.0
+			if node.NetMbps > 0 {
+				util = agg.netMbps / node.NetMbps
+			}
+			return math.Max(util-0.9, 0) * 80 * share, true
+		}
+		return 0, true
+	case strings.HasPrefix(name, "filesys.full."):
+		return clampPct(30 + 50*nameHash(name)), true
+	case strings.HasPrefix(name, "filesys.used."):
+		return (20 + 400*nameHash(name)) * gb / 16, true
+	case strings.HasPrefix(name, "filesys.free."):
+		return (10 + 200*nameHash(name)) * gb / 16, true
+	case strings.HasPrefix(name, "filesys.usedfiles."):
+		return 1e4 + 1e6*nameHash(name), true
+	case strings.HasPrefix(name, "mem.vmstat."):
+		// Extra vmstat fields: stable per-field fractions of resident
+		// memory (in pages) so they track memory pressure weakly.
+		memUsedGB := math.Min(agg.memUsedGB+4, node.MemGB)
+		return nameHash(name) * 0.2 * memUsedGB * gb / 4096, true
+	case strings.HasPrefix(name, "kernel.all.interrupts.line"):
+		// Per-line share of the interrupt rate, weighted per line.
+		total := 900 + agg.throughput*6
+		return total * nameHash(name) / 12, true
+	}
+	return 0, false
+}
+
+// derivedContainerValue synthesizes one FullCatalog container metric.
+func (c *Collector) derivedContainerValue(name string, st *apps.InstanceState) (float64, bool) {
+	if strings.HasPrefix(name, "cgroup.memory.stat.") {
+		return nameHash(name) * 0.3 * st.MemUsedGB * gb, true
+	}
+	return 0, false
+}

@@ -1,0 +1,126 @@
+package pcp
+
+import "fmt"
+
+// FullCatalog returns a catalog sized exactly like the paper's PCP
+// deployment: 952 host metrics and 88 container metrics (§3.3). On top of
+// DefaultCatalog's named families it adds the per-device splits a real
+// PCP install exports — per-CPU scheduler counters, per-disk and
+// per-interface device statistics, per-filesystem occupancy, additional
+// vmstat fields and interrupt lines — whose values the collector derives
+// from the node aggregates. The remaining width is the long tail of
+// present-but-uninformative metrics every PCP host reports, modeled as
+// bounded random walks that the feature selection must reject.
+//
+// FullCatalog is opt-in (cmd/datagen -catalog full): the calibrated
+// experiment suite uses DefaultCatalog, whose ~290 metrics keep the full
+// pipeline laptop-sized (DESIGN.md §6).
+func FullCatalog() *Catalog {
+	const (
+		hostTarget = 952
+		ctrTarget  = 88
+		nCPU       = 48 // the training host's core count
+		nDisk      = 4
+		nIface     = 2
+		nMounts    = 8
+		nIRQLines  = 24
+	)
+
+	base := DefaultCatalog()
+	// Strip the default noise tail; FullCatalog sizes its own.
+	host := make([]MetricDef, 0, hostTarget)
+	for _, d := range base.HostDefs {
+		if d.Domain == DomOther && len(d.Name) > 4 && d.Name[:4] == "pcp." {
+			continue
+		}
+		host = append(host, d)
+	}
+	ctr := make([]MetricDef, 0, ctrTarget)
+	for _, d := range base.ContainerDefs {
+		if d.Domain == DomOther && len(d.Name) > 4 && d.Name[:4] == "pcp." {
+			continue
+		}
+		ctr = append(ctr, d)
+	}
+
+	h := func(name string, kind Kind, dom Domain, log bool) {
+		host = append(host, MetricDef{Name: name, Scope: Host, Kind: kind, Domain: dom, LogScale: log})
+	}
+	c := func(name string, kind Kind, dom Domain, log bool) {
+		ctr = append(ctr, MetricDef{Name: name, Scope: Container, Kind: kind, Domain: dom, LogScale: log})
+	}
+
+	// Per-CPU scheduler counters (derived: aggregate / ncpu).
+	for i := 0; i < nCPU; i++ {
+		h(fmt.Sprintf("kernel.percpu.cpu.user.cpu%d", i), Counter, DomCPU, false)
+		h(fmt.Sprintf("kernel.percpu.cpu.sys.cpu%d", i), Counter, DomCPU, false)
+		h(fmt.Sprintf("kernel.percpu.cpu.idle.cpu%d", i), Counter, DomCPU, false)
+	}
+	// Per-disk device statistics.
+	for i := 0; i < nDisk; i++ {
+		dev := fmt.Sprintf("sd%c", 'a'+i)
+		h("disk.dev.read."+dev, Counter, DomDisk, true)
+		h("disk.dev.write."+dev, Counter, DomDisk, true)
+		h("disk.dev.read_bytes."+dev, Counter, DomDisk, true)
+		h("disk.dev.write_bytes."+dev, Counter, DomDisk, true)
+		h("disk.dev.aveq."+dev, Gauge, DomDisk, true)
+		h("disk.dev.avactive."+dev, Gauge, DomDisk, true)
+	}
+	// Per-interface statistics.
+	for i := 0; i < nIface; i++ {
+		dev := fmt.Sprintf("eth%d", i)
+		h("network.perif.in.bytes."+dev, Counter, DomNet, true)
+		h("network.perif.out.bytes."+dev, Counter, DomNet, true)
+		h("network.perif.in.packets."+dev, Counter, DomNet, true)
+		h("network.perif.out.packets."+dev, Counter, DomNet, true)
+		h("network.perif.in.errors."+dev, Counter, DomNet, false)
+		h("network.perif.out.drops."+dev, Counter, DomNet, false)
+	}
+	// Per-filesystem occupancy.
+	for i := 0; i < nMounts; i++ {
+		mnt := fmt.Sprintf("fs%d", i)
+		h("filesys.used."+mnt, Gauge, DomVFS, true)
+		h("filesys.free."+mnt, Gauge, DomVFS, true)
+		h("filesys.full."+mnt, Utilization, DomVFS, false)
+		h("filesys.usedfiles."+mnt, Gauge, DomVFS, true)
+	}
+	// Additional vmstat fields (weakly correlated gauges/counters).
+	extraVMStat := []string{
+		"nr_free_pages", "nr_zone_inactive_anon", "nr_zone_active_anon",
+		"nr_zone_inactive_file", "nr_zone_active_file", "nr_mlock",
+		"nr_page_table_pages", "nr_bounce", "nr_writeback", "nr_unstable",
+		"nr_shmem", "nr_anon_transparent_hugepages", "numa_hit", "numa_miss",
+		"numa_local", "numa_foreign", "pgalloc_normal", "pgfree",
+		"pgactivate", "pgdeactivate", "pgrefill", "pgsteal_direct",
+		"kswapd_inodesteal", "slabs_scanned", "compact_stall",
+		"thp_fault_alloc", "thp_collapse_alloc", "drop_pagecache",
+		"unevictable_pgs_culled", "workingset_refault",
+	}
+	for _, f := range extraVMStat {
+		h("mem.vmstat."+f, Gauge, DomMem, true)
+	}
+	// Interrupt lines.
+	for i := 0; i < nIRQLines; i++ {
+		h(fmt.Sprintf("kernel.all.interrupts.line%d", i), Counter, DomKernel, true)
+	}
+	// Long tail of present-but-uninformative host metrics.
+	for i := 0; len(host) < hostTarget; i++ {
+		h(fmt.Sprintf("pcp.host.misc%03d", i), Gauge, DomOther, false)
+	}
+
+	// Container: extra cgroup memory stat fields plus the long tail.
+	extraCgroupMem := []string{
+		"total_cache", "total_rss", "total_mapped_file", "total_pgpgin",
+		"total_pgpgout", "unevictable", "hierarchical_memory_limit",
+		"total_inactive_anon", "total_active_anon", "total_inactive_file",
+		"total_active_file", "writeback",
+	}
+	for _, f := range extraCgroupMem {
+		c("cgroup.memory.stat."+f, Gauge, DomMem, true)
+	}
+	for i := 0; len(ctr) < ctrTarget; i++ {
+		c(fmt.Sprintf("pcp.container.misc%02d", i), Gauge, DomOther, false)
+	}
+
+	return &Catalog{HostDefs: host[:hostTarget], ContainerDefs: ctr[:ctrTarget]}
+}

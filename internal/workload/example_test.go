@@ -1,0 +1,22 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"monitorless/internal/workload"
+)
+
+// Patterns compose: three staggered Locust runs plus a constant baseline.
+func ExampleSum() {
+	load := workload.Sum{
+		workload.Constant{Rate: 10},
+		workload.LocustHatch{MaxUsers: 100, RatePerUser: 1, Start: 5, HatchDuration: 10, HoldDuration: 10},
+	}
+	for _, t := range []int{0, 10, 20} {
+		fmt.Printf("t=%d rate=%.0f\n", t, load.At(t))
+	}
+	// Output:
+	// t=0 rate=10
+	// t=10 rate=60
+	// t=20 rate=110
+}

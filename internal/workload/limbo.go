@@ -1,0 +1,86 @@
+package workload
+
+import "math"
+
+// Harmonic is one seasonal component of a LIMBO profile.
+type Harmonic struct {
+	// Amplitude is relative to the base rate.
+	Amplitude float64
+	// Period is the cycle length in seconds.
+	Period int
+	// Phase shifts the cycle (radians).
+	Phase float64
+}
+
+// LIMBO approximates the DLIM load-intensity model of von Kistowski et
+// al. (ACM TAAS '17), which the paper uses to describe its Solr workloads:
+// a base rate modulated by seasonal harmonics, a linear trend, recurring
+// bursts and multiplicative noise. The simple Sine/SineNoise patterns are
+// special cases; LIMBO composes all four elements:
+//
+//	rate(t) = max(0, Base·(1 + Σ seasonal) + Trend·t + burst(t)) · noise(t)
+type LIMBO struct {
+	// Base is the mean arrival rate (requests/s).
+	Base float64
+	// Seasonal lists the harmonic components.
+	Seasonal []Harmonic
+	// TrendPerSec adds a linear drift (requests/s per second).
+	TrendPerSec float64
+	// BurstEvery / BurstLen / BurstAmplitude describe recurring bursts:
+	// every BurstEvery seconds the rate gains BurstAmplitude·Base for
+	// BurstLen seconds, ramping linearly up and down inside the window.
+	BurstEvery, BurstLen int
+	BurstAmplitude       float64
+	// NoiseFrac is the multiplicative noise amplitude; Seed selects the
+	// realization.
+	NoiseFrac float64
+	Seed      int64
+}
+
+var _ Pattern = LIMBO{}
+
+// At implements Pattern.
+func (l LIMBO) At(t int) float64 {
+	rate := l.Base
+	for _, h := range l.Seasonal {
+		if h.Period <= 0 {
+			continue
+		}
+		rate += l.Base * h.Amplitude * math.Sin(2*math.Pi*float64(t)/float64(h.Period)+h.Phase)
+	}
+	rate += l.TrendPerSec * float64(t)
+	if l.BurstEvery > 0 && l.BurstLen > 0 && l.BurstAmplitude != 0 {
+		pos := t % l.BurstEvery
+		if pos < l.BurstLen {
+			// Triangular burst: ramp to the peak mid-window, back down.
+			half := float64(l.BurstLen) / 2
+			shape := 1 - math.Abs(float64(pos)-half)/half
+			rate += l.Base * l.BurstAmplitude * shape
+		}
+	}
+	if l.NoiseFrac > 0 {
+		rate *= 1 + l.NoiseFrac*hashNoise(l.Seed, t)
+	}
+	if rate < 0 {
+		return 0
+	}
+	return rate
+}
+
+// Sin1000 is the paper's Table 1 "sin1000" profile expressed as a LIMBO
+// model: a plain sine between 1 and 1000 requests/s.
+func Sin1000() LIMBO {
+	return LIMBO{
+		Base:     500.5,
+		Seasonal: []Harmonic{{Amplitude: 499.5 / 500.5, Period: 600, Phase: -math.Pi / 2}},
+	}
+}
+
+// SinNoise1000 is the paper's "sinnoise1000" profile: Sin1000 "massively
+// modified by adding random noise to increase variability" (§3.2.2).
+func SinNoise1000(seed int64) LIMBO {
+	l := Sin1000()
+	l.NoiseFrac = 0.3
+	l.Seed = seed
+	return l
+}

@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLIMBOSeasonalMatchesSine(t *testing.T) {
+	// Sin1000 must reproduce the plain Sine{1,1000,600} pattern.
+	sine := Sine{Min: 1, Max: 1000, Period: 600}
+	limbo := Sin1000()
+	for tt := 0; tt < 1200; tt += 7 {
+		a, b := sine.At(tt), limbo.At(tt)
+		if math.Abs(a-b) > 1 {
+			t.Fatalf("t=%d: sine %v vs limbo %v", tt, a, b)
+		}
+	}
+}
+
+func TestLIMBOTrend(t *testing.T) {
+	l := LIMBO{Base: 100, TrendPerSec: 2}
+	if got := l.At(0); got != 100 {
+		t.Errorf("At(0) = %v, want 100", got)
+	}
+	if got := l.At(50); got != 200 {
+		t.Errorf("At(50) = %v, want 200", got)
+	}
+}
+
+func TestLIMBOBurstTriangular(t *testing.T) {
+	l := LIMBO{Base: 100, BurstEvery: 100, BurstLen: 20, BurstAmplitude: 1}
+	// Peak at the middle of the burst window.
+	peak := l.At(10)
+	if math.Abs(peak-200) > 1e-9 {
+		t.Errorf("burst peak %v, want 200", peak)
+	}
+	// Edges ramp toward base.
+	if l.At(0) >= peak || l.At(19) >= peak {
+		t.Error("burst should ramp up and down")
+	}
+	// Outside the window: base only.
+	if got := l.At(50); got != 100 {
+		t.Errorf("outside burst At(50) = %v, want 100", got)
+	}
+	// Periodicity.
+	if l.At(110) != l.At(10) {
+		t.Error("bursts must recur every BurstEvery seconds")
+	}
+}
+
+func TestLIMBONoiseDeterministic(t *testing.T) {
+	l := SinNoise1000(7)
+	for tt := 0; tt < 300; tt += 11 {
+		if l.At(tt) != l.At(tt) {
+			t.Fatal("LIMBO noise not deterministic")
+		}
+	}
+	// Noise actually perturbs.
+	clean := Sin1000()
+	diff := 0.0
+	for tt := 0; tt < 600; tt++ {
+		diff += math.Abs(l.At(tt) - clean.At(tt))
+	}
+	if diff < 1000 {
+		t.Errorf("noise too small: %v", diff)
+	}
+}
+
+func TestLIMBONonNegative(t *testing.T) {
+	f := func(seed int64) bool {
+		l := LIMBO{
+			Base:           50,
+			Seasonal:       []Harmonic{{Amplitude: 2, Period: 60}}, // can push negative
+			TrendPerSec:    -0.5,
+			BurstEvery:     40,
+			BurstLen:       10,
+			BurstAmplitude: 0.5,
+			NoiseFrac:      0.4,
+			Seed:           seed,
+		}
+		for tt := 0; tt < 500; tt++ {
+			if l.At(tt) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLIMBOZeroPeriodHarmonicIgnored(t *testing.T) {
+	l := LIMBO{Base: 10, Seasonal: []Harmonic{{Amplitude: 1, Period: 0}}}
+	if got := l.At(5); got != 10 {
+		t.Errorf("zero-period harmonic changed the rate: %v", got)
+	}
+}

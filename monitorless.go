@@ -1,0 +1,124 @@
+// Package monitorless is a faithful, self-contained Go reproduction of
+// "Monitorless: Predicting Performance Degradation in Cloud Applications
+// with Machine Learning" (Grohmann, Nicholson, Omana Iglesias, Kounev,
+// Lugones — Middleware '19).
+//
+// Monitorless trains a binary classifier on application-agnostic platform
+// metrics (host-level PCP metrics plus per-container cgroup metrics) to
+// predict whether a containerized service instance is saturated — without
+// monitoring application KPIs in production. Application KPIs are used
+// only offline, to label training data via Kneedle knee detection on the
+// throughput-vs-load curve of a linear ramp experiment.
+//
+// The package re-exports the high-level API; the full machinery lives in
+// the internal packages:
+//
+//   - internal/workload, cluster, apps, pcp — the simulated substrate
+//     (load patterns, nodes/cgroups, queueing-theoretic services, and the
+//     Performance Co-Pilot-style metric collection);
+//   - internal/smooth, kneedle, label — the §2.2 labeling methodology;
+//   - internal/dataset — the Table 1 training corpus generator;
+//   - internal/features — the §3.3 feature-engineering pipeline;
+//   - internal/ml/... — from-scratch learners (random forest, CART,
+//     AdaBoost, gradient-boosted trees, logistic regression, linear SVC,
+//     MLP) plus scoring and grouped cross-validation;
+//   - internal/core — model training, persistence and the online
+//     orchestrator;
+//   - internal/autoscale — the §4.2.2 autoscaling study;
+//   - internal/experiments — one driver per paper table/figure.
+//
+// Quickstart:
+//
+//	report, _ := monitorless.GenerateTrainingData(monitorless.DataOptions{})
+//	model, _ := monitorless.Train(report.Dataset, monitorless.DefaultTrainConfig())
+//	orch := monitorless.NewOrchestrator(model)
+//	// feed pcp observations → orch.Ingest(obs); read orch.AppPredictions()
+package monitorless
+
+import (
+	"fmt"
+
+	"monitorless/internal/core"
+	"monitorless/internal/dataset"
+	"monitorless/internal/pcp"
+)
+
+// Model is a trained monitorless saturation classifier.
+type Model = core.Model
+
+// TrainConfig bundles the feature pipeline layout and random-forest
+// hyper-parameters.
+type TrainConfig = core.TrainConfig
+
+// Orchestrator ingests per-instance metric vectors, infers saturation per
+// container and aggregates per application with a logical OR.
+type Orchestrator = core.Orchestrator
+
+// Prediction is one instance's latest inference.
+type Prediction = core.Prediction
+
+// Dataset is a labeled training corpus.
+type Dataset = dataset.Dataset
+
+// DataReport carries a generated corpus plus the per-run Υ thresholds.
+type DataReport = dataset.Report
+
+// Observation is one tick's processed per-instance metric vectors.
+type Observation = pcp.Observation
+
+// DefaultTrainConfig returns the paper's selected configuration: the
+// normalize → filter → time+products → filter pipeline and a 250-tree
+// random forest (information gain, 20 samples per leaf, threshold 0.4).
+func DefaultTrainConfig() TrainConfig { return core.DefaultTrainConfig() }
+
+// Train fits the feature pipeline and classifier on a labeled dataset.
+func Train(ds *Dataset, cfg TrainConfig) (*Model, error) { return core.Train(ds, cfg) }
+
+// LoadModel deserializes a model saved with Model.Save.
+var LoadModel = core.Load
+
+// LoadModelBytes deserializes a model from a byte slice.
+var LoadModelBytes = core.LoadBytes
+
+// NewOrchestrator returns an online orchestrator over a trained model.
+func NewOrchestrator(m *Model) *Orchestrator { return core.NewOrchestrator(m) }
+
+// DataOptions sizes training-data generation. The zero value generates
+// the paper's full 25-run Table 1 corpus at default durations.
+type DataOptions struct {
+	// Runs restricts generation to these Table 1 run IDs (nil = all 25).
+	Runs []int
+	// Duration is the measured seconds per run (default 900).
+	Duration int
+	// RampSeconds sizes the threshold-discovery ramps (default 500).
+	RampSeconds int
+	// Seed drives workload jitter and measurement noise.
+	Seed int64
+}
+
+// GenerateTrainingData executes the Table 1 training configurations on
+// the simulator and returns the labeled corpus.
+func GenerateTrainingData(opt DataOptions) (*DataReport, error) {
+	cfgs := dataset.Table1()
+	if len(opt.Runs) > 0 {
+		want := make(map[int]bool, len(opt.Runs))
+		for _, id := range opt.Runs {
+			want[id] = true
+		}
+		var filtered []dataset.RunConfig
+		for _, c := range cfgs {
+			if want[c.ID] {
+				filtered = append(filtered, c)
+			}
+		}
+		if len(filtered) == 0 {
+			return nil, fmt.Errorf("monitorless: no Table 1 runs match %v", opt.Runs)
+		}
+		cfgs = filtered
+	}
+	return dataset.Generate(cfgs, dataset.GenOptions{
+		Duration:    opt.Duration,
+		RampSeconds: opt.RampSeconds,
+		Seed:        opt.Seed,
+	})
+}

@@ -1,0 +1,125 @@
+package monitorless_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"monitorless"
+
+	"monitorless/internal/pcp"
+)
+
+var (
+	facadeOnce  sync.Once
+	facadeModel *monitorless.Model
+	facadeData  *monitorless.DataReport
+	facadeErr   error
+)
+
+// facade trains a compact model once for all facade tests.
+func facade(t *testing.T) (*monitorless.Model, *monitorless.DataReport) {
+	t.Helper()
+	facadeOnce.Do(func() {
+		facadeData, facadeErr = monitorless.GenerateTrainingData(monitorless.DataOptions{
+			Runs:        []int{1, 6, 8, 22},
+			Duration:    250,
+			RampSeconds: 200,
+			Seed:        5,
+		})
+		if facadeErr != nil {
+			return
+		}
+		cfg := monitorless.DefaultTrainConfig()
+		cfg.Forest.NumTrees = 25
+		cfg.Pipeline.FilterTrees = 10
+		facadeModel, facadeErr = monitorless.Train(facadeData.Dataset, cfg)
+	})
+	if facadeErr != nil {
+		t.Fatalf("facade setup: %v", facadeErr)
+	}
+	return facadeModel, facadeData
+}
+
+func TestGenerateTrainingDataRunFilter(t *testing.T) {
+	_, report := facade(t)
+	runs := report.Dataset.RunIDs()
+	if len(runs) != 4 {
+		t.Fatalf("got runs %v, want the 4 requested", runs)
+	}
+	want := map[int]bool{1: true, 6: true, 8: true, 22: true}
+	for _, id := range runs {
+		if !want[id] {
+			t.Errorf("unexpected run %d", id)
+		}
+	}
+	if f := report.Dataset.SaturatedFraction(); f <= 0 || f >= 1 {
+		t.Errorf("degenerate label mix %.2f", f)
+	}
+}
+
+func TestFacadeTrainAndPredict(t *testing.T) {
+	model, report := facade(t)
+	if model.WindowSize() < 1 {
+		t.Error("window size must be positive")
+	}
+	// Round-trip through the exported persistence helpers.
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	back, err := monitorless.LoadModel(&buf)
+	if err != nil {
+		t.Fatalf("LoadModel: %v", err)
+	}
+	blob, err := model.SaveBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := monitorless.LoadModelBytes(blob); err != nil {
+		t.Fatalf("LoadModelBytes: %v", err)
+	}
+
+	// Orchestrate a synthetic observation stream through the facade.
+	orch := monitorless.NewOrchestrator(back)
+	var satVec []float64
+	for _, s := range report.Dataset.Samples {
+		if s.Label == 1 {
+			satVec = s.Values
+			break
+		}
+	}
+	if satVec == nil {
+		t.Fatal("no saturated training sample")
+	}
+	for i := 0; i < back.WindowSize()+1; i++ {
+		obs := monitorless.Observation{T: i, Vectors: map[string][]float64{"app/svc/0": satVec}}
+		if err := orch.Ingest(pcp.Observation(obs)); err != nil {
+			t.Fatalf("Ingest: %v", err)
+		}
+	}
+	pred, ok := orch.InstancePrediction("app/svc/0")
+	if !ok {
+		t.Fatal("no prediction recorded")
+	}
+	if !pred.Saturated {
+		t.Errorf("training-set saturated vector not flagged (prob %.2f)", pred.Prob)
+	}
+	if !orch.AppSaturated("app") {
+		t.Error("OR aggregation missed the saturated instance")
+	}
+}
+
+func TestGenerateTrainingDataUnknownRun(t *testing.T) {
+	_, err := monitorless.GenerateTrainingData(monitorless.DataOptions{Runs: []int{999}})
+	if err == nil {
+		t.Error("expected error for a run filter matching nothing")
+	}
+}
+
+func TestDefaultTrainConfigIsPaper(t *testing.T) {
+	cfg := monitorless.DefaultTrainConfig()
+	if cfg.Forest.NumTrees != 250 || cfg.Threshold != 0.4 {
+		t.Errorf("default config drifted from the paper: %+v", cfg)
+	}
+}

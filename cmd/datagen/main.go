@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	datagen -out training.csv [-duration 900] [-ramp 500] [-runs 1,2,8] [-seed 42] [-catalog default|full]
+//	datagen -out training.csv [-duration 900] [-ramp 500] [-runs 1,2,8] [-seed 42] [-catalog default|full] [-parallel N]
 package main
 
 import (
@@ -16,6 +16,7 @@ import (
 
 	"monitorless/internal/dataset"
 	"monitorless/internal/experiments"
+	"monitorless/internal/parallel"
 	"monitorless/internal/pcp"
 )
 
@@ -31,8 +32,10 @@ func main() {
 		runs     = flag.String("runs", "", "comma-separated Table 1 run IDs (default: all 25)")
 		seed     = flag.Int64("seed", 42, "random seed")
 		summary  = flag.Bool("summary", true, "print the per-run summary to stderr")
+		workers  = flag.Int("parallel", 0, "worker pool size for concurrent run groups (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	parallel.SetDefaultWorkers(*workers)
 
 	cfgs := dataset.Table1()
 	if *runs != "" {

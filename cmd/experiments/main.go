@@ -3,10 +3,12 @@
 //
 // Usage:
 //
-//	experiments [-scale small|full] [-run all|fig2|table1|...|table8|fig3|ablation] [-series]
+//	experiments [-scale small|full] [-run all|fig2|table1|...|table8|fig3|ablation] [-series] [-parallel N]
 //
 // -scale small (default) runs everything in a couple of minutes; -scale
-// full approaches the paper's run lengths and forest size.
+// full approaches the paper's run lengths and forest size. -parallel
+// bounds the shared worker pool (0 = GOMAXPROCS); results are identical
+// at any setting.
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"time"
 
 	"monitorless/internal/experiments"
+	"monitorless/internal/parallel"
 )
 
 func main() {
@@ -28,8 +31,10 @@ func main() {
 		scaleName = flag.String("scale", "small", "experiment scale: small or full")
 		run       = flag.String("run", "all", "comma-separated experiment list (all, fig2, table1..table8, fig3, ablation)")
 		series    = flag.Bool("series", false, "emit full data series for the figures")
+		workers   = flag.Int("parallel", 0, "worker pool size for the parallel sweeps (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	parallel.SetDefaultWorkers(*workers)
 
 	scale := experiments.Small()
 	if *scaleName == "full" {
@@ -83,15 +88,19 @@ func main() {
 		fmt.Println()
 	}
 
-	var elgg *experiments.EvalData
-	if sel("table3") || sel("table5") || sel("ablation") {
-		elgg, err = experiments.CollectElgg(ctx)
-		if err != nil {
-			log.Fatal(err)
-		}
+	// The evaluation runs behind Tables 3/5/6/8, Figure 3 and the ablation
+	// are independent simulations; collect every one the selection needs
+	// concurrently before printing the tables in paper order.
+	needElgg := sel("table3") || sel("table5") || sel("ablation")
+	needTea := sel("table6") || sel("fig3") || sel("table7") || sel("ablation")
+	needSock := sel("table8")
+	evals, err := experiments.CollectEvals(ctx, needElgg, needTea, needSock)
+	if err != nil {
+		log.Fatal(err)
 	}
+
 	if sel("table3") {
-		rows, err := experiments.Table3(ctx, elgg)
+		rows, err := experiments.Table3(ctx, evals.Elgg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -103,7 +112,7 @@ func main() {
 		fmt.Println()
 	}
 	if sel("table5") {
-		table, err := experiments.Table5(ctx, elgg)
+		table, err := experiments.Table5(ctx, evals.Elgg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -112,15 +121,9 @@ func main() {
 	}
 
 	var table6 *experiments.EvalTable
-	var teaData *experiments.EvalData
-	if sel("table6") || sel("fig3") || sel("table7") || sel("ablation") {
-		data, err := experiments.CollectTeaStore(ctx)
-		if err != nil {
-			log.Fatal(err)
-		}
-		teaData = data
+	if needTea {
 		var perInst map[string][]int
-		table6, perInst, err = experiments.Table6(ctx, data)
+		table6, perInst, err = experiments.Table6(ctx, evals.TeaStore)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -129,7 +132,7 @@ func main() {
 			fmt.Println()
 		}
 		if sel("fig3") {
-			fig := experiments.Figure3(data, perInst)
+			fig := experiments.Figure3(evals.TeaStore, perInst)
 			experiments.PrintFigure3(os.Stdout, fig, *series)
 			fmt.Println()
 		}
@@ -143,7 +146,7 @@ func main() {
 		fmt.Println()
 	}
 	if sel("ablation") {
-		rows, err := experiments.Ablation(ctx, elgg, teaData)
+		rows, err := experiments.Ablation(ctx, evals.Elgg, evals.TeaStore)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -151,11 +154,7 @@ func main() {
 		fmt.Println()
 	}
 	if sel("table8") {
-		data, err := experiments.CollectSockshop(ctx)
-		if err != nil {
-			log.Fatal(err)
-		}
-		table, err := experiments.Table8(ctx, data)
+		table, err := experiments.Table8(ctx, evals.Sockshop)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	train -out model.gob [-data training.csv] [-scale small|full] [-table3] [-rules]
+//	train -out model.gob [-data training.csv] [-scale small|full] [-table3] [-rules] [-parallel N]
 package main
 
 import (
@@ -18,6 +18,7 @@ import (
 	"monitorless/internal/dataset"
 	"monitorless/internal/experiments"
 	"monitorless/internal/features"
+	"monitorless/internal/parallel"
 	"monitorless/internal/pcp"
 )
 
@@ -32,8 +33,10 @@ func main() {
 		table3    = flag.Bool("table3", false, "also run the Table 3 algorithm comparison")
 		table4    = flag.Bool("table4", true, "print the Table 4 feature importances")
 		rules     = flag.Bool("rules", false, "distill the model into operator-readable scaling rules (§5 interpretability)")
+		workers   = flag.Int("parallel", 0, "worker pool size for generation and evaluation sweeps (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	parallel.SetDefaultWorkers(*workers)
 
 	scale := experiments.Small()
 	if *scaleName == "full" {

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"monitorless/internal/pcp"
+)
+
+// TestOrchestratorConcurrentAccess hammers one orchestrator from many
+// goroutines — concurrent Ingest for distinct apps interleaved with
+// registration, churn (Forget) and every query method — so the race lane
+// (go test -race) actually observes the orchestrator's locking instead of
+// only its serial behavior. The shared model is also exercised from all
+// goroutines at once, covering the read-only contract the parallel
+// experiment sweeps rely on.
+func TestOrchestratorConcurrentAccess(t *testing.T) {
+	m, ds := sharedModel(t)
+	o := NewOrchestrator(m)
+
+	vec := ds.Samples[0].Values
+	const (
+		writers = 4
+		ticks   = 25
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			app := fmt.Sprintf("app%d", w)
+			id := fmt.Sprintf("%s/svc/0", app)
+			churn := fmt.Sprintf("%s/svc/1", app)
+			o.RegisterInstance(id, app)
+			for tk := 0; tk < ticks; tk++ {
+				obs := pcp.Observation{T: tk, Vectors: map[string][]float64{
+					id:    vec,
+					churn: vec,
+				}}
+				if err := o.Ingest(obs); err != nil {
+					t.Errorf("Ingest: %v", err)
+					return
+				}
+				if tk%5 == 4 {
+					o.Forget(churn)
+				}
+			}
+		}(w)
+	}
+	// Readers race against the writers on purpose.
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				o.SaturatedInstances()
+				o.AppPredictions()
+				o.AppSaturated(fmt.Sprintf("app%d", r))
+				o.InstancePrediction(fmt.Sprintf("app%d/svc/0", r))
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	// Every writer's stable instance must have a final prediction at the
+	// last tick, attributed to its app.
+	preds := o.AppPredictions()
+	for w := 0; w < writers; w++ {
+		app := fmt.Sprintf("app%d", w)
+		id := fmt.Sprintf("%s/svc/0", app)
+		p, ok := o.InstancePrediction(id)
+		if !ok {
+			t.Fatalf("no prediction for %s", id)
+		}
+		if p.T != ticks-1 {
+			t.Errorf("%s final tick %d, want %d", id, p.T, ticks-1)
+		}
+		if _, ok := preds[app]; !ok {
+			t.Errorf("app %s missing from AppPredictions", app)
+		}
+	}
+}

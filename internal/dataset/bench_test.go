@@ -1,0 +1,35 @@
+package dataset
+
+import (
+	"testing"
+
+	"monitorless/internal/parallel"
+)
+
+// BenchmarkGenerateParallel compares corpus generation over four Table 1
+// configurations (three independent groups: two singletons and one
+// parallel pair) with the group pool disabled (workers=1) and enabled
+// (workers=GOMAXPROCS). Reports are byte-identical either way; only the
+// wall clock differs.
+func BenchmarkGenerateParallel(b *testing.B) {
+	var cfgs []RunConfig
+	for _, c := range Table1() {
+		switch c.ID {
+		case 1, 8, 3, 18:
+			cfgs = append(cfgs, c)
+		}
+	}
+	opt := GenOptions{Duration: 200, RampSeconds: 150, Seed: 5}
+	run := func(b *testing.B, workers int) {
+		parallel.SetDefaultWorkers(workers)
+		defer parallel.SetDefaultWorkers(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := Generate(cfgs, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("serial", func(b *testing.B) { run(b, 1) })
+	b.Run("pool", func(b *testing.B) { run(b, 0) })
+}

@@ -1,0 +1,56 @@
+package dataset
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// TestGenerateDeterministicAcrossGOMAXPROCS regenerates a mixed corpus
+// (two singleton runs plus one parallel pair, i.e. three concurrent
+// groups) at pool widths 1 and 8 and requires byte-identical reports:
+// same samples in the same order, same discovered thresholds.
+func TestGenerateDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	var cfgs []RunConfig
+	for _, c := range Table1() {
+		switch c.ID {
+		case 1, 8, 3, 18: // runs 3 and 18 form a parallel pair
+			cfgs = append(cfgs, c)
+		}
+	}
+	if len(cfgs) != 4 {
+		t.Fatalf("expected 4 configs, got %d", len(cfgs))
+	}
+	opt := GenOptions{Duration: 200, RampSeconds: 150, Seed: 5}
+
+	run := func() *Report {
+		rep, err := Generate(cfgs, opt)
+		if err != nil {
+			t.Fatalf("Generate: %v", err)
+		}
+		return rep
+	}
+	old := runtime.GOMAXPROCS(1)
+	narrow := run()
+	runtime.GOMAXPROCS(8)
+	wide := run()
+	runtime.GOMAXPROCS(old)
+
+	if !reflect.DeepEqual(narrow.Dataset.Defs, wide.Dataset.Defs) {
+		t.Fatal("schema differs across GOMAXPROCS")
+	}
+	if len(narrow.Dataset.Samples) != len(wide.Dataset.Samples) {
+		t.Fatalf("sample count differs: %d vs %d",
+			len(narrow.Dataset.Samples), len(wide.Dataset.Samples))
+	}
+	for i := range narrow.Dataset.Samples {
+		if !reflect.DeepEqual(narrow.Dataset.Samples[i], wide.Dataset.Samples[i]) {
+			t.Fatalf("sample %d differs across GOMAXPROCS:\n 1: %+v\n 8: %+v",
+				i, narrow.Dataset.Samples[i], wide.Dataset.Samples[i])
+		}
+	}
+	if !reflect.DeepEqual(narrow.Thresholds, wide.Thresholds) {
+		t.Errorf("thresholds differ across GOMAXPROCS:\n 1: %+v\n 8: %+v",
+			narrow.Thresholds, wide.Thresholds)
+	}
+}

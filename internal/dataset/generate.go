@@ -6,6 +6,7 @@ import (
 	"monitorless/internal/apps"
 	"monitorless/internal/cluster"
 	"monitorless/internal/label"
+	"monitorless/internal/parallel"
 	"monitorless/internal/pcp"
 	"monitorless/internal/workload"
 )
@@ -49,16 +50,27 @@ type Report struct {
 }
 
 // Generate executes the given Table 1 configurations (parallel partners
-// together) and returns the labeled dataset.
+// together) and returns the labeled dataset. Independent run-config
+// groups simulate concurrently, each on its own cluster, engine and
+// seeded collector; the per-group results are merged in group order, so
+// the report is bit-identical to a serial pass for the same seed.
 func Generate(cfgs []RunConfig, opt GenOptions) (*Report, error) {
 	opt = opt.withDefaults()
+	groups := PairGroups(cfgs)
+	parts, err := parallel.Map(len(groups), func(gi int) (*groupResult, error) {
+		return generateGroup(groups[gi], opt)
+	})
+	if err != nil {
+		return nil, err
+	}
 	rep := &Report{
 		Dataset:    &Dataset{Defs: opt.Catalog.CombinedDefs()},
 		Thresholds: make(map[int]label.Labeler),
 	}
-	for _, group := range PairGroups(cfgs) {
-		if err := generateGroup(group, opt, rep); err != nil {
-			return nil, err
+	for _, part := range parts {
+		rep.Dataset.Samples = append(rep.Dataset.Samples, part.samples...)
+		for id, lab := range part.thresholds {
+			rep.Thresholds[id] = lab
 		}
 	}
 	return rep, nil
@@ -93,7 +105,16 @@ func buildGroup(group []RunConfig, loads []workload.Pattern) (*apps.Engine, []*a
 	return eng, appList, nil
 }
 
-func generateGroup(group []RunConfig, opt GenOptions, rep *Report) error {
+// groupResult is one group's contribution to the report, kept separate so
+// concurrent groups never share mutable state.
+type groupResult struct {
+	samples    []Sample
+	thresholds map[int]label.Labeler
+}
+
+func generateGroup(group []RunConfig, opt GenOptions) (*groupResult, error) {
+	res := &groupResult{thresholds: make(map[int]label.Labeler)}
+
 	// --- Phase 1: simultaneous linear ramps discover each run's Υ. ----
 	ramps := make([]workload.Pattern, len(group))
 	for i, cfg := range group {
@@ -105,7 +126,7 @@ func generateGroup(group []RunConfig, opt GenOptions, rep *Report) error {
 	}
 	eng, appList, err := buildGroup(group, ramps)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	offered := make([][]float64, len(group))
 	observed := make([][]float64, len(group))
@@ -118,9 +139,9 @@ func generateGroup(group []RunConfig, opt GenOptions, rep *Report) error {
 	for i, cfg := range group {
 		lab, _, err := label.DiscoverThreshold(offered[i], observed[i], label.Options{})
 		if err != nil {
-			return fmt.Errorf("dataset: threshold for run %d: %w", cfg.ID, err)
+			return nil, fmt.Errorf("dataset: threshold for run %d: %w", cfg.ID, err)
 		}
-		rep.Thresholds[cfg.ID] = lab
+		res.thresholds[cfg.ID] = lab
 	}
 
 	// --- Phase 2: measured run under the Table 1 traffic. -------------
@@ -130,7 +151,7 @@ func generateGroup(group []RunConfig, opt GenOptions, rep *Report) error {
 	}
 	eng, appList, err = buildGroup(group, loads)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	agent := pcp.NewAgent(pcp.NewCollector(opt.Catalog, opt.Seed+int64(group[0].ID)*1009))
 
@@ -141,7 +162,7 @@ func generateGroup(group []RunConfig, opt GenOptions, rep *Report) error {
 			continue
 		}
 		for i, cfg := range group {
-			lab := rep.Thresholds[cfg.ID]
+			lab := res.thresholds[cfg.ID]
 			y := lab.Label(appList[i].KPI.Throughput)
 			for _, s := range appList[i].Services() {
 				for _, inst := range s.Instances() {
@@ -149,7 +170,7 @@ func generateGroup(group []RunConfig, opt GenOptions, rep *Report) error {
 					if !present {
 						continue
 					}
-					rep.Dataset.Samples = append(rep.Dataset.Samples, Sample{
+					res.samples = append(res.samples, Sample{
 						RunID:  cfg.ID,
 						T:      t,
 						Label:  y,
@@ -160,7 +181,7 @@ func generateGroup(group []RunConfig, opt GenOptions, rep *Report) error {
 			}
 		}
 	}
-	return nil
+	return res, nil
 }
 
 // BuildFunc constructs a fresh engine and target application under the

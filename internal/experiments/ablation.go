@@ -9,6 +9,7 @@ import (
 	"monitorless/internal/features"
 	"monitorless/internal/ml/score"
 	"monitorless/internal/ml/tree"
+	"monitorless/internal/parallel"
 )
 
 // AblationRow reports one pipeline/model variant of the ablation study:
@@ -36,6 +37,9 @@ type ablationVariant struct {
 // Ablation retrains the monitorless model under systematic configuration
 // mutations and scores each variant on the Elgg and TeaStore runs. The
 // "full" row is the paper's configuration and serves as the reference.
+// Variants retrain concurrently on the shared pool — each fits its own
+// model from the (read-only) shared corpus — and rows return in variant
+// order; only the TrainTime column varies with pool contention.
 func Ablation(ctx *Context, elgg, tea *EvalData) ([]AblationRow, error) {
 	variants := []ablationVariant{
 		{"full (paper)", func(*core.TrainConfig) {}},
@@ -49,14 +53,14 @@ func Ablation(ctx *Context, elgg, tea *EvalData) ([]AblationRow, error) {
 		{"25 trees", func(c *core.TrainConfig) { c.Forest.NumTrees = 25 }},
 	}
 
-	var rows []AblationRow
-	for _, v := range variants {
+	return parallel.Map(len(variants), func(vi int) (AblationRow, error) {
+		v := variants[vi]
 		cfg := ctx.Scale.TrainConfig()
 		v.mutate(&cfg)
 		start := time.Now()
 		m, err := core.Train(ctx.Report.Dataset, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: ablation %q: %w", v.name, err)
+			return AblationRow{}, fmt.Errorf("experiments: ablation %q: %w", v.name, err)
 		}
 		trainTime := time.Since(start)
 
@@ -69,13 +73,13 @@ func Ablation(ctx *Context, elgg, tea *EvalData) ([]AblationRow, error) {
 		}
 		ec, err := scoreOn(elgg)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: ablation %q elgg: %w", v.name, err)
+			return AblationRow{}, fmt.Errorf("experiments: ablation %q elgg: %w", v.name, err)
 		}
 		tc, err := scoreOn(tea)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: ablation %q teastore: %w", v.name, err)
+			return AblationRow{}, fmt.Errorf("experiments: ablation %q teastore: %w", v.name, err)
 		}
-		rows = append(rows, AblationRow{
+		return AblationRow{
 			Name:       v.name,
 			Features:   m.Pipeline.NumOutputs(),
 			TrainTime:  trainTime,
@@ -83,9 +87,8 @@ func Ablation(ctx *Context, elgg, tea *EvalData) ([]AblationRow, error) {
 			ElggFN:     ec.FN,
 			TeaStoreF1: tc.F1(),
 			TeaStoreFN: tc.FN,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // PrintAblation renders the ablation table.

@@ -15,6 +15,7 @@ import (
 	"monitorless/internal/features"
 	"monitorless/internal/ml/forest"
 	"monitorless/internal/ml/tree"
+	"monitorless/internal/parallel"
 )
 
 // Scale sizes every experiment.
@@ -126,4 +127,43 @@ func NewContext(s Scale) (*Context, error) {
 		return nil, fmt.Errorf("experiments: train: %w", err)
 	}
 	return &Context{Scale: s, Report: rep, Model: m}, nil
+}
+
+// EvalSet bundles the evaluation datasets behind Tables 3 and 5–8; unset
+// applications stay nil.
+type EvalSet struct {
+	Elgg, TeaStore, Sockshop *EvalData
+}
+
+// CollectEvals collects the requested evaluation runs concurrently on the
+// shared pool. Each run builds its own engine and seeded agent, so the
+// collected datasets are identical to collecting them one after another.
+func CollectEvals(ctx *Context, elgg, teaStore, sockshop bool) (*EvalSet, error) {
+	set := &EvalSet{}
+	var tasks []func() error
+	if elgg {
+		tasks = append(tasks, func() error {
+			d, err := CollectElgg(ctx)
+			set.Elgg = d
+			return err
+		})
+	}
+	if teaStore {
+		tasks = append(tasks, func() error {
+			d, err := CollectTeaStore(ctx)
+			set.TeaStore = d
+			return err
+		})
+	}
+	if sockshop {
+		tasks = append(tasks, func() error {
+			d, err := CollectSockshop(ctx)
+			set.Sockshop = d
+			return err
+		})
+	}
+	if err := parallel.ForEach(len(tasks), func(i int) error { return tasks[i]() }); err != nil {
+		return nil, err
+	}
+	return set, nil
 }

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// TestContextDeterministicAcrossGOMAXPROCS rebuilds a reduced-scale
+// context (full 25-run Table 1 generation + feature pipeline + forest)
+// at pool widths 1 and 8 and compares a table and the trained model
+// bit-for-bit. This covers the whole parallel chain: concurrent run
+// groups in dataset.Generate, concurrent filter forests in the feature
+// pipeline, and concurrent trees in the final forest.
+func TestContextDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds two full contexts")
+	}
+	s := Small()
+	s.TrainDuration = 200
+	s.RampSeconds = 160
+	s.Trees = 15
+	s.FilterTrees = 10
+
+	build := func() *Context {
+		c, err := NewContext(s)
+		if err != nil {
+			t.Fatalf("NewContext: %v", err)
+		}
+		return c
+	}
+	old := runtime.GOMAXPROCS(1)
+	narrow := build()
+	runtime.GOMAXPROCS(8)
+	wide := build()
+	runtime.GOMAXPROCS(old)
+
+	nRows, wRows := Table1Summary(narrow), Table1Summary(wide)
+	if !reflect.DeepEqual(nRows, wRows) {
+		t.Errorf("Table1Summary differs across GOMAXPROCS:\n 1: %+v\n 8: %+v", nRows, wRows)
+	}
+	nImp, wImp := narrow.Model.FeatureImportances(), wide.Model.FeatureImportances()
+	if !reflect.DeepEqual(nImp, wImp) {
+		t.Errorf("feature importances differ across GOMAXPROCS:\n 1: %+v\n 8: %+v", nImp, wImp)
+	}
+	if narrow.Model.TrainSamples != wide.Model.TrainSamples {
+		t.Errorf("TrainSamples differ: %d vs %d", narrow.Model.TrainSamples, wide.Model.TrainSamples)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"monitorless/internal/ml/nn"
 	"monitorless/internal/ml/score"
 	"monitorless/internal/ml/tree"
+	"monitorless/internal/parallel"
 )
 
 // Table1Row summarizes one generated training run.
@@ -228,25 +229,27 @@ type Table2Row struct {
 // Table2 runs the §3.4 hyper-parameter grid search: grouped 5-fold CV over
 // the training runs for every assignment of every algorithm's grid.
 // maxRows subsamples the engineered training set to bound runtime (0 = all).
+// The six algorithms fan out over the shared pool (and each grid search
+// parallelizes its candidates in turn); rows come back in algorithm order.
 func Table2(ctx *Context, maxRows int) ([]Table2Row, error) {
 	x, y, groups, err := engineeredTraining(ctx, maxRows)
 	if err != nil {
 		return nil, err
 	}
-	var rows []Table2Row
-	for _, spec := range Algorithms(ctx.Scale) {
+	specs := Algorithms(ctx.Scale)
+	return parallel.Map(len(specs), func(i int) (Table2Row, error) {
+		spec := specs[i]
 		results, err := cv.GridSearch(spec.Build, spec.Grid, x, y, groups, 5)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: grid %s: %w", spec.Name, err)
+			return Table2Row{}, fmt.Errorf("experiments: grid %s: %w", spec.Name, err)
 		}
-		rows = append(rows, Table2Row{
+		return Table2Row{
 			Algorithm:  spec.Name,
 			BestParams: results[0].Params,
 			MeanF1:     results[0].MeanF1,
 			Evaluated:  len(results),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // engineeredTraining transforms the Table 1 corpus through the fitted
@@ -283,7 +286,9 @@ type Table3Row struct {
 
 // Table3 trains each contender (at the paper's chosen hyper-parameters)
 // on the engineered Table 1 corpus and scores it on the Elgg validation
-// run with the lagged F1₂ metric.
+// run with the lagged F1₂ metric. The contenders run serially on purpose:
+// this table's point is the per-algorithm train/classify wall-clock, and
+// concurrent fits would contend for cores and distort those timings.
 func Table3(ctx *Context, elgg *EvalData) ([]Table3Row, error) {
 	x, y, _, err := engineeredTraining(ctx, 0)
 	if err != nil {

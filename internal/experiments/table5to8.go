@@ -6,6 +6,7 @@ import (
 	"monitorless/internal/apps"
 	"monitorless/internal/autoscale"
 	"monitorless/internal/ml/score"
+	"monitorless/internal/parallel"
 	"monitorless/internal/workload"
 )
 
@@ -215,17 +216,18 @@ func Table7(ctx *Context, table6 *EvalTable) ([]Table7Row, error) {
 		Seed:            ctx.Scale.Seed + 54,
 	}
 
-	var rows []Table7Row
-	for _, sc := range scalers {
+	// Each policy simulates its own freshly built environment; the fan-out
+	// keeps rows in policy order and shares only the read-only model.
+	return parallel.Map(len(scalers), func(i int) (Table7Row, error) {
+		sc := scalers[i]
 		model := ctx.Model
 		if !sc.withModel {
 			model = nil
 		}
 		res, err := autoscale.Simulate(build, sc.s, model, opt)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: table7 %s: %w", sc.s.Name(), err)
+			return Table7Row{}, fmt.Errorf("experiments: table7 %s: %w", sc.s.Name(), err)
 		}
-		rows = append(rows, res)
-	}
-	return rows, nil
+		return res, nil
+	})
 }

@@ -1,0 +1,91 @@
+package kneedle
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+func decodeSeries(data []byte) []float64 {
+	n := len(data) / 8
+	if n > 2048 {
+		n = 2048
+	}
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		y[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+	}
+	return y
+}
+
+func encodeSeries(y []float64) []byte {
+	data := make([]byte, 8*len(y))
+	for i, v := range y {
+		binary.LittleEndian.PutUint64(data[i*8:], math.Float64bits(v))
+	}
+	return data
+}
+
+// FuzzKneedle throws arbitrary series (NaN, ±Inf, constant, empty,
+// length-1) and window/order/curvature combinations at Detect. Detect may
+// reject an input with an error, but it must never panic, and a success
+// must be well-formed: intermediate curves of the input length and knees
+// that reference real input points, sorted by descending sharpness.
+func FuzzKneedle(f *testing.F) {
+	f.Add(encodeSeries(nil), 0, 0, false)
+	f.Add(encodeSeries([]float64{1}), 0, 0, false)
+	f.Add(encodeSeries([]float64{2, 2, 2, 2, 2, 2, 2, 2}), 5, 2, false)
+	f.Add(encodeSeries([]float64{0, 10, 17, 21, 23, 24, 24.5, 24.8}), 5, 2, false)
+	f.Add(encodeSeries([]float64{0, 10, 17, 21, 23, 24, 24.5, 24.8}), 5, 2, true)
+	f.Add(encodeSeries([]float64{math.NaN(), 1, math.Inf(1), 3, math.Inf(-1), 5, 6}), 5, 2, false)
+	f.Add(encodeSeries([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}), 9, 8, false)
+	f.Add(encodeSeries([]float64{0, 1, 2, 3, 4}), -3, -1, false)
+
+	f.Fuzz(func(t *testing.T, data []byte, window, order int, convex bool) {
+		y := decodeSeries(data)
+		x := make([]float64, len(y))
+		for i := range x {
+			x[i] = float64(i)
+		}
+		opt := Options{SmoothWindow: window, SmoothOrder: order}
+		if convex {
+			opt.Curvature = Convex
+		}
+		res, err := Detect(x, y, opt)
+		if err != nil {
+			if len(y) < 5 && err != ErrTooShort {
+				// Short series must fail with the sentinel so callers can
+				// distinguish "not enough ramp data" from real errors.
+				t.Fatalf("short series: got %v, want ErrTooShort", err)
+			}
+			return
+		}
+		n := len(y)
+		if len(res.Smoothed) != n || len(res.NormX) != n || len(res.NormY) != n || len(res.Difference) != n {
+			t.Fatalf("curve lengths %d/%d/%d/%d, want all %d",
+				len(res.Smoothed), len(res.NormX), len(res.NormY), len(res.Difference), n)
+		}
+		for i, k := range res.Knees {
+			if k.Index < 0 || k.Index >= n {
+				t.Fatalf("knee %d: index %d out of range [0,%d)", i, k.Index, n)
+			}
+			if k.X != x[k.Index] {
+				t.Fatalf("knee %d: X=%v but x[%d]=%v", i, k.X, k.Index, x[k.Index])
+			}
+			if math.IsNaN(k.Difference) {
+				// Local-maximum detection compares against both neighbors;
+				// NaN differences can never qualify.
+				t.Fatalf("knee %d has NaN difference", i)
+			}
+			if i > 0 && k.Difference > res.Knees[i-1].Difference {
+				t.Fatalf("knees not sorted by descending difference at %d: %v > %v",
+					i, k.Difference, res.Knees[i-1].Difference)
+			}
+		}
+		if best, ok := res.Best(); ok != (len(res.Knees) > 0) {
+			t.Fatal("Best() disagrees with Knees about emptiness")
+		} else if ok && best != res.Knees[0] {
+			t.Fatal("Best() is not the first knee")
+		}
+	})
+}

@@ -11,6 +11,7 @@ import (
 
 	"monitorless/internal/ml"
 	"monitorless/internal/ml/score"
+	"monitorless/internal/parallel"
 )
 
 // GroupKFold partitions the distinct values of groups into k folds and
@@ -60,18 +61,18 @@ type Result struct {
 }
 
 // CrossValidate fits the factory's model on each training fold and scores
-// it on the held-out fold, returning the averaged result.
+// it on the held-out fold, returning the averaged result. Folds are
+// evaluated concurrently on the shared worker pool; fold scores are
+// assembled in fold-index order, so the result is bit-identical to the
+// serial evaluation regardless of GOMAXPROCS.
 func CrossValidate(factory Factory, params map[string]any, x [][]float64, y, groups []int, k int) (Result, error) {
 	folds, err := GroupKFold(groups, k)
 	if err != nil {
 		return Result{}, err
 	}
-	res := Result{Params: params}
-	inFold := make([]bool, len(x))
-	for _, holdout := range folds {
-		for i := range inFold {
-			inFold[i] = false
-		}
+	confs, err := parallel.Map(len(folds), func(fi int) (score.Confusion, error) {
+		holdout := folds[fi]
+		inFold := make([]bool, len(x))
 		for _, i := range holdout {
 			inFold[i] = true
 		}
@@ -85,10 +86,10 @@ func CrossValidate(factory Factory, params map[string]any, x [][]float64, y, gro
 		}
 		clf, err := factory(params)
 		if err != nil {
-			return Result{}, fmt.Errorf("cv: factory: %w", err)
+			return score.Confusion{}, fmt.Errorf("cv: factory: %w", err)
 		}
 		if err := clf.Fit(trainX, trainY); err != nil {
-			return Result{}, fmt.Errorf("cv: fit: %w", err)
+			return score.Confusion{}, fmt.Errorf("cv: fit: %w", err)
 		}
 		pred := make([]int, len(holdout))
 		truth := make([]int, len(holdout))
@@ -96,10 +97,13 @@ func CrossValidate(factory Factory, params map[string]any, x [][]float64, y, gro
 			pred[j] = clf.Predict(x[i])
 			truth[j] = y[i]
 		}
-		c, err := score.Count(pred, truth)
-		if err != nil {
-			return Result{}, err
-		}
+		return score.Count(pred, truth)
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Params: params}
+	for _, c := range confs {
 		res.FoldF1 = append(res.FoldF1, c.F1())
 		res.MeanF1 += c.F1()
 		res.MeanAccuracy += c.Accuracy()
@@ -141,19 +145,19 @@ func (g Grid) Enumerate() []map[string]any {
 }
 
 // GridSearch cross-validates every assignment in the grid and returns all
-// results sorted by descending mean F1, best first.
+// results sorted by descending mean F1, best first. Candidates run
+// concurrently; the stable sort over the index-ordered results keeps the
+// ranking identical to the serial search.
 func GridSearch(factory Factory, grid Grid, x [][]float64, y, groups []int, k int) ([]Result, error) {
 	assignments := grid.Enumerate()
 	if len(assignments) == 0 {
 		return nil, fmt.Errorf("cv: empty grid")
 	}
-	results := make([]Result, 0, len(assignments))
-	for _, params := range assignments {
-		r, err := CrossValidate(factory, params, x, y, groups, k)
-		if err != nil {
-			return nil, err
-		}
-		results = append(results, r)
+	results, err := parallel.Map(len(assignments), func(i int) (Result, error) {
+		return CrossValidate(factory, assignments[i], x, y, groups, k)
+	})
+	if err != nil {
+		return nil, err
 	}
 	sort.SliceStable(results, func(i, j int) bool { return results[i].MeanF1 > results[j].MeanF1 })
 	return results, nil

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Repo verification: the tier-1 lane (build + vet + tests) plus the race
+# lane added with the parallel execution layer. Everything the worker
+# pool touches (CV folds, dataset run groups, experiment sweeps) runs
+# under the race detector; -count=1 defeats the test cache so data races
+# cannot hide behind cached passes.
+#
+# Usage: scripts/verify.sh [-short]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+short=""
+if [[ "${1:-}" == "-short" ]]; then
+    short="-short"
+fi
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test ./..."
+go test $short ./...
+
+echo "==> go test -race -count=1 ./... (race lane)"
+go test -race -count=1 $short ./...
+
+echo "verify: all lanes green"

@@ -15,6 +15,7 @@ import (
 
 	"monitorless/internal/core"
 	"monitorless/internal/experiments"
+	"monitorless/internal/pcp"
 )
 
 func main() {
@@ -36,18 +37,14 @@ func main() {
 
 	var ctx *experiments.Context
 	if *modelPath != "" {
-		f, err := os.Open(*modelPath)
+		b, err := core.LoadBundleFile(*modelPath)
 		if err != nil {
 			log.Fatal(err)
 		}
-		m, err := core.Load(f)
-		if cerr := f.Close(); cerr != nil {
-			log.Fatal(cerr)
-		}
-		if err != nil {
+		if err := b.CheckSchema(pcp.DefaultCatalog().CombinedNames()); err != nil {
 			log.Fatal(err)
 		}
-		ctx = &experiments.Context{Scale: scale, Model: m}
+		ctx = &experiments.Context{Scale: scale, Model: b.Model}
 	} else {
 		var err error
 		fmt.Fprintln(os.Stderr, "no -model given: generating training data and training in-process...")

@@ -77,17 +77,10 @@ func main() {
 			ctx.Model.TrainSamples, time.Since(start).Round(time.Millisecond), ctx.Model.Pipeline.NumOutputs())
 	}
 
-	f, err := os.Create(*out)
-	if err != nil {
+	if err := core.SaveBundleFile(*out, ctx.Model, scale.Seed); err != nil {
 		log.Fatal(err)
 	}
-	if err := ctx.Model.Save(f); err != nil {
-		log.Fatal(err)
-	}
-	if err := f.Close(); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("model saved to %s\n", *out)
+	fmt.Printf("model bundle (v%d) saved to %s\n", core.BundleVersion, *out)
 
 	if *table4 {
 		experiments.PrintTable4(os.Stdout, experiments.Table4(ctx, 30))

@@ -157,6 +157,47 @@ func (NoScaling) Name() string { return "No Scaling (baseline)" }
 // Decide implements Scaler.
 func (NoScaling) Decide(Snapshot) []string { return nil }
 
+// Predictor supplies per-instance saturation predictions for one tick's
+// observation. It is the seam between the scaling loop and the inference
+// engine: the in-process implementation wraps an orchestrator, the serving
+// implementation ships the observation to a remote model server over HTTP
+// and returns its verdicts, closing the §2 loop over the wire.
+type Predictor interface {
+	// Predict ingests one observation and returns the set of instance IDs
+	// currently predicted saturated.
+	Predict(obs pcp.Observation) (map[string]bool, error)
+	// Forget drops a departed instance's inference state (scale-in).
+	Forget(id string)
+}
+
+// ModelPredictor adapts an in-process orchestrator to the Predictor
+// contract.
+type ModelPredictor struct {
+	orch *core.Orchestrator
+}
+
+var _ Predictor = (*ModelPredictor)(nil)
+
+// NewModelPredictor wraps a trained model in an in-process predictor.
+func NewModelPredictor(m *core.Model) *ModelPredictor {
+	return &ModelPredictor{orch: core.NewOrchestrator(m)}
+}
+
+// Predict implements Predictor.
+func (p *ModelPredictor) Predict(obs pcp.Observation) (map[string]bool, error) {
+	if err := p.orch.Ingest(obs); err != nil {
+		return nil, err
+	}
+	out := map[string]bool{}
+	for _, id := range p.orch.SaturatedInstances() {
+		out[id] = true
+	}
+	return out, nil
+}
+
+// Forget implements Predictor.
+func (p *ModelPredictor) Forget(id string) { p.orch.Forget(id) }
+
 // Options configures a scaling simulation.
 type Options struct {
 	// Duration is the simulated seconds.
@@ -182,6 +223,15 @@ type Options struct {
 	// ScaleInGrace is the minimum replica age before early retirement
 	// (default 30 s).
 	ScaleInGrace int
+	// Predictor overrides the in-process inference path: when set, each
+	// tick's observation goes through it instead of an orchestrator built
+	// from the model argument (e.g. a serving.Client for over-the-wire
+	// inference).
+	Predictor Predictor
+	// OnDecision, when set, observes every tick's scale-out targets
+	// (after coupling). Used by the replay driver to prove the online
+	// path reproduces the offline policy decisions.
+	OnDecision func(t int, targets []string)
 }
 
 func (o Options) withDefaults() Options {
@@ -253,13 +303,14 @@ func Simulate(build BuildEnv, scaler Scaler, model *core.Model, opt Options) (Re
 		return Result{}, fmt.Errorf("autoscale: build: %w", err)
 	}
 
-	var orch, scaleInOrch *core.Orchestrator
-	var agent *pcp.Agent
-	if model != nil || opt.ScaleInModel != nil {
-		agent = pcp.NewAgent(pcp.NewCollector(pcp.DefaultCatalog(), opt.Seed))
+	predictor := opt.Predictor
+	if predictor == nil && model != nil {
+		predictor = NewModelPredictor(model)
 	}
-	if model != nil {
-		orch = core.NewOrchestrator(model)
+	var scaleInOrch *core.Orchestrator
+	var agent *pcp.Agent
+	if predictor != nil || opt.ScaleInModel != nil {
+		agent = pcp.NewAgent(pcp.NewCollector(pcp.DefaultCatalog(), opt.Seed))
 	}
 	if opt.ScaleInModel != nil {
 		scaleInOrch = core.NewOrchestrator(opt.ScaleInModel)
@@ -291,12 +342,15 @@ func Simulate(build BuildEnv, scaler Scaler, model *core.Model, opt Options) (Re
 		overProvisioned := map[string]bool{}
 		if agent != nil {
 			if obs, ok := agent.Observe(env.Engine); ok {
-				if orch != nil {
-					if err := orch.Ingest(obs); err != nil {
-						return Result{}, err
+				if predictor != nil {
+					sat, err := predictor.Predict(obs)
+					if err != nil {
+						return Result{}, fmt.Errorf("autoscale: predict at t=%d: %w", t, err)
 					}
-					for _, id := range orch.SaturatedInstances() {
-						predicted[id] = true
+					for id, s := range sat {
+						if s {
+							predicted[id] = true
+						}
 					}
 				}
 				if scaleInOrch != nil {
@@ -341,8 +395,8 @@ func Simulate(build BuildEnv, scaler Scaler, model *core.Model, opt Options) (Re
 				if err := env.Cluster.Remove(r.id); err != nil {
 					return Result{}, fmt.Errorf("autoscale: scale-in %s: %w", r.id, err)
 				}
-				if orch != nil {
-					orch.Forget(r.id)
+				if predictor != nil {
+					predictor.Forget(r.id)
 				}
 				if scaleInOrch != nil {
 					scaleInOrch.Forget(r.id)
@@ -382,6 +436,9 @@ func Simulate(build BuildEnv, scaler Scaler, model *core.Model, opt Options) (Re
 
 		// Decide, apply coupling, scale out.
 		targets := applyCoupling(scaler.Decide(snap), opt.Couple)
+		if opt.OnDecision != nil {
+			opt.OnDecision(t, targets)
+		}
 		for _, svcName := range targets {
 			svc, ok := env.Target.Service(svcName)
 			if !ok {

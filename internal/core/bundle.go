@@ -1,0 +1,140 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"monitorless/internal/pcp"
+)
+
+// A model bundle is the single on-disk artifact the commands exchange:
+// the fitted pipeline and classifier plus the metadata needed to refuse
+// serving against the wrong metric catalog — a format version, the
+// fingerprint of the raw metric schema the model was trained on, and the
+// training seed for provenance. cmd/train writes bundles; cmd/evaluate,
+// cmd/autoscalesim and cmd/serve load them through the one loader below.
+// Files written by older versions of cmd/train (a bare model gob) still
+// load, reported as Version 0.
+
+// BundleVersion is the current bundle format version.
+const BundleVersion = 1
+
+// bundleMagic distinguishes bundles from legacy bare-model gobs.
+const bundleMagic = "monitorless-bundle"
+
+// Bundle is a loaded model plus its provenance metadata.
+type Bundle struct {
+	// Version is the format version (0 for legacy bare-model files).
+	Version int
+	// SchemaHash fingerprints the raw metric schema (pcp.HashNames over
+	// the model's expected metric names).
+	SchemaHash string
+	// TrainSeed is the seed the model was trained with (0 when unknown).
+	TrainSeed int64
+	// Model is the trained classifier.
+	Model *Model
+}
+
+// bundleWire is the gob image of a bundle.
+type bundleWire struct {
+	Magic      string
+	Version    int
+	SchemaHash string
+	TrainSeed  int64
+	ModelBlob  []byte
+}
+
+// SaveBundle writes the current bundle format.
+func SaveBundle(w io.Writer, m *Model, trainSeed int64) error {
+	blob, err := m.SaveBytes()
+	if err != nil {
+		return fmt.Errorf("core: save bundle: %w", err)
+	}
+	wire := bundleWire{
+		Magic:      bundleMagic,
+		Version:    BundleVersion,
+		SchemaHash: pcp.HashNames(m.RawNames),
+		TrainSeed:  trainSeed,
+		ModelBlob:  blob,
+	}
+	if err := gob.NewEncoder(w).Encode(wire); err != nil {
+		return fmt.Errorf("core: save bundle: %w", err)
+	}
+	return nil
+}
+
+// LoadBundle reads a bundle written by SaveBundle, falling back to the
+// legacy bare-model format. It verifies the stored schema hash against
+// the decoded model and rejects bundles from newer format versions.
+func LoadBundle(r io.Reader) (*Bundle, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: load bundle: %w", err)
+	}
+	var wire bundleWire
+	// Gob drops stream fields absent from the receiver, so decoding a
+	// legacy bare-model gob "succeeds" with every field zero; the magic
+	// string is what actually discriminates the formats.
+	if derr := gob.NewDecoder(bytes.NewReader(data)).Decode(&wire); derr != nil || wire.Magic != bundleMagic {
+		m, lerr := Load(bytes.NewReader(data))
+		if lerr != nil {
+			return nil, fmt.Errorf("core: load bundle: not a model bundle (%v) nor a legacy model (%w)", derr, lerr)
+		}
+		return &Bundle{Version: 0, SchemaHash: pcp.HashNames(m.RawNames), Model: m}, nil
+	}
+	if wire.Version < 1 || wire.Version > BundleVersion {
+		return nil, fmt.Errorf("core: load bundle: format version %d not supported (this build reads ≤ %d)", wire.Version, BundleVersion)
+	}
+	m, err := LoadBytes(wire.ModelBlob)
+	if err != nil {
+		return nil, fmt.Errorf("core: load bundle: %w", err)
+	}
+	if got := pcp.HashNames(m.RawNames); got != wire.SchemaHash {
+		return nil, fmt.Errorf("core: load bundle: stored schema hash %.12s… does not match the embedded model's schema %.12s… (corrupt or tampered bundle)", wire.SchemaHash, got)
+	}
+	return &Bundle{Version: wire.Version, SchemaHash: wire.SchemaHash, TrainSeed: wire.TrainSeed, Model: m}, nil
+}
+
+// SaveBundleFile writes a bundle to path.
+func SaveBundleFile(path string, m *Model, trainSeed int64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: save bundle: %w", err)
+	}
+	if err := SaveBundle(f, m, trainSeed); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadBundleFile is the shared loader every command uses.
+func LoadBundleFile(path string) (*Bundle, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: load bundle: %w", err)
+	}
+	defer f.Close()
+	return LoadBundle(f)
+}
+
+// CheckSchema rejects a bundle whose raw metric schema does not match the
+// runtime catalog, naming the first divergence so the error is actionable.
+func (b *Bundle) CheckSchema(names []string) error {
+	if pcp.HashNames(names) == b.SchemaHash {
+		return nil
+	}
+	have := b.Model.RawNames
+	if len(have) != len(names) {
+		return fmt.Errorf("core: bundle schema mismatch: model trained on %d raw metrics, runtime catalog has %d (retrain against this catalog)", len(have), len(names))
+	}
+	for i := range names {
+		if have[i] != names[i] {
+			return fmt.Errorf("core: bundle schema mismatch at metric %d: model expects %q, runtime catalog has %q (retrain against this catalog)", i, have[i], names[i])
+		}
+	}
+	return fmt.Errorf("core: bundle schema mismatch (hash %.12s… vs %.12s…)", b.SchemaHash, pcp.HashNames(names))
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"monitorless/internal/features"
+	"monitorless/internal/pcp"
+)
+
+func TestBundleRoundTripIdenticalPredictions(t *testing.T) {
+	m, ds := sharedModel(t)
+
+	var buf bytes.Buffer
+	if err := SaveBundle(&buf, m, 42); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBundle(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Version != BundleVersion {
+		t.Errorf("Version = %d, want %d", b.Version, BundleVersion)
+	}
+	if b.TrainSeed != 42 {
+		t.Errorf("TrainSeed = %d, want 42", b.TrainSeed)
+	}
+	if b.SchemaHash != pcp.HashNames(m.RawNames) {
+		t.Errorf("SchemaHash does not cover the model's raw schema")
+	}
+	if err := b.CheckSchema(m.RawNames); err != nil {
+		t.Errorf("CheckSchema against own schema: %v", err)
+	}
+
+	// Loaded model must predict bit-identically to the original.
+	tab := features.FromDataset(ds.FilterRuns(1))
+	origPreds, origProbs, err := m.PredictTable(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotPreds, gotProbs, err := b.Model.PredictTable(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range origProbs {
+		for i := range origProbs[id] {
+			if origProbs[id][i] != gotProbs[id][i] || origPreds[id][i] != gotPreds[id][i] {
+				t.Fatalf("run %d tick %d: loaded bundle predicts %v/%d, original %v/%d",
+					id, i, gotProbs[id][i], gotPreds[id][i], origProbs[id][i], origPreds[id][i])
+			}
+		}
+	}
+}
+
+func TestBundleLegacyFallback(t *testing.T) {
+	m, _ := sharedModel(t)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil { // legacy bare-model format
+		t.Fatal(err)
+	}
+	b, err := LoadBundle(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("legacy model did not load: %v", err)
+	}
+	if b.Version != 0 {
+		t.Errorf("legacy Version = %d, want 0", b.Version)
+	}
+	if b.SchemaHash != pcp.HashNames(m.RawNames) {
+		t.Errorf("legacy SchemaHash not recomputed from model")
+	}
+	if b.Model.TrainSamples != m.TrainSamples {
+		t.Errorf("legacy model fields lost")
+	}
+}
+
+func TestBundleRejectsGarbage(t *testing.T) {
+	if _, err := LoadBundle(strings.NewReader("not a gob at all")); err == nil {
+		t.Fatal("expected error for garbage input")
+	}
+}
+
+func TestBundleCheckSchemaMismatch(t *testing.T) {
+	m, _ := sharedModel(t)
+	var buf bytes.Buffer
+	if err := SaveBundle(&buf, m, 1); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBundle(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	truncated := m.RawNames[:len(m.RawNames)-1]
+	if err := b.CheckSchema(truncated); err == nil || !strings.Contains(err.Error(), "raw metrics") {
+		t.Errorf("truncated schema: got %v, want metric-count mismatch error", err)
+	}
+	renamed := append([]string(nil), m.RawNames...)
+	renamed[3] = "kernel.all.cpu.borrowed"
+	err = b.CheckSchema(renamed)
+	if err == nil || !strings.Contains(err.Error(), "metric 3") {
+		t.Errorf("renamed schema: got %v, want first-divergence error", err)
+	}
+}
+
+func TestBundleFileRoundTrip(t *testing.T) {
+	m, _ := sharedModel(t)
+	path := t.TempDir() + "/model.gob"
+	if err := SaveBundleFile(path, m, 7); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBundleFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.TrainSeed != 7 || b.Model == nil {
+		t.Fatalf("bundle file round trip lost data: %+v", b)
+	}
+	if _, err := LoadBundleFile(path + ".missing"); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}

@@ -96,6 +96,16 @@ func Train(ds *dataset.Dataset, cfg TrainConfig) (*Model, error) {
 // retain for online prediction.
 func (m *Model) WindowSize() int { return m.Pipeline.WindowSize() }
 
+// Streamer returns the incremental feature evaluator for online serving:
+// O(features) per sample, bit-identical to the batch table path.
+func (m *Model) Streamer() (*features.Streamer, error) { return m.Pipeline.Streamer() }
+
+// PredictVector classifies one already-engineered feature vector.
+func (m *Model) PredictVector(vec []float64) (prob float64, saturated bool) {
+	p := m.Forest.PredictProba(vec)
+	return p, p >= m.Threshold
+}
+
 // PredictWindow classifies the most recent sample of one instance given
 // its trailing window of raw metric vectors (oldest first).
 func (m *Model) PredictWindow(window [][]float64) (prob float64, saturated bool, err error) {

@@ -5,19 +5,24 @@ import (
 	"sort"
 	"sync"
 
+	"monitorless/internal/features"
 	"monitorless/internal/pcp"
 )
 
 // Orchestrator is the paper's §2 central component: it receives the
-// agents' per-instance metric vectors, keeps the trailing window each
-// prediction needs, infers per-container saturation with the monitorless
-// model, and aggregates instance predictions into application decisions
-// with a logical OR (§4).
+// agents' per-instance metric vectors, keeps incremental feature state per
+// instance, infers per-container saturation with the monitorless model,
+// and aggregates instance predictions into application decisions with a
+// logical OR (§4). Inference is O(features) per sample: each vector is
+// folded into the instance's streaming feature state instead of re-running
+// the batch pipeline over a trailing window, and the engineered vectors
+// are bit-identical to the offline table path.
 type Orchestrator struct {
-	mu      sync.Mutex
-	model   *Model
-	windows map[string][][]float64
-	preds   map[string]Prediction
+	mu       sync.Mutex
+	model    *Model
+	streamer *features.Streamer
+	states   map[string]*features.StreamState
+	preds    map[string]Prediction
 	// appOf maps instance ID → application name for aggregation.
 	appOf map[string]string
 }
@@ -35,10 +40,10 @@ type Prediction struct {
 // NewOrchestrator returns an orchestrator over a trained model.
 func NewOrchestrator(m *Model) *Orchestrator {
 	return &Orchestrator{
-		model:   m,
-		windows: make(map[string][][]float64),
-		preds:   make(map[string]Prediction),
-		appOf:   make(map[string]string),
+		model:  m,
+		states: make(map[string]*features.StreamState),
+		preds:  make(map[string]Prediction),
+		appOf:  make(map[string]string),
 	}
 }
 
@@ -54,31 +59,40 @@ func (o *Orchestrator) RegisterInstance(id, app string) {
 	o.appOf[id] = app
 }
 
-// Forget drops an instance's window and latest prediction (scale-in).
+// Forget drops an instance's feature state and latest prediction
+// (scale-in).
 func (o *Orchestrator) Forget(id string) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	delete(o.windows, id)
+	delete(o.states, id)
 	delete(o.preds, id)
 	delete(o.appOf, id)
 }
 
-// Ingest processes one tick's observation: it appends each vector to its
-// instance window and refreshes the instance predictions.
+// Ingest processes one tick's observation: it folds each vector into its
+// instance's incremental feature state and refreshes the instance
+// predictions.
 func (o *Orchestrator) Ingest(obs pcp.Observation) error {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	w := o.model.WindowSize()
-	for id, vec := range obs.Vectors {
-		win := append(o.windows[id], vec)
-		if len(win) > w {
-			win = win[len(win)-w:]
+	if o.streamer == nil {
+		s, err := o.model.Streamer()
+		if err != nil {
+			return fmt.Errorf("core: ingest: %w", err)
 		}
-		o.windows[id] = win
-		prob, sat, err := o.model.PredictWindow(win)
+		o.streamer = s
+	}
+	for id, vec := range obs.Vectors {
+		st := o.states[id]
+		if st == nil {
+			st = o.streamer.NewState()
+			o.states[id] = st
+		}
+		fvec, err := o.streamer.Step(st, vec)
 		if err != nil {
 			return fmt.Errorf("core: ingest %s: %w", id, err)
 		}
+		prob, sat := o.model.PredictVector(fvec)
 		o.preds[id] = Prediction{Prob: prob, Saturated: sat, T: obs.T}
 		if _, known := o.appOf[id]; !known {
 			o.appOf[id] = appFromID(id)

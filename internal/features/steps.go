@@ -53,12 +53,25 @@ func levelSpecs(cpu bool) []levelSpec {
 type Expand struct {
 	// Sources lists the utilization columns that received level bits.
 	Sources []string
+	// In, LogIdx, TargetIdx and TargetCPU are the fitted row-apply state
+	// for the streaming path: the raw input width, the columns moved to a
+	// log scale, the utilization columns receiving level bits, and whether
+	// each target gets the extra CPU bits. Batch Transform derives the
+	// same information from the input table's schema.
+	In        int
+	LogIdx    []int
+	TargetIdx []int
+	TargetCPU []bool
 }
 
 var _ Step = (*Expand)(nil)
 
 // Name implements Step.
 func (e *Expand) Name() string { return "expand" }
+
+// log10p1 is the §3.3.2 log scaling, shared verbatim by the batch and
+// streaming paths so their outputs agree bit for bit.
+func log10p1(v float64) float64 { return math.Log10(1 + math.Max(v, 0)) }
 
 // expandTargets returns the util columns that receive level bits with
 // their bit-name prefixes.
@@ -87,8 +100,17 @@ func expandTargets(cols []Column) (idx []int, prefix []string, isCPU []bool) {
 
 // Fit implements Step.
 func (e *Expand) Fit(t *Table) error {
-	_, prefixes, _ := expandTargets(t.Cols)
+	idx, prefixes, isCPU := expandTargets(t.Cols)
 	e.Sources = prefixes
+	e.In = t.NumCols()
+	e.TargetIdx = idx
+	e.TargetCPU = isCPU
+	e.LogIdx = e.LogIdx[:0]
+	for i, c := range t.Cols {
+		if c.Log {
+			e.LogIdx = append(e.LogIdx, i)
+		}
+	}
 	return nil
 }
 
@@ -117,7 +139,7 @@ func (e *Expand) Transform(t *Table) (*Table, error) {
 			nr = append(nr, row...)
 			for ci := range nr {
 				if t.Cols[ci].Log {
-					nr[ci] = math.Log10(1 + math.Max(nr[ci], 0))
+					nr[ci] = log10p1(nr[ci])
 				}
 			}
 			for k, i := range idx {

@@ -1,0 +1,295 @@
+package features
+
+import (
+	"fmt"
+)
+
+// This file is the online half of the feature pipeline: an incremental
+// evaluator that engineers one raw sample at a time in O(1) work per
+// sample, producing vectors that are bit-identical to running the fitted
+// batch pipeline over the instance's full history.
+//
+// Every pipeline step except TimeFeatures is row-local once fitted, so the
+// stream splits the fitted step chain into the row steps before the time
+// expansion ("pre"), the TimeFeatures step itself, and the row steps after
+// it ("post"). TimeFeatures is the only step with run context: X-AVG needs
+// a trailing sum and X-LAG needs an old row. The stream keeps
+//
+//   - a ring of the last maxLag+1 pre-transformed ("base") rows, and
+//   - a ring of the last maxAvg+2 per-column prefix-sum vectors
+//     P[j][c] = Σ_{i≤j} base[i][c], accumulated in arrival order,
+//
+// so that the trailing average over [lo..j] is (P[j]-P[lo-1])/span — the
+// exact expression, with the exact floating-point evaluation order, that
+// the batch TimeFeatures.Transform computes from its full-run prefix sums.
+// That is what makes streaming-vs-batch equivalence bit-level rather than
+// approximate: a running windowed sum (add new, subtract evicted) would
+// drift from the batch prefix differences in the last ulps.
+
+// RowStep is a fitted Step that can transform one row independently of its
+// run context. Every step except TimeFeatures implements it.
+type RowStep interface {
+	Step
+	// TransformRow applies the fitted step to a single row, returning a
+	// fresh slice (the input is never mutated).
+	TransformRow(row []float64) ([]float64, error)
+}
+
+// TransformRow implements RowStep.
+func (e *Expand) TransformRow(row []float64) ([]float64, error) {
+	if e.In == 0 {
+		return nil, fmt.Errorf("features: expand: fitted before streaming support; re-fit the pipeline")
+	}
+	if len(row) != e.In {
+		return nil, fmt.Errorf("features: expand: fitted on %d cols, got %d", e.In, len(row))
+	}
+	nr := make([]float64, 0, e.In+5*len(e.TargetIdx))
+	nr = append(nr, row...)
+	for _, ci := range e.LogIdx {
+		nr[ci] = log10p1(nr[ci])
+	}
+	for k, i := range e.TargetIdx {
+		v := row[i]
+		for _, spec := range levelSpecs(e.TargetCPU[k]) {
+			if spec.Test(v) {
+				nr = append(nr, 1)
+			} else {
+				nr = append(nr, 0)
+			}
+		}
+	}
+	return nr, nil
+}
+
+// TransformRow implements RowStep.
+func (s *StandardScale) TransformRow(row []float64) ([]float64, error) {
+	if len(row) != len(s.Mean) {
+		return nil, fmt.Errorf("features: standardize: fitted on %d cols, got %d", len(s.Mean), len(row))
+	}
+	nr := make([]float64, len(row))
+	for i, v := range row {
+		if s.Std[i] > 0 {
+			nr[i] = (v - s.Mean[i]) / s.Std[i]
+		} else {
+			nr[i] = 0
+		}
+	}
+	return nr, nil
+}
+
+// selectRow projects a row onto the kept column indices.
+func selectRow(row []float64, keep []int, step string) ([]float64, error) {
+	nr := make([]float64, len(keep))
+	for i, k := range keep {
+		if k >= len(row) {
+			return nil, fmt.Errorf("features: %s: column %d out of range (%d cols)", step, k, len(row))
+		}
+		nr[i] = row[k]
+	}
+	return nr, nil
+}
+
+// TransformRow implements RowStep.
+func (f *RFFilter) TransformRow(row []float64) ([]float64, error) {
+	return selectRow(row, f.Keep, "rf-filter")
+}
+
+// TransformRow implements RowStep.
+func (p *PCAReduce) TransformRow(row []float64) ([]float64, error) {
+	if p.P == nil {
+		return nil, fmt.Errorf("features: pca: not fitted")
+	}
+	return p.P.Transform(row)
+}
+
+// TransformRow implements RowStep.
+func (p *Products) TransformRow(row []float64) ([]float64, error) {
+	if len(row) != p.InCols {
+		return nil, fmt.Errorf("features: products fitted on %d cols, got %d", p.InCols, len(row))
+	}
+	nr := make([]float64, 0, len(row)+len(p.Pairs))
+	nr = append(nr, row...)
+	for _, pr := range p.Pairs {
+		nr = append(nr, row[pr[0]]*row[pr[1]])
+	}
+	return nr, nil
+}
+
+// TransformRow implements RowStep.
+func (z *DropZeroVariance) TransformRow(row []float64) ([]float64, error) {
+	return selectRow(row, z.Keep, "drop-zero-variance")
+}
+
+// Streamer evaluates a fitted pipeline incrementally, one raw sample at a
+// time. It is immutable and safe for concurrent use; all per-instance
+// mutable state lives in the StreamState values it mints.
+type Streamer struct {
+	pipe      *Pipeline
+	pre, post []RowStep
+	tf        *TimeFeatures
+	baseCols  int
+	maxAvg    int
+	maxLag    int
+}
+
+// Streamer builds the incremental evaluator for a fitted pipeline.
+func (p *Pipeline) Streamer() (*Streamer, error) {
+	if len(p.Steps) == 0 {
+		return nil, fmt.Errorf("features: pipeline is not fitted")
+	}
+	s := &Streamer{pipe: p}
+	for _, st := range p.Steps {
+		if tf, ok := st.(*TimeFeatures); ok {
+			if s.tf != nil {
+				return nil, fmt.Errorf("features: streamer: multiple time-feature steps")
+			}
+			s.tf = tf
+			continue
+		}
+		rs, ok := st.(RowStep)
+		if !ok {
+			return nil, fmt.Errorf("features: streamer: step %s has no row path", st.Name())
+		}
+		if e, isExpand := st.(*Expand); isExpand && e.In == 0 {
+			return nil, fmt.Errorf("features: streamer: pipeline predates streaming support; re-fit and re-save the model")
+		}
+		if s.tf == nil {
+			s.pre = append(s.pre, rs)
+		} else {
+			s.post = append(s.post, rs)
+		}
+	}
+	if s.tf != nil {
+		s.baseCols = s.tf.InCols
+		for _, w := range s.tf.AvgWindows {
+			if w > s.maxAvg {
+				s.maxAvg = w
+			}
+		}
+		for _, w := range s.tf.LagWindows {
+			if w > s.maxLag {
+				s.maxLag = w
+			}
+		}
+	}
+	return s, nil
+}
+
+// NumOutputs returns the engineered feature count, matching the batch
+// pipeline.
+func (s *Streamer) NumOutputs() int { return s.pipe.NumOutputs() }
+
+// StreamState is one instance's incremental feature state: the sample
+// count plus the two rings the time-feature expansion needs. Memory is
+// O(window × base columns) regardless of stream length.
+type StreamState struct {
+	n      int
+	base   [][]float64
+	prefix [][]float64
+}
+
+// NewState mints a fresh per-instance state.
+func (s *Streamer) NewState() *StreamState {
+	st := &StreamState{}
+	if s.tf != nil {
+		st.base = make([][]float64, s.maxLag+1)
+		st.prefix = make([][]float64, s.maxAvg+2)
+	}
+	return st
+}
+
+// Samples returns how many samples the state has absorbed.
+func (st *StreamState) Samples() int { return st.n }
+
+// Step engineers the feature vector for the next raw sample of the
+// instance, in O(features) work independent of the stream length. The
+// result is bit-identical to transforming the instance's full history
+// through the batch pipeline and taking the last row.
+func (s *Streamer) Step(st *StreamState, raw []float64) ([]float64, error) {
+	if len(raw) != s.pipe.InCols {
+		return nil, fmt.Errorf("features: stream: pipeline fitted on %d raw cols, got %d", s.pipe.InCols, len(raw))
+	}
+	cur := raw
+	for _, step := range s.pre {
+		next, err := step.TransformRow(cur)
+		if err != nil {
+			return nil, fmt.Errorf("features: stream %s: %w", step.Name(), err)
+		}
+		cur = next
+	}
+	if s.tf != nil {
+		next, err := s.timeStep(st, cur)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	st.n++
+	for _, step := range s.post {
+		next, err := step.TransformRow(cur)
+		if err != nil {
+			return nil, fmt.Errorf("features: stream %s: %w", step.Name(), err)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// timeStep appends the X-AVG/X-LAG variants for row index st.n, updating
+// the rings. It mirrors TimeFeatures.Transform exactly: averages divide a
+// prefix-sum difference by the clamped span, lags clamp to row 0.
+func (s *Streamer) timeStep(st *StreamState, base []float64) ([]float64, error) {
+	if len(base) != s.baseCols {
+		return nil, fmt.Errorf("features: stream time-features fitted on %d cols, got %d", s.baseCols, len(base))
+	}
+	j := st.n
+	// P[j][c] = P[j-1][c] + base[c], accumulated in arrival order — the
+	// same additions, in the same order, as the batch prefix sums.
+	prev := zeroVec
+	if j > 0 {
+		prev = st.prefix[(j-1)%len(st.prefix)]
+	}
+	if len(prev) < s.baseCols {
+		prev = make([]float64, s.baseCols) // zeroVec too short for this schema
+	}
+	p := make([]float64, s.baseCols)
+	for c := 0; c < s.baseCols; c++ {
+		p[c] = prev[c] + base[c]
+	}
+	st.prefix[j%len(st.prefix)] = p
+	st.base[j%len(st.base)] = base
+
+	tf := s.tf
+	nr := make([]float64, 0, s.baseCols*(1+len(tf.AvgWindows)+len(tf.LagWindows)))
+	nr = append(nr, base...)
+	for _, w := range tf.AvgWindows {
+		lo := j - w
+		if lo < 0 {
+			lo = 0
+		}
+		span := float64(j - lo + 1)
+		plo := zeroVec
+		if lo > 0 {
+			plo = st.prefix[(lo-1)%len(st.prefix)]
+		}
+		if len(plo) < s.baseCols {
+			plo = make([]float64, s.baseCols)
+		}
+		for c := 0; c < s.baseCols; c++ {
+			nr = append(nr, (p[c]-plo[c])/span)
+		}
+	}
+	for _, w := range tf.LagWindows {
+		src := j - w
+		if src < 0 {
+			src = 0
+		}
+		lagRow := st.base[src%len(st.base)]
+		nr = append(nr, lagRow[:s.baseCols]...)
+	}
+	return nr, nil
+}
+
+// zeroVec stands in for the implicit P[-1] = 0 prefix; wide enough for any
+// realistic schema and reallocated on demand otherwise.
+var zeroVec = make([]float64, 4096)

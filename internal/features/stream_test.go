@@ -1,0 +1,188 @@
+package features
+
+import (
+	"testing"
+)
+
+// streamConfigs enumerates the pipeline layouts the equivalence tests
+// cover: the paper's selected layout, a PCA variant, and a layout with no
+// time features (the degenerate stream).
+func streamConfigs() map[string]Config {
+	return map[string]Config{
+		"default": DefaultConfig(),
+		"pca": {
+			Normalize:    true,
+			Reduce1:      ReducePCA,
+			TimeFeatures: true,
+			Products:     false,
+			Reduce2:      ReduceNone,
+			PCAMax:       6,
+		},
+		"no-time": {
+			Normalize:    true,
+			Reduce1:      ReduceFilter,
+			TimeFeatures: false,
+			Products:     true,
+			Reduce2:      ReduceNone,
+			FilterTopK:   10,
+		},
+		"bare": {},
+	}
+}
+
+func TestStreamerMatchesBatchBitIdentical(t *testing.T) {
+	train := synthTable(4, 80, 11)
+	held := synthTable(3, 60, 23)
+	for name, cfg := range streamConfigs() {
+		t.Run(name, func(t *testing.T) {
+			pipe, err := NewPipeline(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := pipe.Fit(train); err != nil {
+				t.Fatal(err)
+			}
+			batch, err := pipe.Transform(held)
+			if err != nil {
+				t.Fatal(err)
+			}
+			str, err := pipe.Streamer()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if str.NumOutputs() != pipe.NumOutputs() {
+				t.Fatalf("streamer outputs %d, pipeline %d", str.NumOutputs(), pipe.NumOutputs())
+			}
+			for ri := range held.Runs {
+				st := str.NewState()
+				for j, raw := range held.Runs[ri].Rows {
+					vec, err := str.Step(st, raw)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := batch.Runs[ri].Rows[j]
+					if len(vec) != len(want) {
+						t.Fatalf("run %d row %d: stream width %d, batch %d", ri, j, len(vec), len(want))
+					}
+					for c := range vec {
+						if vec[c] != want[c] {
+							t.Fatalf("run %d row %d col %d (%s): stream %v, batch %v",
+								ri, j, c, batch.Cols[c].Name, vec[c], want[c])
+						}
+					}
+				}
+				if st.Samples() != len(held.Runs[ri].Rows) {
+					t.Fatalf("state absorbed %d samples, want %d", st.Samples(), len(held.Runs[ri].Rows))
+				}
+			}
+		})
+	}
+}
+
+func TestStreamerLongStreamBoundedStateMatchesBatch(t *testing.T) {
+	// A stream several times longer than the time window must still agree
+	// with batch while keeping only O(window) rows of state.
+	train := synthTable(4, 80, 31)
+	pipe, err := NewPipeline(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pipe.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	long := synthTable(1, 400, 47)
+	batch, err := pipe.Transform(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	str, err := pipe.Streamer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := str.NewState()
+	for j, raw := range long.Runs[0].Rows {
+		vec, err := str.Step(st, raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := range vec {
+			if vec[c] != batch.Runs[0].Rows[j][c] {
+				t.Fatalf("row %d col %d: stream %v, batch %v", j, c, vec[c], batch.Runs[0].Rows[j][c])
+			}
+		}
+	}
+	if len(st.base) >= 100 || len(st.prefix) >= 100 {
+		t.Fatalf("stream state is not bounded: %d base rows, %d prefixes", len(st.base), len(st.prefix))
+	}
+}
+
+func TestStreamerRejectsUnfittedAndBadWidth(t *testing.T) {
+	pipe, err := NewPipeline(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pipe.Streamer(); err == nil {
+		t.Fatal("expected error for unfitted pipeline")
+	}
+	train := synthTable(4, 80, 7)
+	if _, err := pipe.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	str, err := pipe.Streamer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := str.Step(str.NewState(), []float64{1, 2}); err == nil {
+		t.Fatal("expected error for wrong raw width")
+	}
+}
+
+func TestStreamerStatesAreIndependent(t *testing.T) {
+	// Interleaving two instances through one Streamer must give each the
+	// same vectors as streaming them alone (states carry all mutability).
+	train := synthTable(4, 80, 3)
+	pipe, err := NewPipeline(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pipe.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	str, err := pipe.Streamer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := synthTable(1, 50, 101).Runs[0].Rows
+	b := synthTable(1, 50, 102).Runs[0].Rows
+
+	solo := func(rows [][]float64) [][]float64 {
+		st := str.NewState()
+		var out [][]float64
+		for _, r := range rows {
+			v, err := str.Step(st, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, v)
+		}
+		return out
+	}
+	wantA, wantB := solo(a), solo(b)
+
+	stA, stB := str.NewState(), str.NewState()
+	for j := range a {
+		va, err := str.Step(stA, a[j])
+		if err != nil {
+			t.Fatal(err)
+		}
+		vb, err := str.Step(stB, b[j])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := range va {
+			if va[c] != wantA[j][c] || vb[c] != wantB[j][c] {
+				t.Fatalf("interleaved stream diverged at row %d col %d", j, c)
+			}
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package pcp
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+)
+
+// Wire encoding for the agents→orchestrator network path: one observation
+// per tick, carrying each instance's processed metric vector in catalog
+// order. Values travel positionally; the schema hash pins the sender and
+// receiver to the same catalog so a silently reordered or truncated vector
+// is rejected instead of mis-predicted.
+
+// WireSample is one instance's processed metric vector on the wire.
+type WireSample struct {
+	// Instance is the container ID ("<app>/<service>/<n>").
+	Instance string `json:"instance"`
+	// App and Service override the ID-derived grouping when set.
+	App     string `json:"app,omitempty"`
+	Service string `json:"service,omitempty"`
+	// Values is the combined host∥container vector in catalog order.
+	Values []float64 `json:"values"`
+}
+
+// WireObservation is one tick's batch of samples.
+type WireObservation struct {
+	// T is the observation second.
+	T int `json:"t"`
+	// SchemaHash identifies the metric catalog the values are laid out
+	// against (HashNames over the combined metric names). Optional; when
+	// set, receivers reject mismatches.
+	SchemaHash string       `json:"schema_hash,omitempty"`
+	Samples    []WireSample `json:"samples"`
+}
+
+// HashNames fingerprints a metric-name schema: the SHA-256 of the names
+// joined with NUL separators, hex-encoded. Order matters — the vector
+// layout is positional.
+func HashNames(names []string) string {
+	h := sha256.New()
+	for _, n := range names {
+		h.Write([]byte(n))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// CombinedNames lists the per-instance schema (host ∥ container) names.
+func (c *Catalog) CombinedNames() []string {
+	defs := c.CombinedDefs()
+	out := make([]string, len(defs))
+	for i, d := range defs {
+		out[i] = d.Name
+	}
+	return out
+}
+
+// SchemaHash fingerprints the catalog's combined per-instance schema.
+func (c *Catalog) SchemaHash() string { return HashNames(c.CombinedNames()) }
+
+// ToWire converts an observation for transmission, with instances sorted
+// for deterministic encodings. serviceOf may be nil.
+func ToWire(obs Observation, schemaHash string, serviceOf map[string]string) WireObservation {
+	w := WireObservation{T: obs.T, SchemaHash: schemaHash}
+	ids := make([]string, 0, len(obs.Vectors))
+	for id := range obs.Vectors {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		w.Samples = append(w.Samples, WireSample{
+			Instance: id,
+			Service:  serviceOf[id],
+			Values:   obs.Vectors[id],
+		})
+	}
+	return w
+}
+
+// Observation reassembles the in-process form. It fails on duplicate or
+// empty instance IDs so a malformed payload cannot silently drop samples.
+func (w WireObservation) Observation() (Observation, error) {
+	obs := Observation{T: w.T, Vectors: make(map[string][]float64, len(w.Samples))}
+	for _, s := range w.Samples {
+		if s.Instance == "" {
+			return Observation{}, fmt.Errorf("pcp: wire sample with empty instance ID")
+		}
+		if _, dup := obs.Vectors[s.Instance]; dup {
+			return Observation{}, fmt.Errorf("pcp: duplicate wire sample for %q", s.Instance)
+		}
+		obs.Vectors[s.Instance] = s.Values
+	}
+	return obs, nil
+}

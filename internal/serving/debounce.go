@@ -1,0 +1,65 @@
+package serving
+
+// Debouncer turns a noisy per-tick boolean series into a stable alarm
+// with k-of-n hysteresis: the alarm raises once at least K of the last
+// N raw ticks were positive, and clears only after a fully quiet window
+// (fewer than ClearBelow positives among the last N). The asymmetry
+// keeps the autoscaler from flapping on single-tick prediction noise
+// while still reacting within K ticks of a sustained saturation onset.
+type Debouncer struct {
+	k, n       int
+	clearBelow int
+	ring       []bool
+	next       int
+	seen       int
+	count      int // positives among the last min(seen, n) ticks
+	state      bool
+}
+
+// NewDebouncer returns a k-of-n debouncer. n ≤ 0 selects a 1-of-1
+// passthrough; k is clamped to [1, n]; clearBelow is clamped to [1, k].
+func NewDebouncer(k, n, clearBelow int) *Debouncer {
+	if n <= 0 {
+		n = 1
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	if clearBelow < 1 {
+		clearBelow = 1
+	}
+	if clearBelow > k {
+		clearBelow = k
+	}
+	return &Debouncer{k: k, n: n, clearBelow: clearBelow, ring: make([]bool, n)}
+}
+
+// Observe folds one raw tick and returns the debounced state.
+func (d *Debouncer) Observe(raw bool) bool {
+	if d.seen >= d.n && d.ring[d.next] {
+		d.count--
+	}
+	d.ring[d.next] = raw
+	d.next = (d.next + 1) % d.n
+	if d.seen < d.n {
+		d.seen++
+	}
+	if raw {
+		d.count++
+	}
+	if !d.state && d.count >= d.k {
+		d.state = true
+	} else if d.state && d.count < d.clearBelow {
+		d.state = false
+	}
+	return d.state
+}
+
+// State returns the current debounced state without observing a tick.
+func (d *Debouncer) State() bool { return d.state }
+
+// Count returns the number of positive raw ticks in the current window.
+func (d *Debouncer) Count() int { return d.count }

@@ -1,0 +1,76 @@
+package serving
+
+import "testing"
+
+func TestDebouncerPassthrough(t *testing.T) {
+	d := NewDebouncer(1, 1, 1)
+	for _, raw := range []bool{false, true, false, true, true, false} {
+		if got := d.Observe(raw); got != raw {
+			t.Fatalf("1-of-1 debouncer should pass through, got %v for %v", got, raw)
+		}
+	}
+}
+
+func TestDebouncerKofN(t *testing.T) {
+	d := NewDebouncer(3, 5, 1)
+	// Two positives in five: below K, stays clear.
+	for _, raw := range []bool{true, false, true, false, false} {
+		if d.Observe(raw) {
+			t.Fatal("raised below K positives")
+		}
+	}
+	// One more positive: the oldest slid out, still 2-of-5 → clear.
+	if d.Observe(true) {
+		t.Fatal("raised below K positives")
+	}
+	// Third positive within the window raises.
+	if !d.Observe(true) {
+		t.Fatal("did not raise at K positives in window")
+	}
+	// Stays raised while any positive remains in the window (hysteresis:
+	// clears only below ClearBelow=1, i.e. a fully quiet window).
+	state := []bool{}
+	for i := 0; i < 5; i++ {
+		state = append(state, d.Observe(false))
+	}
+	// Window after 5 quiet ticks holds 0 positives → cleared by the end.
+	if state[len(state)-1] {
+		t.Fatalf("did not clear after quiet window: %v", state)
+	}
+	// It must NOT have cleared on the very first quiet tick (positives
+	// still in window).
+	if !state[0] {
+		t.Fatalf("cleared while window still held positives: %v", state)
+	}
+}
+
+func TestDebouncerClampsConfig(t *testing.T) {
+	d := NewDebouncer(10, 3, 99) // k>n, clearBelow>k → 3-of-3, clear below 3
+	if d.Observe(true) || d.Observe(true) {
+		t.Fatal("raised before clamped K=3 positives")
+	}
+	if !d.Observe(true) {
+		t.Fatal("did not raise at clamped K=3")
+	}
+	// clearBelow clamped to k=3: one quiet tick (count 2 < 3) clears.
+	if d.Observe(false) {
+		t.Fatal("clamped clearBelow should clear at first quiet tick")
+	}
+}
+
+func TestDebouncerWindowSlides(t *testing.T) {
+	d := NewDebouncer(2, 3, 1)
+	d.Observe(true)
+	d.Observe(false)
+	d.Observe(false)
+	// The old positive slides out: a new positive alone must not raise.
+	if d.Observe(true) {
+		t.Fatal("stale positive outside window counted")
+	}
+	if d.Count() != 1 {
+		t.Fatalf("window count = %d, want 1", d.Count())
+	}
+	if !d.Observe(true) {
+		t.Fatal("2-of-3 should raise on consecutive positives")
+	}
+}

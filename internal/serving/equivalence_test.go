@@ -1,0 +1,99 @@
+package serving
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"monitorless/internal/features"
+	"monitorless/internal/pcp"
+)
+
+// TestHTTPStreamingMatchesBatchPredictions is the online/offline
+// equivalence proof: raw metric rows streamed tick-by-tick through the
+// HTTP API must yield bit-identical probabilities to the offline batch
+// table path over the same rows. JSON transport preserves float64
+// exactly (Go emits the shortest round-tripping representation), so any
+// mismatch is a real divergence in the incremental feature math.
+func TestHTTPStreamingMatchesBatchPredictions(t *testing.T) {
+	m, ds := sharedTestModel(t)
+	eval := ds.FilterRuns(1, 22)
+	tab := features.FromDataset(eval)
+	preds, probs, err := m.PredictTable(tab)
+	if err != nil {
+		t.Fatalf("PredictTable: %v", err)
+	}
+
+	svc, err := New(Config{Model: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(svc))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+
+	ids := map[int]string{}
+	maxLen := 0
+	for _, run := range tab.Runs {
+		ids[run.ID] = fmt.Sprintf("eval/run%d/0", run.ID)
+		if len(run.Rows) > maxLen {
+			maxLen = len(run.Rows)
+		}
+	}
+
+	rows := 0
+	for j := 0; j < maxLen; j++ {
+		obs := pcp.Observation{T: j, Vectors: map[string][]float64{}}
+		for _, run := range tab.Runs {
+			if j < len(run.Rows) {
+				obs.Vectors[ids[run.ID]] = run.Rows[j]
+			}
+		}
+		resp, err := c.Ingest(obs)
+		if err != nil {
+			t.Fatalf("Ingest tick %d: %v", j, err)
+		}
+		anySat := false
+		for _, run := range tab.Runs {
+			if j >= len(run.Rows) {
+				continue
+			}
+			rows++
+			p, ok := resp.Predictions[ids[run.ID]]
+			if !ok {
+				t.Fatalf("tick %d: no prediction for %s", j, ids[run.ID])
+			}
+			if p.Prob != probs[run.ID][j] {
+				t.Fatalf("run %d tick %d: streamed prob %v != batch prob %v (not bit-identical)",
+					run.ID, j, p.Prob, probs[run.ID][j])
+			}
+			if want := preds[run.ID][j] == 1; p.Saturated != want {
+				t.Fatalf("run %d tick %d: streamed saturated %v != batch %v", run.ID, j, p.Saturated, want)
+			}
+			anySat = anySat || p.Saturated
+		}
+		// §4 aggregation: the app's raw OR is exactly the OR over its
+		// instances; with the default 1-of-1 debounce the alarm tracks it.
+		st, ok := resp.Apps["eval"]
+		if !ok {
+			t.Fatalf("tick %d: app status missing", j)
+		}
+		if st.Raw != anySat || st.Saturated != anySat {
+			t.Fatalf("tick %d: app OR %v/%v != instance OR %v", j, st.Raw, st.Saturated, anySat)
+		}
+	}
+
+	// The run must have left non-zero serving metrics behind.
+	metrics, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("monitorless_ingest_samples_total %d", rows)
+	if !strings.Contains(metrics, want) {
+		t.Errorf("metrics missing %q", want)
+	}
+	if !strings.Contains(metrics, fmt.Sprintf("monitorless_predict_seconds_count %d", rows)) {
+		t.Error("predict latency histogram not populated")
+	}
+}

@@ -1,0 +1,188 @@
+package serving
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"monitorless/internal/pcp"
+)
+
+// maxIngestBytes bounds one /ingest request body (an observation with a
+// few hundred instances fits in well under a megabyte).
+const maxIngestBytes = 16 << 20
+
+// Server is the HTTP front of a Service:
+//
+//	POST   /ingest            one WireObservation → refreshed predictions
+//	GET    /predict           all instance predictions
+//	GET    /predict?instance= one instance's prediction
+//	GET    /apps              per-application OR + debounced decisions
+//	DELETE /instances?id=     drop an instance's state (scale-in)
+//	GET    /schema            raw metric names + schema hash
+//	GET    /healthz           liveness + service stats
+//	GET    /metrics           Prometheus text exposition
+type Server struct {
+	svc *Service
+	mux *http.ServeMux
+}
+
+// NewServer wraps a service with its HTTP API.
+func NewServer(svc *Service) *Server {
+	s := &Server{svc: svc, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/ingest", s.handleIngest)
+	s.mux.HandleFunc("/predict", s.handlePredict)
+	s.mux.HandleFunc("/apps", s.handleApps)
+	s.mux.HandleFunc("/instances", s.handleInstances)
+	s.mux.HandleFunc("/schema", s.handleSchema)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// statusWriter captures the response code for request metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// ServeHTTP dispatches and instruments every request.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+	start := time.Now()
+	s.mux.ServeHTTP(sw, r)
+	reg := s.svc.Registry()
+	reg.Counter("monitorless_http_requests_total", "HTTP requests by path and status code.",
+		Labels{"path": r.URL.Path, "code": fmt.Sprint(sw.code)}).Inc()
+	reg.Histogram("monitorless_http_request_seconds", "HTTP request latency by path.",
+		nil, Labels{"path": r.URL.Path}).Observe(time.Since(start).Seconds())
+}
+
+// writeJSON renders one response body.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxIngestBytes)
+	var obs pcp.WireObservation
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&obs); err != nil {
+		writeError(w, http.StatusBadRequest, "decode observation: %v", err)
+		return
+	}
+	resp, err := s.svc.Ingest(obs)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, ErrSchemaMismatch) {
+			code = http.StatusConflict
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	if id := r.URL.Query().Get("instance"); id != "" {
+		pred, ok := s.svc.InstancePrediction(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown instance %q", id)
+			return
+		}
+		writeJSON(w, http.StatusOK, pred)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.svc.Predictions())
+}
+
+func (s *Server) handleApps(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.svc.Apps())
+}
+
+func (s *Server) handleInstances(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodDelete {
+		writeError(w, http.StatusMethodNotAllowed, "DELETE required")
+		return
+	}
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		writeError(w, http.StatusBadRequest, "id query parameter required")
+		return
+	}
+	if !s.svc.Forget(id) {
+		writeError(w, http.StatusNotFound, "unknown instance %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"forgotten": id})
+}
+
+// Schema describes the raw-metric layout ingest expects.
+type Schema struct {
+	SchemaHash string   `json:"schema_hash"`
+	Metrics    []string `json:"metrics"`
+}
+
+func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	writeJSON(w, http.StatusOK, Schema{
+		SchemaHash: s.svc.SchemaHash(),
+		Metrics:    s.svc.RawNames(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+		Stats
+	}{Status: "ok", Stats: s.svc.Stats()})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = s.svc.Registry().WriteText(w)
+}

@@ -1,0 +1,301 @@
+package serving
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// A minimal Prometheus text-exposition registry (counters, gauges,
+// histograms with labels), hand-rolled because the repo is stdlib-only.
+// Counters and gauges are lock-free; histograms take a short mutex per
+// observation. Render order is deterministic (sorted family and series
+// names) so scrapes diff cleanly.
+
+// Labels annotates one series within a metric family.
+type Labels map[string]string
+
+// labelKey renders labels in canonical sorted form, escaped per the
+// Prometheus text format ("{a=\"b\",c=\"d\"}", "" when empty).
+func labelKey(l Labels) string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, l[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter is a monotonically increasing float64.
+type Counter struct {
+	bits atomic.Uint64
+}
+
+// Add increments the counter; negative deltas are ignored.
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the current count.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is a settable float64.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value reads the gauge.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// DefaultLatencyBuckets spans 100µs – 2.5s, tuned for model-serving
+// request latencies.
+var DefaultLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// Histogram is a fixed-bucket latency histogram.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []uint64 // len(bounds)+1; the last bucket is +Inf
+	sum    float64
+	total  uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	h.sum += v
+	h.total++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) by linear interpolation
+// within the owning bucket — the same estimate PromQL's histogram_quantile
+// would produce from a scrape.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(h.total)
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if float64(cum) >= rank {
+			hi := math.Inf(1)
+			if i < len(h.bounds) {
+				hi = h.bounds[i]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			if math.IsInf(hi, 1) {
+				return lo
+			}
+			frac := (rank - float64(cum-c)) / float64(c)
+			return lo + (hi-lo)*frac
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// metricKind tags a family.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// family is one named metric with labeled series.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	bounds []float64
+	series map[string]any // labelKey → *Counter | *Gauge | *Histogram
+	labels map[string]Labels
+}
+
+// Registry holds metric families and renders the text format.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func (r *Registry) family(name, help string, kind metricKind, bounds []float64) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, bounds: bounds,
+			series: make(map[string]any), labels: make(map[string]Labels)}
+		r.families[name] = f
+	}
+	return f
+}
+
+// Counter returns (creating if needed) the labeled counter series.
+func (r *Registry) Counter(name, help string, l Labels) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, kindCounter, nil)
+	k := labelKey(l)
+	if s, ok := f.series[k]; ok {
+		return s.(*Counter)
+	}
+	c := &Counter{}
+	f.series[k] = c
+	f.labels[k] = l
+	return c
+}
+
+// Gauge returns (creating if needed) the labeled gauge series.
+func (r *Registry) Gauge(name, help string, l Labels) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, kindGauge, nil)
+	k := labelKey(l)
+	if s, ok := f.series[k]; ok {
+		return s.(*Gauge)
+	}
+	g := &Gauge{}
+	f.series[k] = g
+	f.labels[k] = l
+	return g
+}
+
+// Histogram returns (creating if needed) the labeled histogram series.
+// bounds must be ascending; nil selects DefaultLatencyBuckets.
+func (r *Registry) Histogram(name, help string, bounds []float64, l Labels) *Histogram {
+	if bounds == nil {
+		bounds = DefaultLatencyBuckets
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, kindHistogram, bounds)
+	k := labelKey(l)
+	if s, ok := f.series[k]; ok {
+		return s.(*Histogram)
+	}
+	h := &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+	f.series[k] = h
+	f.labels[k] = l
+	return h
+}
+
+// WriteText renders every family in the Prometheus text exposition format.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		kind := map[metricKind]string{kindCounter: "counter", kindGauge: "gauge", kindHistogram: "histogram"}[f.kind]
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, kind); err != nil {
+			return err
+		}
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			switch m := f.series[k].(type) {
+			case *Counter:
+				fmt.Fprintf(w, "%s%s %v\n", f.name, k, m.Value())
+			case *Gauge:
+				fmt.Fprintf(w, "%s%s %v\n", f.name, k, m.Value())
+			case *Histogram:
+				if err := writeHistogram(w, f.name, f.labels[k], m); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// writeHistogram renders cumulative le buckets plus _sum and _count.
+func writeHistogram(w io.Writer, name string, l Labels, h *Histogram) error {
+	h.mu.Lock()
+	counts := append([]uint64(nil), h.counts...)
+	sum, total, bounds := h.sum, h.total, h.bounds
+	h.mu.Unlock()
+
+	withLe := func(le string) string {
+		ll := Labels{"le": le}
+		for k, v := range l {
+			ll[k] = v
+		}
+		return labelKey(ll)
+	}
+	var cum uint64
+	for i, b := range bounds {
+		cum += counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLe(fmt.Sprintf("%v", b)), cum); err != nil {
+			return err
+		}
+	}
+	cum += counts[len(bounds)]
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLe("+Inf"), cum)
+	fmt.Fprintf(w, "%s_sum%s %v\n", name, labelKey(l), sum)
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labelKey(l), total)
+	return err
+}

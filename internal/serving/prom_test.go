@@ -1,0 +1,116 @@
+package serving
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryRendersDeterministically(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("b_total", "second family", nil).Add(2)
+	reg.Counter("a_total", "first family", Labels{"z": "1", "a": "2"}).Inc()
+	reg.Gauge("g", "a gauge", nil).Set(-3.5)
+
+	var one, two strings.Builder
+	if err := reg.WriteText(&one); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WriteText(&two); err != nil {
+		t.Fatal(err)
+	}
+	if one.String() != two.String() {
+		t.Fatal("render not deterministic")
+	}
+	out := one.String()
+	for _, want := range []string{
+		"# TYPE a_total counter",
+		`a_total{a="2",z="1"} 1`,
+		"b_total 2",
+		"# TYPE g gauge",
+		"g -3.5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Families sort by name: a_total before b_total.
+	if strings.Index(out, "a_total") > strings.Index(out, "b_total") {
+		t.Error("families not sorted")
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("x_total", "x", nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("lost increments: %v", c.Value())
+	}
+	c.Add(-5)
+	if c.Value() != 8000 {
+		t.Fatal("counter accepted negative delta")
+	}
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat_seconds", "latency", []float64{0.01, 0.1, 1}, nil)
+	for _, v := range []float64{0.005, 0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	// Median falls in the (0.01, 0.1] bucket.
+	if q := h.Quantile(0.5); q <= 0.01 || q > 0.1 {
+		t.Fatalf("p50 = %v, want in (0.01, 0.1]", q)
+	}
+	// p99 lands in the overflow bucket → reported as the last finite bound.
+	if q := h.Quantile(0.99); q != 1 {
+		t.Fatalf("p99 = %v, want 1 (last finite bound)", q)
+	}
+
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`lat_seconds_bucket{le="0.01"} 2`,
+		`lat_seconds_bucket{le="0.1"} 3`,
+		`lat_seconds_bucket{le="1"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		"lat_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	h := NewRegistry().Histogram("e", "empty", nil, nil)
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("empty histogram quantile should be NaN")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	got := labelKey(Labels{"p": "a\"b\\c\nd"})
+	want := `{p="a\"b\\c\nd"}`
+	if got != want {
+		t.Fatalf("labelKey = %s, want %s", got, want)
+	}
+}

@@ -1,0 +1,350 @@
+// Package serving is the online inference half of the paper's §2
+// architecture as a network service: agents POST per-instance metric
+// vectors each tick, the service folds them into incremental per-instance
+// feature state (O(features) per sample, bit-identical to the offline
+// batch pipeline), classifies each instance with the trained monitorless
+// model, and aggregates instance predictions into per-application
+// saturation decisions with a logical OR (§4) plus k-of-n debouncing so
+// an autoscaler consuming the decisions does not flap on single-tick
+// prediction noise.
+package serving
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"monitorless/internal/core"
+	"monitorless/internal/features"
+	"monitorless/internal/pcp"
+)
+
+// ErrSchemaMismatch reports a wire observation whose schema hash does not
+// match the model's raw-metric schema.
+var ErrSchemaMismatch = errors.New("serving: schema hash mismatch")
+
+// Config parameterizes a Service.
+type Config struct {
+	// Model is the trained classifier (required).
+	Model *core.Model
+	// DebounceK / DebounceN: an application's debounced alarm raises when
+	// at least K of its last N raw OR decisions were saturated. N ≤ 0
+	// selects 1-of-1 (raw passthrough).
+	DebounceK, DebounceN int
+	// ClearBelow: the alarm clears when fewer than this many of the last
+	// N raw decisions were saturated (default 1 — a fully quiet window).
+	ClearBelow int
+}
+
+// Prediction is one instance's latest inference.
+type Prediction struct {
+	// Prob is P(saturated).
+	Prob float64 `json:"prob"`
+	// Saturated applies the model threshold.
+	Saturated bool `json:"saturated"`
+	// T is the observation second of the latest sample.
+	T int `json:"t"`
+	// Samples counts the raw vectors folded into this instance's state.
+	Samples int `json:"samples"`
+	// App and Service group the instance for aggregation.
+	App     string `json:"app"`
+	Service string `json:"service,omitempty"`
+}
+
+// AppStatus is one application's aggregated decision.
+type AppStatus struct {
+	// Saturated is the debounced k-of-n alarm.
+	Saturated bool `json:"saturated"`
+	// Raw is the instantaneous OR over instance predictions (§4).
+	Raw bool `json:"raw_saturated"`
+	// SaturatedInstances lists the instances driving Raw, sorted.
+	SaturatedInstances []string `json:"saturated_instances,omitempty"`
+	// Instances counts the application's tracked instances.
+	Instances int `json:"instances"`
+	// WindowCount is how many of the last N raw decisions were saturated.
+	WindowCount int `json:"window_count"`
+}
+
+// IngestResponse reports the predictions refreshed by one observation.
+type IngestResponse struct {
+	T int `json:"t"`
+	// Predictions covers the instances present in the observation.
+	Predictions map[string]Prediction `json:"predictions"`
+	// Apps covers the applications those instances belong to.
+	Apps map[string]AppStatus `json:"apps"`
+}
+
+// Stats summarizes the service for health reporting.
+type Stats struct {
+	Instances    int     `json:"instances"`
+	Apps         int     `json:"apps"`
+	SamplesTotal float64 `json:"samples_total"`
+	SchemaHash   string  `json:"schema_hash"`
+	ModelTrees   int     `json:"model_trees"`
+	Threshold    float64 `json:"threshold"`
+}
+
+// instanceState is one instance's streaming feature state plus its
+// latest prediction.
+type instanceState struct {
+	st   *features.StreamState
+	pred Prediction
+}
+
+// Service holds the model, per-instance streaming state, and per-app
+// debouncers behind a single mutex. Handlers and the in-process API share
+// it; all methods are safe for concurrent use.
+type Service struct {
+	mu         sync.Mutex
+	model      *core.Model
+	streamer   *features.Streamer
+	schemaHash string
+	cfg        Config
+	instances  map[string]*instanceState
+	apps       map[string]*Debouncer
+
+	reg            *Registry
+	mSamples       *Counter
+	mObservations  *Counter
+	mPredictSec    *Histogram
+	mInstances     *Gauge
+	mSchemaRejects *Counter
+	mBadRequests   *Counter
+}
+
+// New builds a service around a trained model. It fails if the model's
+// pipeline predates streaming support.
+func New(cfg Config) (*Service, error) {
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("serving: nil model")
+	}
+	streamer, err := cfg.Model.Streamer()
+	if err != nil {
+		return nil, fmt.Errorf("serving: %w", err)
+	}
+	reg := NewRegistry()
+	s := &Service{
+		model:      cfg.Model,
+		streamer:   streamer,
+		schemaHash: pcp.HashNames(cfg.Model.RawNames),
+		cfg:        cfg,
+		instances:  make(map[string]*instanceState),
+		apps:       make(map[string]*Debouncer),
+		reg:        reg,
+		mSamples: reg.Counter("monitorless_ingest_samples_total",
+			"Per-instance metric vectors folded into streaming feature state.", nil),
+		mObservations: reg.Counter("monitorless_ingest_observations_total",
+			"Observation batches ingested.", nil),
+		mPredictSec: reg.Histogram("monitorless_predict_seconds",
+			"Per-sample inference latency (feature step + forest vote).", nil, nil),
+		mInstances: reg.Gauge("monitorless_instances",
+			"Instances with live streaming feature state.", nil),
+		mSchemaRejects: reg.Counter("monitorless_ingest_rejects_total",
+			"Observations rejected before inference.", Labels{"reason": "schema"}),
+		mBadRequests: reg.Counter("monitorless_ingest_rejects_total",
+			"Observations rejected before inference.", Labels{"reason": "malformed"}),
+	}
+	return s, nil
+}
+
+// Registry exposes the service's metrics registry so an HTTP layer can
+// add its own families and render /metrics.
+func (s *Service) Registry() *Registry { return s.reg }
+
+// SchemaHash is the fingerprint of the raw-metric schema the model was
+// trained against; ingest rejects observations declaring a different one.
+func (s *Service) SchemaHash() string { return s.schemaHash }
+
+// RawNames lists the expected raw metric schema in vector order.
+func (s *Service) RawNames() []string {
+	return append([]string(nil), s.model.RawNames...)
+}
+
+// Ingest folds one tick's observation into the per-instance streaming
+// states, refreshes predictions, and advances the per-app debouncers of
+// every application that contributed a sample.
+func (s *Service) Ingest(w pcp.WireObservation) (*IngestResponse, error) {
+	if w.SchemaHash != "" && w.SchemaHash != s.schemaHash {
+		s.mSchemaRejects.Inc()
+		return nil, fmt.Errorf("%w: got %.12s…, want %.12s…", ErrSchemaMismatch, w.SchemaHash, s.schemaHash)
+	}
+	if len(w.Samples) == 0 {
+		s.mBadRequests.Inc()
+		return nil, fmt.Errorf("serving: observation with no samples")
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	resp := &IngestResponse{
+		T:           w.T,
+		Predictions: make(map[string]Prediction, len(w.Samples)),
+		Apps:        make(map[string]AppStatus),
+	}
+	seen := make(map[string]bool, len(w.Samples))
+	touchedApps := make(map[string]bool)
+	for i := range w.Samples {
+		smp := &w.Samples[i]
+		if smp.Instance == "" {
+			s.mBadRequests.Inc()
+			return nil, fmt.Errorf("serving: sample %d has empty instance ID", i)
+		}
+		if seen[smp.Instance] {
+			s.mBadRequests.Inc()
+			return nil, fmt.Errorf("serving: duplicate sample for %q", smp.Instance)
+		}
+		seen[smp.Instance] = true
+
+		inst, known := s.instances[smp.Instance]
+		if !known {
+			inst = &instanceState{st: s.streamer.NewState()}
+		}
+		start := time.Now()
+		fvec, err := s.streamer.Step(inst.st, smp.Values)
+		if err != nil {
+			// A rejected sample must not leave a phantom zero-sample
+			// instance behind (it would surface in /predict and inflate
+			// the instance gauge).
+			s.mBadRequests.Inc()
+			return nil, fmt.Errorf("serving: ingest %s: %w", smp.Instance, err)
+		}
+		if !known {
+			s.instances[smp.Instance] = inst
+		}
+		prob, sat := s.model.PredictVector(fvec)
+		s.mPredictSec.Observe(time.Since(start).Seconds())
+
+		app := smp.App
+		if app == "" {
+			app = appFromID(smp.Instance)
+		}
+		inst.pred = Prediction{
+			Prob: prob, Saturated: sat, T: w.T,
+			Samples: inst.st.Samples(),
+			App:     app, Service: smp.Service,
+		}
+		resp.Predictions[smp.Instance] = inst.pred
+		touchedApps[app] = true
+	}
+	s.mSamples.Add(float64(len(w.Samples)))
+	s.mObservations.Inc()
+	s.mInstances.Set(float64(len(s.instances)))
+
+	// One debounce tick per app per observation: an app's raw OR spans all
+	// of its tracked instances, but its window only advances on ticks where
+	// it contributed at least one sample, so sparse senders are not
+	// force-cleared by other apps' traffic.
+	for app := range touchedApps {
+		deb := s.apps[app]
+		if deb == nil {
+			deb = NewDebouncer(s.cfg.DebounceK, s.cfg.DebounceN, s.cfg.ClearBelow)
+			s.apps[app] = deb
+		}
+		st := s.appStatusLocked(app)
+		st.Saturated = deb.Observe(st.Raw)
+		st.WindowCount = deb.Count()
+		resp.Apps[app] = st
+		s.reg.Gauge("monitorless_app_saturated",
+			"Debounced per-application saturation decision.", Labels{"app": app}).Set(boolGauge(st.Saturated))
+		s.reg.Gauge("monitorless_app_raw_saturated",
+			"Instantaneous OR over instance predictions.", Labels{"app": app}).Set(boolGauge(st.Raw))
+	}
+	return resp, nil
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// appStatusLocked computes one app's raw OR status; callers hold s.mu.
+func (s *Service) appStatusLocked(app string) AppStatus {
+	st := AppStatus{}
+	for id, inst := range s.instances {
+		if inst.pred.App != app {
+			continue
+		}
+		st.Instances++
+		if inst.pred.Saturated {
+			st.Raw = true
+			st.SaturatedInstances = append(st.SaturatedInstances, id)
+		}
+	}
+	sort.Strings(st.SaturatedInstances)
+	return st
+}
+
+// Forget drops an instance's streaming state and prediction (scale-in).
+// It reports whether the instance was known.
+func (s *Service) Forget(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.instances[id]
+	delete(s.instances, id)
+	s.mInstances.Set(float64(len(s.instances)))
+	return ok
+}
+
+// InstancePrediction returns the latest prediction for one instance.
+func (s *Service) InstancePrediction(id string) (Prediction, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	inst, ok := s.instances[id]
+	if !ok {
+		return Prediction{}, false
+	}
+	return inst.pred, true
+}
+
+// Predictions snapshots every tracked instance's latest prediction.
+func (s *Service) Predictions() map[string]Prediction {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]Prediction, len(s.instances))
+	for id, inst := range s.instances {
+		out[id] = inst.pred
+	}
+	return out
+}
+
+// Apps snapshots every tracked application's aggregated status.
+func (s *Service) Apps() map[string]AppStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]AppStatus)
+	for app, deb := range s.apps {
+		st := s.appStatusLocked(app)
+		st.Saturated = deb.State()
+		st.WindowCount = deb.Count()
+		out[app] = st
+	}
+	return out
+}
+
+// Stats summarizes the service for health reporting.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Instances:    len(s.instances),
+		Apps:         len(s.apps),
+		SamplesTotal: s.mSamples.Value(),
+		SchemaHash:   s.schemaHash,
+		ModelTrees:   s.model.Forest.NumTrees(),
+		Threshold:    s.model.Threshold,
+	}
+}
+
+// appFromID extracts the application from "<app>/<service>/<n>" IDs.
+func appFromID(id string) string {
+	for i := 0; i < len(id); i++ {
+		if id[i] == '/' {
+			return id[:i]
+		}
+	}
+	return id
+}

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# Repo verification: the tier-1 lane (build + vet + tests) plus the race
-# lane added with the parallel execution layer. Everything the worker
-# pool touches (CV folds, dataset run groups, experiment sweeps) runs
-# under the race detector; -count=1 defeats the test cache so data races
-# cannot hide behind cached passes.
+# Repo verification: the tier-1 lane (build + vet + tests), the race
+# lane added with the parallel execution layer, and the HTTP serving
+# smoke lane. Everything the worker pool touches (CV folds, dataset run
+# groups, experiment sweeps) runs under the race detector; -count=1
+# defeats the test cache so data races cannot hide behind cached passes.
+# The smoke lane launches the real cmd/serve binary on a loopback port,
+# streams observations over HTTP, asserts predictions plus non-zero
+# /metrics counters, and requires a clean SIGTERM drain.
 #
 # Usage: scripts/verify.sh [-short]
 set -euo pipefail
@@ -25,5 +28,8 @@ go test $short ./...
 
 echo "==> go test -race -count=1 ./... (race lane)"
 go test -race -count=1 $short ./...
+
+echo "==> go run ./scripts/smoke (HTTP serving smoke lane)"
+go run ./scripts/smoke
 
 echo "verify: all lanes green"

@@ -59,7 +59,7 @@ func main() {
 		log.Fatalf("%v (train one with: go run ./cmd/train -out %s)", err, *modelPath)
 	}
 	fmt.Printf("loaded model bundle v%d: %d trees, threshold %.2f, %d raw metrics, schema %.12s…\n",
-		b.Version, b.Model.Forest.NumTrees(), b.Model.Threshold, len(b.Model.RawNames), b.SchemaHash)
+		b.Version, b.Model.Forest.NumTrees(), b.Model.Threshold, len(b.Model.RawNames()), b.SchemaHash)
 
 	svc, err := serving.New(serving.Config{
 		Model:      b.Model,

@@ -16,11 +16,15 @@ import (
 // fingerprint of the raw metric schema the model was trained on, and the
 // training seed for provenance. cmd/train writes bundles; cmd/evaluate,
 // cmd/autoscalesim and cmd/serve load them through the one loader below.
-// Files written by older versions of cmd/train (a bare model gob) still
-// load, reported as Version 0.
+// Files written by older versions of cmd/train still load: bare model
+// gobs are reported as Version 0, and version-1 bundles (whose schema
+// hash covered only the metric names) verify against the legacy name
+// hash. Version 2 fingerprints the full frame schema — names, domains and
+// the utilization/binary/time/log flags — via frame.Schema.Hash, the same
+// function the dataset layer and the serving wire protocol use.
 
 // BundleVersion is the current bundle format version.
-const BundleVersion = 1
+const BundleVersion = 2
 
 // bundleMagic distinguishes bundles from legacy bare-model gobs.
 const bundleMagic = "monitorless-bundle"
@@ -29,8 +33,9 @@ const bundleMagic = "monitorless-bundle"
 type Bundle struct {
 	// Version is the format version (0 for legacy bare-model files).
 	Version int
-	// SchemaHash fingerprints the raw metric schema (pcp.HashNames over
-	// the model's expected metric names).
+	// SchemaHash fingerprints the raw metric schema. For version ≥ 2 this
+	// is frame.Schema.Hash over the model's RawSchema; for older bundles
+	// it is the legacy pcp.HashNames over the metric names.
 	SchemaHash string
 	// TrainSeed is the seed the model was trained with (0 when unknown).
 	TrainSeed int64
@@ -47,6 +52,14 @@ type bundleWire struct {
 	ModelBlob  []byte
 }
 
+// modelSchemaHash is the stored fingerprint for a given format version.
+func modelSchemaHash(m *Model, version int) string {
+	if version >= 2 {
+		return m.RawSchema.Hash()
+	}
+	return pcp.HashNames(m.RawNames())
+}
+
 // SaveBundle writes the current bundle format.
 func SaveBundle(w io.Writer, m *Model, trainSeed int64) error {
 	blob, err := m.SaveBytes()
@@ -56,7 +69,7 @@ func SaveBundle(w io.Writer, m *Model, trainSeed int64) error {
 	wire := bundleWire{
 		Magic:      bundleMagic,
 		Version:    BundleVersion,
-		SchemaHash: pcp.HashNames(m.RawNames),
+		SchemaHash: modelSchemaHash(m, BundleVersion),
 		TrainSeed:  trainSeed,
 		ModelBlob:  blob,
 	}
@@ -68,7 +81,8 @@ func SaveBundle(w io.Writer, m *Model, trainSeed int64) error {
 
 // LoadBundle reads a bundle written by SaveBundle, falling back to the
 // legacy bare-model format. It verifies the stored schema hash against
-// the decoded model and rejects bundles from newer format versions.
+// the decoded model — with the hash function of the bundle's own format
+// version — and rejects bundles from newer format versions.
 func LoadBundle(r io.Reader) (*Bundle, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
@@ -83,7 +97,7 @@ func LoadBundle(r io.Reader) (*Bundle, error) {
 		if lerr != nil {
 			return nil, fmt.Errorf("core: load bundle: not a model bundle (%v) nor a legacy model (%w)", derr, lerr)
 		}
-		return &Bundle{Version: 0, SchemaHash: pcp.HashNames(m.RawNames), Model: m}, nil
+		return &Bundle{Version: 0, SchemaHash: modelSchemaHash(m, 0), Model: m}, nil
 	}
 	if wire.Version < 1 || wire.Version > BundleVersion {
 		return nil, fmt.Errorf("core: load bundle: format version %d not supported (this build reads ≤ %d)", wire.Version, BundleVersion)
@@ -92,7 +106,7 @@ func LoadBundle(r io.Reader) (*Bundle, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: load bundle: %w", err)
 	}
-	if got := pcp.HashNames(m.RawNames); got != wire.SchemaHash {
+	if got := modelSchemaHash(m, wire.Version); got != wire.SchemaHash {
 		return nil, fmt.Errorf("core: load bundle: stored schema hash %.12s… does not match the embedded model's schema %.12s… (corrupt or tampered bundle)", wire.SchemaHash, got)
 	}
 	return &Bundle{Version: wire.Version, SchemaHash: wire.SchemaHash, TrainSeed: wire.TrainSeed, Model: m}, nil
@@ -124,10 +138,7 @@ func LoadBundleFile(path string) (*Bundle, error) {
 // CheckSchema rejects a bundle whose raw metric schema does not match the
 // runtime catalog, naming the first divergence so the error is actionable.
 func (b *Bundle) CheckSchema(names []string) error {
-	if pcp.HashNames(names) == b.SchemaHash {
-		return nil
-	}
-	have := b.Model.RawNames
+	have := b.Model.RawNames()
 	if len(have) != len(names) {
 		return fmt.Errorf("core: bundle schema mismatch: model trained on %d raw metrics, runtime catalog has %d (retrain against this catalog)", len(have), len(names))
 	}
@@ -136,5 +147,5 @@ func (b *Bundle) CheckSchema(names []string) error {
 			return fmt.Errorf("core: bundle schema mismatch at metric %d: model expects %q, runtime catalog has %q (retrain against this catalog)", i, have[i], names[i])
 		}
 	}
-	return fmt.Errorf("core: bundle schema mismatch (hash %.12s… vs %.12s…)", b.SchemaHash, pcp.HashNames(names))
+	return nil
 }

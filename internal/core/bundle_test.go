@@ -26,10 +26,10 @@ func TestBundleRoundTripIdenticalPredictions(t *testing.T) {
 	if b.TrainSeed != 42 {
 		t.Errorf("TrainSeed = %d, want 42", b.TrainSeed)
 	}
-	if b.SchemaHash != pcp.HashNames(m.RawNames) {
-		t.Errorf("SchemaHash does not cover the model's raw schema")
+	if b.SchemaHash != m.RawSchema.Hash() {
+		t.Errorf("SchemaHash does not cover the model's raw frame schema")
 	}
-	if err := b.CheckSchema(m.RawNames); err != nil {
+	if err := b.CheckSchema(m.RawNames()); err != nil {
 		t.Errorf("CheckSchema against own schema: %v", err)
 	}
 
@@ -66,7 +66,7 @@ func TestBundleLegacyFallback(t *testing.T) {
 	if b.Version != 0 {
 		t.Errorf("legacy Version = %d, want 0", b.Version)
 	}
-	if b.SchemaHash != pcp.HashNames(m.RawNames) {
+	if b.SchemaHash != pcp.HashNames(m.RawNames()) {
 		t.Errorf("legacy SchemaHash not recomputed from model")
 	}
 	if b.Model.TrainSamples != m.TrainSamples {
@@ -91,15 +91,45 @@ func TestBundleCheckSchemaMismatch(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	truncated := m.RawNames[:len(m.RawNames)-1]
+	names := m.RawNames()
+	truncated := names[:len(names)-1]
 	if err := b.CheckSchema(truncated); err == nil || !strings.Contains(err.Error(), "raw metrics") {
 		t.Errorf("truncated schema: got %v, want metric-count mismatch error", err)
 	}
-	renamed := append([]string(nil), m.RawNames...)
+	renamed := append([]string(nil), names...)
 	renamed[3] = "kernel.all.cpu.borrowed"
 	err = b.CheckSchema(renamed)
 	if err == nil || !strings.Contains(err.Error(), "metric 3") {
 		t.Errorf("renamed schema: got %v, want first-divergence error", err)
+	}
+}
+
+func TestBundleHashSensitiveToColumnOrder(t *testing.T) {
+	// The bundle fingerprint must change when two raw schema columns are
+	// reordered: the vector layout is positional, so a reordered catalog
+	// served against this model would silently mis-predict. This pins the
+	// schema hash to column order, not just column membership.
+	m, _ := sharedModel(t)
+	var buf bytes.Buffer
+	if err := SaveBundle(&buf, m, 1); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBundle(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reordered := m.RawSchema.Clone()
+	reordered[0], reordered[1] = reordered[1], reordered[0]
+	if reordered.Hash() == b.SchemaHash {
+		t.Fatal("reordering two schema columns did not change the bundle schema hash")
+	}
+	// Flag metadata is covered too: flipping a log flag (which changes
+	// how the pipeline treats the column) must change the fingerprint.
+	flagged := m.RawSchema.Clone()
+	flagged[0].Log = !flagged[0].Log
+	if flagged.Hash() == b.SchemaHash {
+		t.Fatal("flipping a column flag did not change the bundle schema hash")
 	}
 }
 

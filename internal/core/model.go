@@ -13,6 +13,7 @@ import (
 
 	"monitorless/internal/dataset"
 	"monitorless/internal/features"
+	"monitorless/internal/frame"
 	"monitorless/internal/ml/forest"
 	"monitorless/internal/ml/tree"
 )
@@ -50,14 +51,21 @@ type Model struct {
 	Forest *forest.Forest
 	// Threshold is the decision threshold on P(saturated).
 	Threshold float64
-	// RawNames is the expected raw metric schema (sanity checks).
-	RawNames []string
+	// RawSchema is the raw metric schema the model was trained on — the
+	// single fingerprintable schema representation (frame.Schema.Hash)
+	// shared with the dataset layer and the model bundle.
+	RawSchema frame.Schema
 	// TrainSamples and TrainSaturatedFrac document the training set.
 	TrainSamples       int
 	TrainSaturatedFrac float64
 }
 
+// RawNames lists the expected raw metric names in vector order.
+func (m *Model) RawNames() []string { return m.RawSchema.Names() }
+
 // Train fits the feature pipeline and classifier on a labeled dataset.
+// The dataset is converted once into a columnar frame; the feature
+// pipeline and the forest both train on it without materializing rows.
 func Train(ds *dataset.Dataset, cfg TrainConfig) (*Model, error) {
 	if ds == nil || len(ds.Samples) == 0 {
 		return nil, fmt.Errorf("core: empty training dataset")
@@ -69,24 +77,23 @@ func Train(ds *dataset.Dataset, cfg TrainConfig) (*Model, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	table := features.FromDataset(ds)
-	engineered, err := pipe.Fit(table)
+	raw := ds.Frame()
+	engineered, err := pipe.FitFrame(raw)
 	if err != nil {
 		return nil, fmt.Errorf("core: feature pipeline: %w", err)
 	}
-	x, y, _ := engineered.Flatten()
 
 	fcfg := cfg.Forest
 	fcfg.Threshold = cfg.Threshold
 	fr := forest.New(fcfg)
-	if err := fr.Fit(x, y); err != nil {
+	if err := fr.FitFrame(engineered, nil, nil); err != nil {
 		return nil, fmt.Errorf("core: forest: %w", err)
 	}
 	return &Model{
 		Pipeline:           pipe,
 		Forest:             fr,
 		Threshold:          cfg.Threshold,
-		RawNames:           ds.Names(),
+		RawSchema:          raw.Schema(),
 		TrainSamples:       len(ds.Samples),
 		TrainSaturatedFrac: ds.SaturatedFraction(),
 	}, nil
@@ -117,30 +124,42 @@ func (m *Model) PredictWindow(window [][]float64) (prob float64, saturated bool,
 	return p, p >= m.Threshold, nil
 }
 
-// PredictTable classifies every row of a raw table (batch evaluation) and
-// returns per-run prediction series aligned with the table's rows.
-func (m *Model) PredictTable(t *features.Table) (map[int][]int, map[int][]float64, error) {
-	engineered, err := m.Pipeline.Transform(t)
+// PredictFrame classifies every row of a raw frame (batch evaluation) and
+// returns per-run prediction series aligned with the frame's spans. The
+// engineered frame is scanned row by row through one reused gather buffer.
+func (m *Model) PredictFrame(fr *frame.Frame) (map[int][]int, map[int][]float64, error) {
+	engineered, err := m.Pipeline.TransformFrame(fr)
 	if err != nil {
-		return nil, nil, fmt.Errorf("core: predict table: %w", err)
+		return nil, nil, fmt.Errorf("core: predict frame: %w", err)
 	}
-	preds := make(map[int][]int, len(engineered.Runs))
-	probs := make(map[int][]float64, len(engineered.Runs))
-	for ri := range engineered.Runs {
-		run := &engineered.Runs[ri]
-		ps := make([]int, len(run.Rows))
-		qs := make([]float64, len(run.Rows))
-		for j, row := range run.Rows {
-			q := m.Forest.PredictProba(row)
-			qs[j] = q
+	spans := engineered.Spans()
+	if len(spans) == 0 {
+		spans = []frame.Span{{ID: 0, Start: 0, End: engineered.Rows()}}
+	}
+	preds := make(map[int][]int, len(spans))
+	probs := make(map[int][]float64, len(spans))
+	buf := make([]float64, engineered.NumCols())
+	for _, sp := range spans {
+		ps := make([]int, sp.End-sp.Start)
+		qs := make([]float64, sp.End-sp.Start)
+		for i := sp.Start; i < sp.End; i++ {
+			buf = engineered.Row(i, buf)
+			q := m.Forest.PredictProba(buf)
+			qs[i-sp.Start] = q
 			if q >= m.Threshold {
-				ps[j] = 1
+				ps[i-sp.Start] = 1
 			}
 		}
-		preds[run.ID] = ps
-		probs[run.ID] = qs
+		preds[sp.ID] = ps
+		probs[sp.ID] = qs
 	}
 	return preds, probs, nil
+}
+
+// PredictTable classifies every row of a raw table (row-oriented adapter
+// over PredictFrame).
+func (m *Model) PredictTable(t *features.Table) (map[int][]int, map[int][]float64, error) {
+	return m.PredictFrame(t.Frame())
 }
 
 // FeatureImportances pairs engineered feature names with the forest's
@@ -171,12 +190,16 @@ type FeatureImportance struct {
 	Importance float64
 }
 
-// modelWire is the gob image of a model.
+// modelWire is the gob image of a model. RawSchema is the authoritative
+// schema; RawNames is kept on the wire so files written by this version
+// still carry the name list older readers expect, and so files written by
+// older versions (names only) still load.
 type modelWire struct {
 	PipelineBlob       []byte
 	Forest             *forest.Forest
 	Threshold          float64
 	RawNames           []string
+	RawSchema          frame.Schema
 	TrainSamples       int
 	TrainSaturatedFrac float64
 }
@@ -191,7 +214,8 @@ func (m *Model) Save(w io.Writer) error {
 		PipelineBlob:       blob,
 		Forest:             m.Forest,
 		Threshold:          m.Threshold,
-		RawNames:           m.RawNames,
+		RawNames:           m.RawSchema.Names(),
+		RawSchema:          m.RawSchema,
 		TrainSamples:       m.TrainSamples,
 		TrainSaturatedFrac: m.TrainSaturatedFrac,
 	}
@@ -201,7 +225,10 @@ func (m *Model) Save(w io.Writer) error {
 	return nil
 }
 
-// Load deserializes a model written by Save.
+// Load deserializes a model written by Save. Models written before the
+// columnar schema (names only) get a bare schema reconstructed from the
+// name list; the pipeline's RawCols carry the full column metadata when
+// it is needed.
 func Load(r io.Reader) (*Model, error) {
 	var wire modelWire
 	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
@@ -211,11 +238,22 @@ func Load(r io.Reader) (*Model, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: load: %w", err)
 	}
+	schema := wire.RawSchema
+	if len(schema) == 0 {
+		if len(pipe.RawCols) == len(wire.RawNames) {
+			schema = frame.Schema(pipe.RawCols).Clone()
+		} else {
+			schema = make(frame.Schema, len(wire.RawNames))
+			for i, n := range wire.RawNames {
+				schema[i] = frame.Col{Name: n}
+			}
+		}
+	}
 	return &Model{
 		Pipeline:           pipe,
 		Forest:             wire.Forest,
 		Threshold:          wire.Threshold,
-		RawNames:           wire.RawNames,
+		RawSchema:          schema,
 		TrainSamples:       wire.TrainSamples,
 		TrainSaturatedFrac: wire.TrainSaturatedFrac,
 	}, nil

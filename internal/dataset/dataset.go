@@ -14,6 +14,7 @@ import (
 	"strconv"
 	"strings"
 
+	"monitorless/internal/frame"
 	"monitorless/internal/pcp"
 )
 
@@ -48,6 +49,54 @@ func (d *Dataset) Names() []string {
 		out[i] = def.Name
 	}
 	return out
+}
+
+// Schema returns the dataset's columnar frame schema (the single
+// pcp.SchemaFromDefs translation of its metric definitions).
+func (d *Dataset) Schema() frame.Schema { return pcp.SchemaFromDefs(d.Defs) }
+
+// Frame converts the dataset into a columnar frame: one contiguous
+// column-major backing array with one span per run (first-appearance
+// order, time order within each run) and the saturation labels attached.
+// This is the training-side entry onto the columnar data plane.
+func (d *Dataset) Frame() *frame.Frame {
+	// Group sample indices by run, preserving both orders.
+	order := map[int]int{}
+	var runs [][]int
+	var ids []int
+	for i := range d.Samples {
+		id := d.Samples[i].RunID
+		ri, ok := order[id]
+		if !ok {
+			ri = len(runs)
+			order[id] = ri
+			runs = append(runs, nil)
+			ids = append(ids, id)
+		}
+		runs[ri] = append(runs[ri], i)
+	}
+	spans := make([]frame.Span, len(runs))
+	labels := make([]int, 0, len(d.Samples))
+	base := 0
+	for ri, idx := range runs {
+		spans[ri] = frame.Span{ID: ids[ri], Start: base, End: base + len(idx)}
+		base += len(idx)
+		for _, si := range idx {
+			labels = append(labels, d.Samples[si].Label)
+		}
+	}
+	fr := frame.NewDense(d.Schema(), len(d.Samples), spans, labels)
+	for j := range d.Defs {
+		col := fr.Col(j)
+		p := 0
+		for _, idx := range runs {
+			for _, si := range idx {
+				col[p] = d.Samples[si].Values[j]
+				p++
+			}
+		}
+	}
+	return fr
 }
 
 // X returns the feature matrix (rows alias the samples' value slices).

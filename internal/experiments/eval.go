@@ -92,19 +92,8 @@ func CollectEval(build BuildTarget, load workload.Pattern, opt CollectOptions) (
 	}
 	sort.Strings(ids)
 
-	cols := make([]features.Column, 0)
-	defs := cat.CombinedDefs()
-	for _, d := range defs {
-		cols = append(cols, features.Column{
-			Name:   d.Name,
-			Domain: string(d.Domain),
-			Util:   d.Kind.IsUtilization(),
-			Log:    d.LogScale,
-		})
-	}
-
 	data := &EvalData{
-		Raw:       &features.Table{Cols: cols},
+		Raw:       &features.Table{Cols: cat.FrameSchema()},
 		InstIDs:   ids,
 		ServiceOf: serviceOf,
 		CPUUtil:   map[string][]float64{},
@@ -187,20 +176,22 @@ func (e *EvalData) ModelPredictions(m *core.Model) (appPred []int, perInst map[s
 }
 
 // ClassifierPredictions runs an arbitrary classifier over the engineered
-// features of a fitted pipeline (the Table 3 comparison path).
+// features of a fitted pipeline (the Table 3 comparison path). The
+// engineered frame is walked span by span through one gather buffer.
 func (e *EvalData) ClassifierPredictions(pipe *features.Pipeline, clf ml.Classifier) ([]int, error) {
-	engineered, err := pipe.Transform(e.Raw)
+	engineered, err := pipe.TransformFrame(e.Raw.Frame())
 	if err != nil {
 		return nil, err
 	}
 	preds := map[int][]int{}
-	for ri := range engineered.Runs {
-		run := &engineered.Runs[ri]
-		ps := make([]int, len(run.Rows))
-		for j, row := range run.Rows {
-			ps[j] = clf.Predict(row)
+	buf := make([]float64, engineered.NumCols())
+	for _, sp := range engineered.Spans() {
+		ps := make([]int, sp.End-sp.Start)
+		for i := sp.Start; i < sp.End; i++ {
+			buf = engineered.Row(i, buf)
+			ps[i-sp.Start] = clf.Predict(buf)
 		}
-		preds[run.ID] = ps
+		preds[sp.ID] = ps
 	}
 	app, _, err := e.aggregate(preds)
 	return app, err

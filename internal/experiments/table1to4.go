@@ -6,7 +6,7 @@ import (
 
 	"monitorless/internal/core"
 	"monitorless/internal/dataset"
-	"monitorless/internal/features"
+	"monitorless/internal/frame"
 	"monitorless/internal/ml"
 	"monitorless/internal/ml/boost"
 	"monitorless/internal/ml/cv"
@@ -232,14 +232,14 @@ type Table2Row struct {
 // The six algorithms fan out over the shared pool (and each grid search
 // parallelizes its candidates in turn); rows come back in algorithm order.
 func Table2(ctx *Context, maxRows int) ([]Table2Row, error) {
-	x, y, groups, err := engineeredTraining(ctx, maxRows)
+	fr, err := engineeredTrainingFrame(ctx, maxRows)
 	if err != nil {
 		return nil, err
 	}
 	specs := Algorithms(ctx.Scale)
 	return parallel.Map(len(specs), func(i int) (Table2Row, error) {
 		spec := specs[i]
-		results, err := cv.GridSearch(spec.Build, spec.Grid, x, y, groups, 5)
+		results, err := cv.GridSearchFrame(spec.Build, spec.Grid, fr, nil, 5)
 		if err != nil {
 			return Table2Row{}, fmt.Errorf("experiments: grid %s: %w", spec.Name, err)
 		}
@@ -252,26 +252,66 @@ func Table2(ctx *Context, maxRows int) ([]Table2Row, error) {
 	})
 }
 
-// engineeredTraining transforms the Table 1 corpus through the fitted
-// pipeline and optionally subsamples rows (stratified per run).
-func engineeredTraining(ctx *Context, maxRows int) (x [][]float64, y, groups []int, err error) {
-	engineered, err := ctx.Model.Pipeline.Transform(features.FromDataset(ctx.Report.Dataset))
+// engineeredTrainingFrame transforms the Table 1 corpus through the fitted
+// pipeline and optionally subsamples rows (strided, run-preserving). The
+// result is one shared read-only frame; the grid searches fit index views
+// of it and never copy the feature matrix per fold.
+func engineeredTrainingFrame(ctx *Context, maxRows int) (*frame.Frame, error) {
+	engineered, err := ctx.Model.Pipeline.TransformFrame(ctx.Report.Dataset.Frame())
 	if err != nil {
-		return nil, nil, nil, fmt.Errorf("experiments: engineer training set: %w", err)
+		return nil, fmt.Errorf("experiments: engineer training set: %w", err)
 	}
-	x, y, groups = engineered.Flatten()
-	if maxRows <= 0 || len(x) <= maxRows {
-		return x, y, groups, nil
+	if maxRows <= 0 || engineered.Rows() <= maxRows {
+		return engineered, nil
 	}
-	stride := (len(x) + maxRows - 1) / maxRows
-	var sx [][]float64
-	var sy, sg []int
-	for i := 0; i < len(x); i += stride {
-		sx = append(sx, x[i])
-		sy = append(sy, y[i])
-		sg = append(sg, groups[i])
+	stride := (engineered.Rows() + maxRows - 1) / maxRows
+	idx := make([]int, 0, maxRows)
+	for i := 0; i < engineered.Rows(); i += stride {
+		idx = append(idx, i)
 	}
-	return sx, sy, sg, nil
+	return subsampleGrouped(engineered, idx), nil
+}
+
+// subsampleGrouped gathers the (increasing) row indices into a fresh frame,
+// rebuilding run spans so grouped CV still sees the run structure that
+// Frame.SelectRows (single anonymous span) deliberately discards.
+func subsampleGrouped(fr *frame.Frame, idx []int) *frame.Frame {
+	gids := fr.GroupIDs()
+	var spans []frame.Span
+	labels := fr.Labels()
+	var subLabels []int
+	if labels != nil {
+		subLabels = make([]int, len(idx))
+	}
+	for p, i := range idx {
+		if p == 0 || gids[i] != gids[idx[p-1]] {
+			spans = append(spans, frame.Span{ID: gids[i], Start: p, End: p + 1})
+		} else {
+			spans[len(spans)-1].End = p + 1
+		}
+		if labels != nil {
+			subLabels[p] = labels[i]
+		}
+	}
+	out := frame.NewDense(fr.Schema(), len(idx), spans, subLabels)
+	for j := 0; j < fr.NumCols(); j++ {
+		src, dst := fr.Col(j), out.Col(j)
+		for p, i := range idx {
+			dst[p] = src[i]
+		}
+	}
+	return out
+}
+
+// engineeredTraining is the row-oriented adapter over
+// engineeredTrainingFrame, kept for callers that still want materialized
+// rows (and to pin the frame path to the row path in tests).
+func engineeredTraining(ctx *Context, maxRows int) (x [][]float64, y, groups []int, err error) {
+	fr, err := engineeredTrainingFrame(ctx, maxRows)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return fr.MaterializeRows(), fr.Labels(), fr.GroupIDs(), nil
 }
 
 // Table3Row is one algorithm comparison row: training time, per-sample
@@ -290,7 +330,7 @@ type Table3Row struct {
 // this table's point is the per-algorithm train/classify wall-clock, and
 // concurrent fits would contend for cores and distort those timings.
 func Table3(ctx *Context, elgg *EvalData) ([]Table3Row, error) {
-	x, y, _, err := engineeredTraining(ctx, 0)
+	fr, err := engineeredTrainingFrame(ctx, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -301,7 +341,7 @@ func Table3(ctx *Context, elgg *EvalData) ([]Table3Row, error) {
 			return nil, err
 		}
 		start := time.Now()
-		if err := clf.Fit(x, y); err != nil {
+		if err := ml.FitFrame(clf, fr, nil, nil); err != nil {
 			return nil, fmt.Errorf("experiments: table3 fit %s: %w", spec.Name, err)
 		}
 		trainTime := time.Since(start)

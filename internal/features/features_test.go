@@ -46,13 +46,27 @@ func colIndex(t *Table, name string) int {
 	return -1
 }
 
+// fitStep and transformStep adapt the frame-based Step interface to the
+// row-oriented tables these tests construct.
+func fitStep(s Step, tab *Table) error {
+	return s.Fit(tab.Frame())
+}
+
+func transformStep(s Step, tab *Table) (*Table, error) {
+	out, err := s.Transform(tab.Frame())
+	if err != nil {
+		return nil, err
+	}
+	return FromFrame(out), nil
+}
+
 func TestExpandAddsLevelBits(t *testing.T) {
 	tab := synthTable(2, 50, 1)
 	e := &Expand{}
-	if err := e.Fit(tab); err != nil {
+	if err := fitStep(e, tab); err != nil {
 		t.Fatal(err)
 	}
-	out, err := e.Transform(tab)
+	out, err := transformStep(e, tab)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,10 +108,10 @@ func TestExpandSixteenBitsOnFullCatalog(t *testing.T) {
 	ds.Samples = append(ds.Samples, dataset.Sample{RunID: 1, Values: make([]float64, len(ds.Defs))})
 	tab := FromDataset(ds)
 	e := &Expand{}
-	if err := e.Fit(tab); err != nil {
+	if err := fitStep(e, tab); err != nil {
 		t.Fatal(err)
 	}
-	out, err := e.Transform(tab)
+	out, err := transformStep(e, tab)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,10 +124,10 @@ func TestExpandSixteenBitsOnFullCatalog(t *testing.T) {
 func TestExpandLogScaling(t *testing.T) {
 	tab := synthTable(1, 10, 2)
 	e := &Expand{}
-	if err := e.Fit(tab); err != nil {
+	if err := fitStep(e, tab); err != nil {
 		t.Fatal(err)
 	}
-	out, err := e.Transform(tab)
+	out, err := transformStep(e, tab)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,10 +143,10 @@ func TestExpandLogScaling(t *testing.T) {
 func TestStandardScale(t *testing.T) {
 	tab := synthTable(2, 200, 3)
 	s := &StandardScale{}
-	if err := s.Fit(tab); err != nil {
+	if err := fitStep(s, tab); err != nil {
 		t.Fatal(err)
 	}
-	out, err := s.Transform(tab)
+	out, err := transformStep(s, tab)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,10 +173,10 @@ func TestStandardScale(t *testing.T) {
 func TestRFFilterKeepsSignal(t *testing.T) {
 	tab := synthTable(4, 150, 4)
 	f := &RFFilter{TopK: 2, Trees: 10, Seed: 4}
-	if err := f.Fit(tab); err != nil {
+	if err := fitStep(f, tab); err != nil {
 		t.Fatal(err)
 	}
-	out, err := f.Transform(tab)
+	out, err := transformStep(f, tab)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +194,7 @@ func TestRFFilterNoLabeledRuns(t *testing.T) {
 		tab.Runs[0].Labels[i] = 0 // single class
 	}
 	f := &RFFilter{TopK: 2}
-	if err := f.Fit(tab); err == nil {
+	if err := fitStep(f, tab); err == nil {
 		t.Error("expected error when no mixed-class run exists")
 	}
 }
@@ -188,10 +202,10 @@ func TestRFFilterNoLabeledRuns(t *testing.T) {
 func TestPCAReduceStep(t *testing.T) {
 	tab := synthTable(2, 100, 6)
 	p := &PCAReduce{MaxComponents: 2, VarianceTarget: 0.9999}
-	if err := p.Fit(tab); err != nil {
+	if err := fitStep(p, tab); err != nil {
 		t.Fatal(err)
 	}
-	out, err := p.Transform(tab)
+	out, err := transformStep(p, tab)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,10 +230,10 @@ func TestTimeFeaturesValues(t *testing.T) {
 		Runs: []Run{{ID: 1, Rows: [][]float64{{1}, {2}, {3}, {4}, {5}, {6}}}},
 	}
 	tf := &TimeFeatures{AvgWindows: []int{1}, LagWindows: []int{2}}
-	if err := tf.Fit(tab); err != nil {
+	if err := fitStep(tf, tab); err != nil {
 		t.Fatal(err)
 	}
-	out, err := tf.Transform(tab)
+	out, err := transformStep(tf, tab)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,10 +270,10 @@ func TestTimeFeaturesRunBoundary(t *testing.T) {
 		},
 	}
 	tf := &TimeFeatures{AvgWindows: []int{1}, LagWindows: []int{1}}
-	if err := tf.Fit(tab); err != nil {
+	if err := fitStep(tf, tab); err != nil {
 		t.Fatal(err)
 	}
-	out, err := tf.Transform(tab)
+	out, err := transformStep(tf, tab)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,10 +296,10 @@ func TestProductsEligibility(t *testing.T) {
 	}
 	tab := &Table{Cols: cols, Runs: []Run{{ID: 1, Rows: [][]float64{{2, 3, 5, 1, 90, 40, 9}}}}}
 	p := &Products{}
-	if err := p.Fit(tab); err != nil {
+	if err := fitStep(p, tab); err != nil {
 		t.Fatal(err)
 	}
-	out, err := p.Transform(tab)
+	out, err := transformStep(p, tab)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -331,10 +345,10 @@ func TestProductsEligibility(t *testing.T) {
 func TestDropZeroVariance(t *testing.T) {
 	tab := synthTable(1, 50, 7)
 	z := &DropZeroVariance{}
-	if err := z.Fit(tab); err != nil {
+	if err := fitStep(z, tab); err != nil {
 		t.Fatal(err)
 	}
-	out, err := z.Transform(tab)
+	out, err := transformStep(z, tab)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,6 +5,8 @@ import (
 	"encoding/gob"
 	"fmt"
 	"sync"
+
+	"monitorless/internal/frame"
 )
 
 // ReduceKind selects a reduction step (§3.3.7 steps 3 and 5).
@@ -129,14 +131,12 @@ func (p *Pipeline) buildReduce(kind ReduceKind, seedOffset int64) Step {
 	}
 }
 
-// Fit learns every step on the training table and returns the transformed
-// training table.
-func (p *Pipeline) Fit(t *Table) (*Table, error) {
-	if err := t.validate(); err != nil {
-		return nil, err
-	}
-	p.InCols = t.NumCols()
-	p.RawCols = append([]Column(nil), t.Cols...)
+// FitFrame learns every step on the training frame and returns the
+// transformed training frame. This is the primary (columnar) training
+// entry point; Fit is the row-oriented adapter over it.
+func (p *Pipeline) FitFrame(fr *frame.Frame) (*frame.Frame, error) {
+	p.InCols = fr.NumCols()
+	p.RawCols = append([]Column(nil), fr.Schema()...)
 	p.Steps = nil
 
 	plan := []Step{&Expand{}}
@@ -157,7 +157,7 @@ func (p *Pipeline) Fit(t *Table) (*Table, error) {
 	}
 	plan = append(plan, &DropZeroVariance{})
 
-	cur := t
+	cur := fr
 	for _, step := range plan {
 		if err := step.Fit(cur); err != nil {
 			return nil, fmt.Errorf("features: fit %s: %w", step.Name(), err)
@@ -169,20 +169,33 @@ func (p *Pipeline) Fit(t *Table) (*Table, error) {
 		p.Steps = append(p.Steps, step)
 		cur = next
 	}
-	p.OutCols = cur.Cols
+	p.OutCols = append([]Column(nil), cur.Schema()...)
 	return cur, nil
 }
 
-// Transform applies the fitted pipeline to a table with the same raw
-// schema as the training table.
-func (p *Pipeline) Transform(t *Table) (*Table, error) {
+// Fit learns every step on the training table and returns the transformed
+// training table (row-oriented adapter over FitFrame).
+func (p *Pipeline) Fit(t *Table) (*Table, error) {
+	if err := t.validate(); err != nil {
+		return nil, err
+	}
+	out, err := p.FitFrame(t.Frame())
+	if err != nil {
+		return nil, err
+	}
+	return FromFrame(out), nil
+}
+
+// TransformFrame applies the fitted pipeline to a frame with the same raw
+// schema as the training frame.
+func (p *Pipeline) TransformFrame(fr *frame.Frame) (*frame.Frame, error) {
 	if len(p.Steps) == 0 {
 		return nil, fmt.Errorf("features: pipeline is not fitted")
 	}
-	if t.NumCols() != p.InCols {
-		return nil, fmt.Errorf("features: pipeline fitted on %d raw cols, got %d", p.InCols, t.NumCols())
+	if fr.NumCols() != p.InCols {
+		return nil, fmt.Errorf("features: pipeline fitted on %d raw cols, got %d", p.InCols, fr.NumCols())
 	}
-	cur := t
+	cur := fr
 	for _, step := range p.Steps {
 		next, err := step.Transform(cur)
 		if err != nil {
@@ -191,6 +204,19 @@ func (p *Pipeline) Transform(t *Table) (*Table, error) {
 		cur = next
 	}
 	return cur, nil
+}
+
+// Transform applies the fitted pipeline to a table with the same raw
+// schema as the training table (row-oriented adapter over TransformFrame).
+func (p *Pipeline) Transform(t *Table) (*Table, error) {
+	if len(p.Steps) == 0 {
+		return nil, fmt.Errorf("features: pipeline is not fitted")
+	}
+	out, err := p.TransformFrame(t.Frame())
+	if err != nil {
+		return nil, err
+	}
+	return FromFrame(out), nil
 }
 
 // OutputNames lists the engineered feature names after fitting.
@@ -239,16 +265,22 @@ func (p *Pipeline) TransformLatest(window [][]float64) ([]float64, error) {
 	if p.RawCols == nil {
 		return nil, fmt.Errorf("features: pipeline is not fitted")
 	}
-	t := &Table{
-		Cols: p.RawCols,
-		Runs: []Run{{ID: 0, Rows: window}},
+	n := len(window)
+	fr := frame.NewDense(frame.Schema(p.RawCols), n, []frame.Span{{ID: 0, Start: 0, End: n}}, nil)
+	for j := range p.RawCols {
+		col := fr.Col(j)
+		for i, row := range window {
+			if len(row) != len(p.RawCols) {
+				return nil, fmt.Errorf("features: window row %d has %d values, want %d", i, len(row), len(p.RawCols))
+			}
+			col[i] = row[j]
+		}
 	}
-	out, err := p.Transform(t)
+	out, err := p.TransformFrame(fr)
 	if err != nil {
 		return nil, err
 	}
-	rows := out.Runs[0].Rows
-	return rows[len(rows)-1], nil
+	return out.Row(out.Rows()-1, nil), nil
 }
 
 func registerGobTypes() {

@@ -6,20 +6,23 @@ import (
 	"sort"
 	"strings"
 
+	"monitorless/internal/frame"
 	"monitorless/internal/linalg"
 	"monitorless/internal/ml/forest"
 	"monitorless/internal/ml/tree"
 )
 
-// Step is one fitted pipeline stage. Fit learns parameters on the training
-// table; Transform applies them to any table with the same input schema.
+// Step is one fitted pipeline stage over the columnar data plane. Fit
+// learns parameters on the training frame; Transform applies them to any
+// frame with the same input schema, treating the input as read-only and
+// returning a fresh frame (spans and labels are aliased, never mutated).
 type Step interface {
 	// Name identifies the step for diagnostics.
 	Name() string
 	// Fit learns the step's parameters (labels may be consulted).
-	Fit(t *Table) error
+	Fit(fr *frame.Frame) error
 	// Transform applies the fitted step.
-	Transform(t *Table) (*Table, error)
+	Transform(fr *frame.Frame) (*frame.Frame, error)
 }
 
 // ---------------------------------------------------------------------
@@ -57,7 +60,7 @@ type Expand struct {
 	// for the streaming path: the raw input width, the columns moved to a
 	// log scale, the utilization columns receiving level bits, and whether
 	// each target gets the extra CPU bits. Batch Transform derives the
-	// same information from the input table's schema.
+	// same information from the input frame's schema.
 	In        int
 	LogIdx    []int
 	TargetIdx []int
@@ -99,14 +102,15 @@ func expandTargets(cols []Column) (idx []int, prefix []string, isCPU []bool) {
 }
 
 // Fit implements Step.
-func (e *Expand) Fit(t *Table) error {
-	idx, prefixes, isCPU := expandTargets(t.Cols)
+func (e *Expand) Fit(fr *frame.Frame) error {
+	cols := []Column(fr.Schema())
+	idx, prefixes, isCPU := expandTargets(cols)
 	e.Sources = prefixes
-	e.In = t.NumCols()
+	e.In = fr.NumCols()
 	e.TargetIdx = idx
 	e.TargetCPU = isCPU
 	e.LogIdx = e.LogIdx[:0]
-	for i, c := range t.Cols {
+	for i, c := range cols {
 		if c.Log {
 			e.LogIdx = append(e.LogIdx, i)
 		}
@@ -115,48 +119,48 @@ func (e *Expand) Fit(t *Table) error {
 }
 
 // Transform implements Step.
-func (e *Expand) Transform(t *Table) (*Table, error) {
-	idx, prefixes, isCPU := expandTargets(t.Cols)
+func (e *Expand) Transform(fr *frame.Frame) (*frame.Frame, error) {
+	in := []Column(fr.Schema())
+	idx, prefixes, isCPU := expandTargets(in)
 
-	out := &Table{Cols: append([]Column(nil), t.Cols...)}
-	// Mark log columns and build the appended binary columns.
+	schema := fr.Schema().Clone()
 	for k, i := range idx {
 		for _, spec := range levelSpecs(isCPU[k]) {
-			out.Cols = append(out.Cols, Column{
+			schema = append(schema, Column{
 				Name:   prefixes[k] + "-" + spec.Suffix,
-				Domain: t.Cols[i].Domain,
+				Domain: in[i].Domain,
 				Binary: true,
 			})
 		}
 	}
 
-	out.Runs = make([]Run, len(t.Runs))
-	for ri := range t.Runs {
-		src := &t.Runs[ri]
-		rows := make([][]float64, len(src.Rows))
-		for j, row := range src.Rows {
-			nr := make([]float64, 0, len(out.Cols))
-			nr = append(nr, row...)
-			for ci := range nr {
-				if t.Cols[ci].Log {
-					nr[ci] = log10p1(nr[ci])
-				}
+	out := fr.Derive(schema)
+	// Base columns: copied, with §3.3.2 log scaling applied column-wise.
+	for j := range in {
+		src, dst := fr.Col(j), out.Col(j)
+		if in[j].Log {
+			for i, v := range src {
+				dst[i] = log10p1(v)
 			}
-			for k, i := range idx {
-				v := row[i]
-				for _, spec := range levelSpecs(isCPU[k]) {
-					if spec.Test(v) {
-						nr = append(nr, 1)
-					} else {
-						nr = append(nr, 0)
-					}
-				}
-			}
-			rows[j] = nr
+		} else {
+			copy(dst, src)
 		}
-		out.Runs[ri] = Run{ID: src.ID, Rows: rows, Labels: src.Labels}
 	}
-	return out, out.validate()
+	// Appended level bits, derived from the raw (pre-log) utilization.
+	c := len(in)
+	for k, i := range idx {
+		src := fr.Col(i)
+		for _, spec := range levelSpecs(isCPU[k]) {
+			dst := out.Col(c)
+			c++
+			for r, v := range src {
+				if spec.Test(v) {
+					dst[r] = 1
+				}
+			}
+		}
+	}
+	return out, nil
 }
 
 // ---------------------------------------------------------------------
@@ -175,54 +179,44 @@ var _ Step = (*StandardScale)(nil)
 func (s *StandardScale) Name() string { return "standardize" }
 
 // Fit implements Step.
-func (s *StandardScale) Fit(t *Table) error {
-	n := t.NumRows()
+func (s *StandardScale) Fit(fr *frame.Frame) error {
+	n := fr.Rows()
 	if n == 0 {
 		return fmt.Errorf("features: standardize: empty table")
 	}
-	d := t.NumCols()
+	d := fr.NumCols()
 	s.Mean = make([]float64, d)
 	s.Std = make([]float64, d)
-	for ri := range t.Runs {
-		for _, row := range t.Runs[ri].Rows {
-			for i, v := range row {
-				s.Mean[i] += v
-			}
+	for j := 0; j < d; j++ {
+		col := fr.Col(j)
+		for _, v := range col {
+			s.Mean[j] += v
 		}
-	}
-	for i := range s.Mean {
-		s.Mean[i] /= float64(n)
-	}
-	for ri := range t.Runs {
-		for _, row := range t.Runs[ri].Rows {
-			for i, v := range row {
-				d := v - s.Mean[i]
-				s.Std[i] += d * d
-			}
+		s.Mean[j] /= float64(n)
+		for _, v := range col {
+			dv := v - s.Mean[j]
+			s.Std[j] += dv * dv
 		}
-	}
-	for i := range s.Std {
-		s.Std[i] = math.Sqrt(s.Std[i] / float64(n))
+		s.Std[j] = math.Sqrt(s.Std[j] / float64(n))
 	}
 	return nil
 }
 
 // Transform implements Step.
-func (s *StandardScale) Transform(t *Table) (*Table, error) {
-	if len(s.Mean) != t.NumCols() {
-		return nil, fmt.Errorf("features: standardize: fitted on %d cols, got %d", len(s.Mean), t.NumCols())
+func (s *StandardScale) Transform(fr *frame.Frame) (*frame.Frame, error) {
+	if len(s.Mean) != fr.NumCols() {
+		return nil, fmt.Errorf("features: standardize: fitted on %d cols, got %d", len(s.Mean), fr.NumCols())
 	}
-	out := t.clone()
-	for ri := range out.Runs {
-		for _, row := range out.Runs[ri].Rows {
-			for i := range row {
-				if s.Std[i] > 0 {
-					row[i] = (row[i] - s.Mean[i]) / s.Std[i]
-				} else {
-					row[i] = 0
-				}
+	out := fr.Derive(fr.Schema().Clone())
+	for j := 0; j < fr.NumCols(); j++ {
+		src, dst := fr.Col(j), out.Col(j)
+		if s.Std[j] > 0 {
+			m, sd := s.Mean[j], s.Std[j]
+			for i, v := range src {
+				dst[i] = (v - m) / sd
 			}
 		}
+		// Zero-variance columns stay 0 (Derive zeroes the backing).
 	}
 	return out, nil
 }
@@ -252,7 +246,7 @@ var _ Step = (*RFFilter)(nil)
 func (f *RFFilter) Name() string { return "rf-filter" }
 
 // Fit implements Step.
-func (f *RFFilter) Fit(t *Table) error {
+func (f *RFFilter) Fit(fr *frame.Frame) error {
 	if f.TopK <= 0 {
 		f.TopK = 30
 	}
@@ -263,15 +257,16 @@ func (f *RFFilter) Fit(t *Table) error {
 		f.MaxDepth = 5
 	}
 	keep := map[int]bool{}
-	for ri := range t.Runs {
-		run := &t.Runs[ri]
-		if run.Labels == nil || len(run.Rows) == 0 {
+	for k := 0; k < fr.NumRuns(); k++ {
+		run := fr.RunView(k)
+		labels := run.Labels()
+		if labels == nil || run.Rows() == 0 {
 			continue
 		}
 		// Single-class runs carry no importance signal.
-		first := run.Labels[0]
+		first := labels[0]
 		pure := true
-		for _, l := range run.Labels {
+		for _, l := range labels {
 			if l != first {
 				pure = false
 				break
@@ -289,21 +284,21 @@ func (f *RFFilter) Fit(t *Table) error {
 		// fall back to √d subsampling to bound the fit cost; those
 		// candidates all derive from already-selected signal features.
 		maxFeat := -2 // all features
-		if t.NumCols() > 600 {
+		if fr.NumCols() > 600 {
 			maxFeat = -1 // √d
 		}
-		fr := forest.New(forest.Config{
+		rf := forest.New(forest.Config{
 			NumTrees:       f.Trees,
 			MaxDepth:       f.MaxDepth,
 			MinSamplesLeaf: 5,
 			MaxFeatures:    maxFeat,
-			Seed:           f.Seed + int64(run.ID),
+			Seed:           f.Seed + int64(run.Spans()[0].ID),
 			Criterion:      tree.Entropy,
 		})
-		if err := fr.Fit(run.Rows, run.Labels); err != nil {
-			return fmt.Errorf("features: rf-filter run %d: %w", run.ID, err)
+		if err := rf.FitFrame(run, nil, nil); err != nil {
+			return fmt.Errorf("features: rf-filter run %d: %w", run.Spans()[0].ID, err)
 		}
-		imp := fr.FeatureImportances()
+		imp := rf.FeatureImportances()
 		type fi struct {
 			idx int
 			v   float64
@@ -327,7 +322,7 @@ func (f *RFFilter) Fit(t *Table) error {
 	// level bits: the paper reports them as highly important and they are
 	// the scale-portable backbone of the model (§3.3.1, §3.5). They are
 	// few, so this never blows up the feature budget.
-	for i, c := range t.Cols {
+	for i, c := range fr.Schema() {
 		if (c.Util || c.Binary) && !c.TimeDerived {
 			keep[i] = true
 		}
@@ -339,19 +334,18 @@ func (f *RFFilter) Fit(t *Table) error {
 	sort.Ints(f.Keep)
 	f.KeepNames = make([]string, len(f.Keep))
 	for i, k := range f.Keep {
-		f.KeepNames[i] = t.Cols[k].Name
+		f.KeepNames[i] = fr.Schema()[k].Name
 	}
 	return nil
 }
 
 // Transform implements Step.
-func (f *RFFilter) Transform(t *Table) (*Table, error) {
-	for _, k := range f.Keep {
-		if k >= t.NumCols() {
-			return nil, fmt.Errorf("features: rf-filter: column %d out of range (%d cols)", k, t.NumCols())
-		}
+func (f *RFFilter) Transform(fr *frame.Frame) (*frame.Frame, error) {
+	out, err := fr.SelectColumns(f.Keep)
+	if err != nil {
+		return nil, fmt.Errorf("features: rf-filter: %w", err)
 	}
-	return t.selectColumns(f.Keep), nil
+	return out, nil
 }
 
 // PCAReduce projects the table onto principal components (§3.3.4's
@@ -370,15 +364,14 @@ var _ Step = (*PCAReduce)(nil)
 func (p *PCAReduce) Name() string { return "pca" }
 
 // Fit implements Step.
-func (p *PCAReduce) Fit(t *Table) error {
+func (p *PCAReduce) Fit(fr *frame.Frame) error {
 	if p.MaxComponents <= 0 {
 		p.MaxComponents = 50
 	}
 	if p.VarianceTarget <= 0 {
 		p.VarianceTarget = 0.9999
 	}
-	x, _, _ := t.Flatten()
-	m, err := linalg.FromRows(x)
+	m, err := linalg.FromFrame(fr)
 	if err != nil {
 		return fmt.Errorf("features: pca: %w", err)
 	}
@@ -391,27 +384,26 @@ func (p *PCAReduce) Fit(t *Table) error {
 }
 
 // Transform implements Step.
-func (p *PCAReduce) Transform(t *Table) (*Table, error) {
+func (p *PCAReduce) Transform(fr *frame.Frame) (*frame.Frame, error) {
 	if p.P == nil {
 		return nil, fmt.Errorf("features: pca: not fitted")
 	}
 	k := p.P.NumComponents()
-	cols := make([]Column, k)
-	for i := range cols {
-		cols[i] = Column{Name: fmt.Sprintf("PC%02d", i+1), Domain: "pca"}
+	schema := make(frame.Schema, k)
+	for i := range schema {
+		schema[i] = Column{Name: fmt.Sprintf("PC%02d", i+1), Domain: "pca"}
 	}
-	out := &Table{Cols: cols, Runs: make([]Run, len(t.Runs))}
-	for ri := range t.Runs {
-		src := &t.Runs[ri]
-		rows := make([][]float64, len(src.Rows))
-		for j, row := range src.Rows {
-			proj, err := p.P.Transform(row)
-			if err != nil {
-				return nil, fmt.Errorf("features: pca transform: %w", err)
-			}
-			rows[j] = proj
+	out := fr.Derive(schema)
+	buf := make([]float64, fr.NumCols())
+	for i := 0; i < fr.Rows(); i++ {
+		buf = fr.Row(i, buf)
+		proj, err := p.P.Transform(buf)
+		if err != nil {
+			return nil, fmt.Errorf("features: pca transform: %w", err)
 		}
-		out.Runs[ri] = Run{ID: src.ID, Rows: rows, Labels: src.Labels}
+		for j, v := range proj {
+			out.Set(i, j, v)
+		}
 	}
 	return out, nil
 }
@@ -437,81 +429,90 @@ var _ Step = (*TimeFeatures)(nil)
 func (tf *TimeFeatures) Name() string { return "time-features" }
 
 // Fit implements Step.
-func (tf *TimeFeatures) Fit(t *Table) error {
+func (tf *TimeFeatures) Fit(fr *frame.Frame) error {
 	if len(tf.AvgWindows) == 0 {
 		tf.AvgWindows = []int{1, 4, 14}
 	}
 	if len(tf.LagWindows) == 0 {
 		tf.LagWindows = []int{1, 5, 15}
 	}
-	tf.InCols = t.NumCols()
+	tf.InCols = fr.NumCols()
 	return nil
 }
 
 // Transform implements Step.
-func (tf *TimeFeatures) Transform(t *Table) (*Table, error) {
-	if t.NumCols() != tf.InCols {
-		return nil, fmt.Errorf("features: time-features fitted on %d cols, got %d", tf.InCols, t.NumCols())
+func (tf *TimeFeatures) Transform(fr *frame.Frame) (*frame.Frame, error) {
+	if fr.NumCols() != tf.InCols {
+		return nil, fmt.Errorf("features: time-features fitted on %d cols, got %d", tf.InCols, fr.NumCols())
 	}
-	base := t.NumCols()
-	out := &Table{Cols: append([]Column(nil), t.Cols...)}
+	base := fr.NumCols()
+	schema := fr.Schema().Clone()
 	for _, w := range tf.AvgWindows {
-		for _, c := range t.Cols {
+		for _, c := range fr.Schema() {
 			nc := c
 			nc.Name = c.Name + fmt.Sprintf("-AVG%d", w)
 			nc.TimeDerived = true
 			nc.Binary = false
-			out.Cols = append(out.Cols, nc)
+			schema = append(schema, nc)
 		}
 	}
 	for _, w := range tf.LagWindows {
-		for _, c := range t.Cols {
+		for _, c := range fr.Schema() {
 			nc := c
 			nc.Name = c.Name + fmt.Sprintf("-LAGGED%d", w)
 			nc.TimeDerived = true
 			nc.Binary = false
-			out.Cols = append(out.Cols, nc)
+			schema = append(schema, nc)
 		}
 	}
 
-	out.Runs = make([]Run, len(t.Runs))
-	for ri := range t.Runs {
-		src := &t.Runs[ri]
-		rows := make([][]float64, len(src.Rows))
-		// Prefix sums per column for O(1) window averages.
-		prefix := make([][]float64, base)
-		for c := 0; c < base; c++ {
-			prefix[c] = make([]float64, len(src.Rows)+1)
-			for j, row := range src.Rows {
-				prefix[c][j+1] = prefix[c][j] + row[c]
-			}
-		}
-		for j, row := range src.Rows {
-			nr := make([]float64, 0, len(out.Cols))
-			nr = append(nr, row...)
-			for _, w := range tf.AvgWindows {
-				lo := j - w
-				if lo < 0 {
-					lo = 0
-				}
-				span := float64(j - lo + 1)
-				for c := 0; c < base; c++ {
-					nr = append(nr, (prefix[c][j+1]-prefix[c][lo])/span)
-				}
-			}
-			for _, w := range tf.LagWindows {
-				src2 := j - w
-				if src2 < 0 {
-					src2 = 0
-				}
-				lagRow := src.Rows[src2]
-				nr = append(nr, lagRow[:base]...)
-			}
-			rows[j] = nr
-		}
-		out.Runs[ri] = Run{ID: src.ID, Rows: rows, Labels: src.Labels}
+	out := fr.Derive(schema)
+	for c := 0; c < base; c++ {
+		copy(out.Col(c), fr.Col(c))
 	}
-	return out, out.validate()
+	// Windows never cross a run boundary: every span restarts its
+	// prefix-sum and lag clamping, exactly like the per-run row path.
+	spans := fr.Spans()
+	if len(spans) == 0 {
+		spans = []frame.Span{{ID: 0, Start: 0, End: fr.Rows()}}
+	}
+	prefix := make([]float64, 0)
+	for _, sp := range spans {
+		n := sp.End - sp.Start
+		if cap(prefix) < n+1 {
+			prefix = make([]float64, n+1)
+		}
+		prefix = prefix[:n+1]
+		for c := 0; c < base; c++ {
+			src := fr.Col(c)[sp.Start:sp.End]
+			prefix[0] = 0
+			for j, v := range src {
+				prefix[j+1] = prefix[j] + v
+			}
+			for wi, w := range tf.AvgWindows {
+				dst := out.Col(base + wi*base + c)
+				for j := 0; j < n; j++ {
+					lo := j - w
+					if lo < 0 {
+						lo = 0
+					}
+					dst[sp.Start+j] = (prefix[j+1] - prefix[lo]) / float64(j-lo+1)
+				}
+			}
+			lagBase := base + len(tf.AvgWindows)*base
+			for wi, w := range tf.LagWindows {
+				dst := out.Col(lagBase + wi*base + c)
+				for j := 0; j < n; j++ {
+					s2 := j - w
+					if s2 < 0 {
+						s2 = 0
+					}
+					dst[sp.Start+j] = src[s2]
+				}
+			}
+		}
+	}
+	return out, nil
 }
 
 // ---------------------------------------------------------------------
@@ -539,16 +540,17 @@ var _ Step = (*Products)(nil)
 func (p *Products) Name() string { return "products" }
 
 // Fit implements Step.
-func (p *Products) Fit(t *Table) error {
-	p.InCols = t.NumCols()
+func (p *Products) Fit(fr *frame.Frame) error {
+	cols := fr.Schema()
+	p.InCols = len(cols)
 	p.Pairs = p.Pairs[:0]
-	for i := 0; i < t.NumCols(); i++ {
-		ci := t.Cols[i]
+	for i := 0; i < len(cols); i++ {
+		ci := cols[i]
 		if ci.TimeDerived {
 			continue
 		}
-		for j := i; j < t.NumCols(); j++ {
-			cj := t.Cols[j]
+		for j := i; j < len(cols); j++ {
+			cj := cols[j]
 			if cj.TimeDerived {
 				continue
 			}
@@ -563,37 +565,35 @@ func (p *Products) Fit(t *Table) error {
 }
 
 // Transform implements Step.
-func (p *Products) Transform(t *Table) (*Table, error) {
-	if t.NumCols() != p.InCols {
-		return nil, fmt.Errorf("features: products fitted on %d cols, got %d", p.InCols, t.NumCols())
+func (p *Products) Transform(fr *frame.Frame) (*frame.Frame, error) {
+	if fr.NumCols() != p.InCols {
+		return nil, fmt.Errorf("features: products fitted on %d cols, got %d", p.InCols, fr.NumCols())
 	}
-	out := &Table{Cols: append([]Column(nil), t.Cols...)}
+	cols := fr.Schema()
+	schema := fr.Schema().Clone()
 	for _, pr := range p.Pairs {
-		a, b := t.Cols[pr[0]], t.Cols[pr[1]]
+		a, b := cols[pr[0]], cols[pr[1]]
 		dom := a.Domain
 		if b.Domain != a.Domain {
 			dom = a.Domain + "*" + b.Domain
 		}
-		out.Cols = append(out.Cols, Column{
+		schema = append(schema, Column{
 			Name:   a.Name + " × " + b.Name,
 			Domain: dom,
 		})
 	}
-	out.Runs = make([]Run, len(t.Runs))
-	for ri := range t.Runs {
-		src := &t.Runs[ri]
-		rows := make([][]float64, len(src.Rows))
-		for j, row := range src.Rows {
-			nr := make([]float64, 0, len(out.Cols))
-			nr = append(nr, row...)
-			for _, pr := range p.Pairs {
-				nr = append(nr, row[pr[0]]*row[pr[1]])
-			}
-			rows[j] = nr
-		}
-		out.Runs[ri] = Run{ID: src.ID, Rows: rows, Labels: src.Labels}
+	out := fr.Derive(schema)
+	for j := 0; j < fr.NumCols(); j++ {
+		copy(out.Col(j), fr.Col(j))
 	}
-	return out, out.validate()
+	for pi, pr := range p.Pairs {
+		ca, cb := fr.Col(pr[0]), fr.Col(pr[1])
+		dst := out.Col(fr.NumCols() + pi)
+		for i := range dst {
+			dst[i] = ca[i] * cb[i]
+		}
+	}
+	return out, nil
 }
 
 // ---------------------------------------------------------------------
@@ -611,30 +611,19 @@ var _ Step = (*DropZeroVariance)(nil)
 func (z *DropZeroVariance) Name() string { return "drop-zero-variance" }
 
 // Fit implements Step.
-func (z *DropZeroVariance) Fit(t *Table) error {
-	d := t.NumCols()
-	if t.NumRows() == 0 {
+func (z *DropZeroVariance) Fit(fr *frame.Frame) error {
+	if fr.Rows() == 0 {
 		return fmt.Errorf("features: drop-zero-variance: empty table")
 	}
-	var first []float64
-	varying := make([]bool, d)
-	for ri := range t.Runs {
-		for _, row := range t.Runs[ri].Rows {
-			if first == nil {
-				first = append([]float64(nil), row...)
-				continue
-			}
-			for i, v := range row {
-				if v != first[i] {
-					varying[i] = true
-				}
-			}
-		}
-	}
 	z.Keep = z.Keep[:0]
-	for i, ok := range varying {
-		if ok {
-			z.Keep = append(z.Keep, i)
+	for j := 0; j < fr.NumCols(); j++ {
+		col := fr.Col(j)
+		first := col[0]
+		for _, v := range col[1:] {
+			if v != first {
+				z.Keep = append(z.Keep, j)
+				break
+			}
 		}
 	}
 	if len(z.Keep) == 0 {
@@ -644,13 +633,12 @@ func (z *DropZeroVariance) Fit(t *Table) error {
 }
 
 // Transform implements Step.
-func (z *DropZeroVariance) Transform(t *Table) (*Table, error) {
-	for _, k := range z.Keep {
-		if k >= t.NumCols() {
-			return nil, fmt.Errorf("features: drop-zero-variance: column %d out of range", k)
-		}
+func (z *DropZeroVariance) Transform(fr *frame.Frame) (*frame.Frame, error) {
+	out, err := fr.SelectColumns(z.Keep)
+	if err != nil {
+		return nil, fmt.Errorf("features: drop-zero-variance: %w", err)
 	}
-	return t.selectColumns(z.Keep), nil
+	return out, nil
 }
 
 // ---------------------------------------------------------------------
@@ -665,76 +653,82 @@ type MinMaxScaler struct {
 	Names    []string
 }
 
-// FitMinMax learns the per-column extrema.
-func FitMinMax(t *Table) (*MinMaxScaler, error) {
-	if t.NumRows() == 0 {
+// FitMinMaxFrame learns the per-column extrema from a frame.
+func FitMinMaxFrame(fr *frame.Frame) (*MinMaxScaler, error) {
+	if fr.Rows() == 0 {
 		return nil, fmt.Errorf("features: minmax: empty table")
 	}
-	d := t.NumCols()
+	d := fr.NumCols()
 	s := &MinMaxScaler{
 		Min:   make([]float64, d),
 		Max:   make([]float64, d),
-		Names: t.Names(),
+		Names: fr.Schema().Names(),
 	}
-	for i := range s.Min {
-		s.Min[i] = math.Inf(1)
-		s.Max[i] = math.Inf(-1)
-	}
-	for ri := range t.Runs {
-		for _, row := range t.Runs[ri].Rows {
-			for i, v := range row {
-				s.Min[i] = math.Min(s.Min[i], v)
-				s.Max[i] = math.Max(s.Max[i], v)
-			}
+	for j := 0; j < d; j++ {
+		s.Min[j] = math.Inf(1)
+		s.Max[j] = math.Inf(-1)
+		for _, v := range fr.Col(j) {
+			s.Min[j] = math.Min(s.Min[j], v)
+			s.Max[j] = math.Max(s.Max[j], v)
 		}
 	}
 	return s, nil
 }
 
-// Transform rescales a table in place-clone to [0,1] (values outside the
-// trained range extrapolate beyond the unit interval, which is exactly
-// the coverage signal).
-func (s *MinMaxScaler) Transform(t *Table) (*Table, error) {
-	if t.NumCols() != len(s.Min) {
-		return nil, fmt.Errorf("features: minmax fitted on %d cols, got %d", len(s.Min), t.NumCols())
+// FitMinMax learns the per-column extrema (row-oriented adapter).
+func FitMinMax(t *Table) (*MinMaxScaler, error) {
+	return FitMinMaxFrame(t.Frame())
+}
+
+// TransformFrame rescales a frame to [0,1] (values outside the trained
+// range extrapolate beyond the unit interval, which is exactly the
+// coverage signal).
+func (s *MinMaxScaler) TransformFrame(fr *frame.Frame) (*frame.Frame, error) {
+	if fr.NumCols() != len(s.Min) {
+		return nil, fmt.Errorf("features: minmax fitted on %d cols, got %d", len(s.Min), fr.NumCols())
 	}
-	out := t.clone()
-	for ri := range out.Runs {
-		for _, row := range out.Runs[ri].Rows {
-			for i := range row {
-				span := s.Max[i] - s.Min[i]
-				if span > 0 {
-					row[i] = (row[i] - s.Min[i]) / span
-				} else {
-					row[i] = 0
-				}
+	out := fr.Derive(fr.Schema().Clone())
+	for j := 0; j < fr.NumCols(); j++ {
+		src, dst := fr.Col(j), out.Col(j)
+		span := s.Max[j] - s.Min[j]
+		if span > 0 {
+			lo := s.Min[j]
+			for i, v := range src {
+				dst[i] = (v - lo) / span
 			}
 		}
 	}
 	return out, nil
 }
 
+// Transform rescales a table (row-oriented adapter over TransformFrame).
+func (s *MinMaxScaler) Transform(t *Table) (*Table, error) {
+	out, err := s.TransformFrame(t.Frame())
+	if err != nil {
+		return nil, err
+	}
+	return FromFrame(out), nil
+}
+
 // CoverageGaps returns the names of features whose validation values fall
 // outside the trained min/max range (the paper's trigger for designing
 // additional training cases).
 func (s *MinMaxScaler) CoverageGaps(val *Table) ([]string, error) {
+	return s.CoverageGapsFrame(val.Frame())
+}
+
+// CoverageGapsFrame is the frame-native coverage check.
+func (s *MinMaxScaler) CoverageGapsFrame(val *frame.Frame) ([]string, error) {
 	if val.NumCols() != len(s.Min) {
 		return nil, fmt.Errorf("features: coverage: fitted on %d cols, got %d", len(s.Min), val.NumCols())
 	}
-	gap := make([]bool, len(s.Min))
-	for ri := range val.Runs {
-		for _, row := range val.Runs[ri].Rows {
-			for i, v := range row {
-				if v < s.Min[i] || v > s.Max[i] {
-					gap[i] = true
-				}
-			}
-		}
-	}
 	var names []string
-	for i, g := range gap {
-		if g {
-			names = append(names, s.Names[i])
+	for j := 0; j < val.NumCols(); j++ {
+		for _, v := range val.Col(j) {
+			if v < s.Min[j] || v > s.Max[j] {
+				names = append(names, s.Names[j])
+				break
+			}
 		}
 	}
 	return names, nil

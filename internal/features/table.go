@@ -11,25 +11,14 @@ import (
 	"sort"
 
 	"monitorless/internal/dataset"
+	"monitorless/internal/frame"
 )
 
-// Column is the metadata of one feature column.
-type Column struct {
-	// Name is the engineered feature name ("network.tcp.currestab ×
-	// C-CPU-HIGH", "kernel.all.pswitch-AVG14", ...).
-	Name string
-	// Domain groups columns by subsystem (cross-domain products).
-	Domain string
-	// Util marks relative-scale utilization columns (binary-feature
-	// sources).
-	Util bool
-	// Binary marks hot-encoded level columns (always product-eligible).
-	Binary bool
-	// TimeDerived marks X-AVG/X-LAG columns (excluded from products).
-	TimeDerived bool
-	// Log marks columns that the expansion step moved to a log scale.
-	Log bool
-}
+// Column is the metadata of one feature column. It is an alias of
+// frame.Col — the single schema representation shared by the dataset
+// layer, this pipeline, and the model bundle (one fingerprint function,
+// frame.Schema.Hash, instead of three parallel schema structs).
+type Column = frame.Col
 
 // Run is one ordered sequence of samples from a single experiment.
 type Run struct {
@@ -51,17 +40,7 @@ type Table struct {
 // FromDataset converts a labeled dataset into a Table, grouping samples by
 // run ID and preserving time order within each run.
 func FromDataset(ds *dataset.Dataset) *Table {
-	cols := make([]Column, len(ds.Defs))
-	for i, d := range ds.Defs {
-		cols[i] = Column{
-			Name:   d.Name,
-			Domain: string(d.Domain),
-			Util:   d.Kind.IsUtilization(),
-			Log:    d.LogScale,
-		}
-	}
-
-	t := &Table{Cols: cols}
+	t := &Table{Cols: ds.Schema()}
 	order := map[int]int{}
 	for _, s := range ds.Samples {
 		idx, ok := order[s.RunID]
@@ -114,6 +93,64 @@ func (t *Table) Flatten() (x [][]float64, y []int, groups []int) {
 		}
 	}
 	return x, y, groups
+}
+
+// Frame converts the table into a columnar frame: one contiguous
+// column-major backing array, spans in run order, labels carried over when
+// every run is labeled.
+func (t *Table) Frame() *frame.Frame {
+	rows := t.NumRows()
+	spans := make([]frame.Span, len(t.Runs))
+	labeled := len(t.Runs) > 0
+	base := 0
+	for i := range t.Runs {
+		r := &t.Runs[i]
+		spans[i] = frame.Span{ID: r.ID, Start: base, End: base + len(r.Rows)}
+		base += len(r.Rows)
+		if r.Labels == nil {
+			labeled = false
+		}
+	}
+	var labels []int
+	if labeled {
+		labels = make([]int, 0, rows)
+		for i := range t.Runs {
+			labels = append(labels, t.Runs[i].Labels...)
+		}
+	}
+	fr := frame.NewDense(frame.Schema(t.Cols).Clone(), rows, spans, labels)
+	for j := range t.Cols {
+		col := fr.Col(j)
+		base = 0
+		for ri := range t.Runs {
+			for _, row := range t.Runs[ri].Rows {
+				col[base] = row[j]
+				base++
+			}
+		}
+	}
+	return fr
+}
+
+// FromFrame converts a frame back into a row-oriented table (the adapter
+// for legacy row-based consumers). A frame without spans becomes a single
+// run with ID 0.
+func FromFrame(fr *frame.Frame) *Table {
+	t := &Table{Cols: append([]Column(nil), fr.Schema()...)}
+	rows := fr.MaterializeRows()
+	spans := fr.Spans()
+	if len(spans) == 0 {
+		spans = []frame.Span{{ID: 0, Start: 0, End: fr.Rows()}}
+	}
+	labels := fr.Labels()
+	for _, s := range spans {
+		run := Run{ID: s.ID, Rows: rows[s.Start:s.End]}
+		if labels != nil {
+			run.Labels = append([]int(nil), labels[s.Start:s.End]...)
+		}
+		t.Runs = append(t.Runs, run)
+	}
+	return t
 }
 
 // clone duplicates the table structure with fresh row slices (labels are

@@ -8,6 +8,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"monitorless/internal/frame"
 )
 
 // Matrix is a dense, row-major matrix.
@@ -37,6 +39,26 @@ func FromRows(rows [][]float64) (*Matrix, error) {
 			return nil, fmt.Errorf("linalg: ragged input: row %d has %d cols, want %d", i, len(r), cols)
 		}
 		copy(m.Data[i*cols:(i+1)*cols], r)
+	}
+	return m, nil
+}
+
+// FromFrame builds a row-major matrix from a column-major frame. The data
+// is copied column by column (one contiguous source scan per column).
+func FromFrame(fr *frame.Frame) (*Matrix, error) {
+	if fr == nil {
+		return nil, errors.New("linalg: nil frame")
+	}
+	rows, cols := fr.Rows(), fr.NumCols()
+	if rows == 0 {
+		return New(0, 0), nil
+	}
+	m := New(rows, cols)
+	for j := 0; j < cols; j++ {
+		src := fr.Col(j)
+		for i, v := range src {
+			m.Data[i*cols+j] = v
+		}
 	}
 	return m, nil
 }

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 
+	"monitorless/internal/frame"
 	"monitorless/internal/ml"
 	"monitorless/internal/ml/tree"
 )
@@ -53,6 +54,7 @@ type AdaBoost struct {
 }
 
 var _ ml.Classifier = (*AdaBoost)(nil)
+var _ ml.FrameFitter = (*AdaBoost)(nil)
 
 // NewAdaBoost returns an unfitted AdaBoost classifier.
 func NewAdaBoost(cfg AdaBoostConfig) *AdaBoost {
@@ -71,18 +73,54 @@ func NewAdaBoost(cfg AdaBoostConfig) *AdaBoost {
 	return &AdaBoost{cfg: cfg}
 }
 
-// Fit trains the boosted ensemble.
+// Fit trains the boosted ensemble. Thin adapter: validate once, transpose
+// once, then the frame-native stage loop.
 func (a *AdaBoost) Fit(x [][]float64, y []int) error {
 	if _, err := ml.ValidateTrainingSet(x, y); err != nil {
 		return err
 	}
-	n := len(x)
+	return a.fitFrame(ml.FrameOf(x), y, nil)
+}
+
+// FitFrame trains on the frame rows listed in rows (nil = all), with y
+// holding one label per frame row (nil = fr.Labels()). Every boosting
+// round refits the base tree over the same frame with new weights — no
+// per-round matrix copies.
+func (a *AdaBoost) FitFrame(fr *frame.Frame, y []int, rows []int) error {
+	y, err := ml.ValidateFrame(fr, y, rows)
+	if err != nil {
+		return err
+	}
+	return a.fitFrame(fr, y, rows)
+}
+
+func (a *AdaBoost) fitFrame(fr *frame.Frame, y []int, rows []int) error {
+	if rows == nil {
+		rows = make([]int, fr.Rows())
+		for i := range rows {
+			rows[i] = i
+		}
+	}
+	n := len(rows)
+	ty := make([]int, n)
+	for p, i := range rows {
+		ty[p] = y[i]
+	}
 	w := make([]float64, n)
 	for i := range w {
 		w[i] = 1 / float64(n)
 	}
 	a.stages = a.stages[:0]
 	a.alphas = a.alphas[:0]
+
+	// predict1 classifies sample i with the stage tree, walking the frame
+	// row directly.
+	predict1 := func(t *tree.Tree, i int) int {
+		if t.PredictProbaFrameRow(fr, rows[i]) >= 0.5 {
+			return 1
+		}
+		return 0
+	}
 
 boosting:
 	for stage := 0; stage < a.cfg.NumEstimators; stage++ {
@@ -93,7 +131,7 @@ boosting:
 			Splitter:        a.cfg.TreeSplitter,
 			Seed:            a.cfg.Seed + int64(stage)*6151,
 		})
-		if err := t.FitWeighted(x, y, w); err != nil {
+		if err := t.FitFrameSamples(fr, rows, ty, w); err != nil {
 			return fmt.Errorf("boost: stage %d: %w", stage, err)
 		}
 
@@ -104,10 +142,10 @@ boosting:
 			a.stages = append(a.stages, t)
 			a.alphas = append(a.alphas, 1)
 			sum := 0.0
-			for i := range x {
-				p := clampProb(t.PredictProba(x[i]))
+			for i := 0; i < n; i++ {
+				p := clampProb(t.PredictProbaFrameRow(fr, rows[i]))
 				// h(x) = ½·log(p/(1−p)); margin update uses y ∈ {−1,+1}.
-				yi := 2*float64(y[i]) - 1
+				yi := 2*float64(ty[i]) - 1
 				h := 0.5 * math.Log(p/(1-p))
 				w[i] *= math.Exp(-a.cfg.LearningRate * yi * h)
 				sum += w[i]
@@ -121,8 +159,8 @@ boosting:
 		default:
 			// SAMME (discrete).
 			errRate := 0.0
-			for i := range x {
-				if t.Predict(x[i]) != y[i] {
+			for i := 0; i < n; i++ {
+				if predict1(t, i) != ty[i] {
 					errRate += w[i]
 				}
 			}
@@ -145,8 +183,8 @@ boosting:
 			a.stages = append(a.stages, t)
 			a.alphas = append(a.alphas, alpha)
 			sum := 0.0
-			for i := range x {
-				if t.Predict(x[i]) != y[i] {
+			for i := 0; i < n; i++ {
+				if predict1(t, i) != ty[i] {
 					w[i] *= math.Exp(alpha)
 				}
 				sum += w[i]

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"monitorless/internal/frame"
 	"monitorless/internal/ml"
 )
 
@@ -44,6 +45,7 @@ type GBT struct {
 }
 
 var _ ml.Classifier = (*GBT)(nil)
+var _ ml.FrameFitter = (*GBT)(nil)
 
 type gbtNode struct {
 	feature   int32
@@ -83,12 +85,57 @@ func NewGBT(cfg GBTConfig) *GBT {
 	return &GBT{cfg: cfg}
 }
 
-// Fit trains the ensemble on binary logistic loss.
+// Fit trains the ensemble on binary logistic loss. Thin adapter:
+// validate once, transpose once, columnar after that.
 func (g *GBT) Fit(x [][]float64, y []int) error {
 	if _, err := ml.ValidateTrainingSet(x, y); err != nil {
 		return err
 	}
-	n := len(x)
+	fr := ml.FrameOf(x)
+	cols := make([][]float64, fr.NumCols())
+	for j := range cols {
+		cols[j] = fr.Col(j)
+	}
+	return g.fitColumns(cols, y)
+}
+
+// FitFrame trains on the frame rows listed in rows (nil = all), with y
+// holding one label per frame row (nil = fr.Labels()). A row subset is
+// gathered once into compact columns; the full-frame case fits on the
+// frame's columns zero-copy.
+func (g *GBT) FitFrame(fr *frame.Frame, y []int, rows []int) error {
+	y, err := ml.ValidateFrame(fr, y, rows)
+	if err != nil {
+		return err
+	}
+	d := fr.NumCols()
+	cols := make([][]float64, d)
+	if rows == nil {
+		for j := range cols {
+			cols[j] = fr.Col(j)
+		}
+		return g.fitColumns(cols, y)
+	}
+	flat := make([]float64, len(rows)*d)
+	ty := make([]int, len(rows))
+	for p, i := range rows {
+		ty[p] = y[i]
+	}
+	for j := 0; j < d; j++ {
+		src := fr.Col(j)
+		dst := flat[j*len(rows) : (j+1)*len(rows)]
+		for p, i := range rows {
+			dst[p] = src[i]
+		}
+		cols[j] = dst
+	}
+	return g.fitColumns(cols, ty)
+}
+
+// fitColumns runs the boosting loop over compact columns (cols[f][i] is
+// the value of sample i under feature f).
+func (g *GBT) fitColumns(cols [][]float64, y []int) error {
+	n := len(y)
 
 	// Initial prediction: log-odds of the base rate.
 	pos := 0
@@ -108,7 +155,7 @@ func (g *GBT) Fit(x [][]float64, y []int) error {
 	rng := rand.New(rand.NewSource(g.cfg.Seed))
 
 	for round := 0; round < g.cfg.NumRounds; round++ {
-		for i := range x {
+		for i := 0; i < n; i++ {
 			pi := sigmoid(margin[i])
 			grad[i] = pi - float64(y[i])
 			hess[i] = pi * (1 - pi)
@@ -130,9 +177,9 @@ func (g *GBT) Fit(x [][]float64, y []int) error {
 		}
 
 		t := gbtTree{}
-		b := &gbtBuilder{g: g, x: x, grad: grad, hess: hess, tree: &t}
+		b := &gbtBuilder{g: g, cols: cols, grad: grad, hess: hess, tree: &t}
 		if g.cfg.ColsampleByTree < 1 {
-			d := len(x[0])
+			d := len(cols)
 			k := int(g.cfg.ColsampleByTree * float64(d))
 			if k < 1 {
 				k = 1
@@ -142,8 +189,8 @@ func (g *GBT) Fit(x [][]float64, y []int) error {
 		b.build(idx, 0)
 		g.trees = append(g.trees, t)
 
-		for i := range x {
-			margin[i] += g.cfg.LearningRate * t.predict(x[i])
+		for i := 0; i < n; i++ {
+			margin[i] += g.cfg.LearningRate * t.predictCols(cols, i)
 		}
 	}
 	g.fitted = true
@@ -152,7 +199,7 @@ func (g *GBT) Fit(x [][]float64, y []int) error {
 
 type gbtBuilder struct {
 	g    *GBT
-	x    [][]float64
+	cols [][]float64
 	grad []float64
 	hess []float64
 	tree *gbtTree
@@ -179,7 +226,7 @@ func (b *gbtBuilder) build(idx []int, depth int) int32 {
 	parentScore := gSum * gSum / (hSum + cfg.Lambda)
 	feats := b.feats
 	if feats == nil {
-		d := len(b.x[0])
+		d := len(b.cols)
 		feats = make([]int, d)
 		for i := range feats {
 			feats[i] = i
@@ -189,14 +236,15 @@ func (b *gbtBuilder) build(idx []int, depth int) int32 {
 
 	order := make([]int, len(idx))
 	for _, f := range feats {
+		col := b.cols[f]
 		copy(order, idx)
-		sort.Slice(order, func(a, c int) bool { return b.x[order[a]][f] < b.x[order[c]][f] })
+		sort.Slice(order, func(a, c int) bool { return col[order[a]] < col[order[c]] })
 		var gl, hl float64
 		for i := 0; i < len(order)-1; i++ {
 			s := order[i]
 			gl += b.grad[s]
 			hl += b.hess[s]
-			v, next := b.x[s][f], b.x[order[i+1]][f]
+			v, next := col[s], col[order[i+1]]
 			if v == next {
 				continue
 			}
@@ -217,8 +265,9 @@ func (b *gbtBuilder) build(idx []int, depth int) int32 {
 
 	left := make([]int, 0, len(idx))
 	right := make([]int, 0, len(idx))
+	bcol := b.cols[bestFeat]
 	for _, i := range idx {
-		if b.x[i][bestFeat] <= bestThr {
+		if bcol[i] <= bestThr {
 			left = append(left, i)
 		} else {
 			right = append(right, i)
@@ -247,6 +296,23 @@ func (t *gbtTree) predict(x []float64) float64 {
 			i = n.left
 		} else {
 			i = n.right
+		}
+	}
+}
+
+// predictCols walks the tree for sample i of a compact column set,
+// touching only the features on the root-to-leaf path.
+func (t *gbtTree) predictCols(cols [][]float64, i int) float64 {
+	k := int32(0)
+	for {
+		n := t.nodes[k]
+		if n.feature < 0 {
+			return n.value
+		}
+		if cols[n.feature][i] <= n.threshold {
+			k = n.left
+		} else {
+			k = n.right
 		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 
+	"monitorless/internal/frame"
 	"monitorless/internal/ml"
 	"monitorless/internal/ml/score"
 	"monitorless/internal/parallel"
@@ -113,6 +114,66 @@ func CrossValidate(factory Factory, params map[string]any, x [][]float64, y, gro
 	return res, nil
 }
 
+// CrossValidateFrame is the frame-native counterpart of CrossValidate:
+// the run structure comes from the frame's spans, y nil means the frame's
+// labels, and each training fold is an index view into the shared
+// read-only frame — no fold ever copies the feature matrix. Folds run
+// concurrently on the shared worker pool; scores are assembled in
+// fold-index order, so the result is deterministic.
+func CrossValidateFrame(factory Factory, params map[string]any, fr *frame.Frame, y []int, k int) (Result, error) {
+	if y == nil {
+		y = fr.Labels()
+	}
+	if len(y) != fr.Rows() {
+		return Result{}, fmt.Errorf("cv: %d labels for %d frame rows", len(y), fr.Rows())
+	}
+	folds, err := GroupKFold(fr.GroupIDs(), k)
+	if err != nil {
+		return Result{}, err
+	}
+	confs, err := parallel.Map(len(folds), func(fi int) (score.Confusion, error) {
+		holdout := folds[fi]
+		inFold := make([]bool, fr.Rows())
+		for _, i := range holdout {
+			inFold[i] = true
+		}
+		trainRows := make([]int, 0, fr.Rows()-len(holdout))
+		for i := 0; i < fr.Rows(); i++ {
+			if !inFold[i] {
+				trainRows = append(trainRows, i)
+			}
+		}
+		clf, err := factory(params)
+		if err != nil {
+			return score.Confusion{}, fmt.Errorf("cv: factory: %w", err)
+		}
+		if err := ml.FitFrame(clf, fr, y, trainRows); err != nil {
+			return score.Confusion{}, fmt.Errorf("cv: fit: %w", err)
+		}
+		pred := make([]int, len(holdout))
+		truth := make([]int, len(holdout))
+		buf := make([]float64, fr.NumCols())
+		for j, i := range holdout {
+			buf = fr.Row(i, buf)
+			pred[j] = clf.Predict(buf)
+			truth[j] = y[i]
+		}
+		return score.Count(pred, truth)
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Params: params}
+	for _, c := range confs {
+		res.FoldF1 = append(res.FoldF1, c.F1())
+		res.MeanF1 += c.F1()
+		res.MeanAccuracy += c.Accuracy()
+	}
+	res.MeanF1 /= float64(len(folds))
+	res.MeanAccuracy /= float64(len(folds))
+	return res, nil
+}
+
 // Grid is a named parameter space: each key maps to its candidate values.
 type Grid map[string][]any
 
@@ -155,6 +216,23 @@ func GridSearch(factory Factory, grid Grid, x [][]float64, y, groups []int, k in
 	}
 	results, err := parallel.Map(len(assignments), func(i int) (Result, error) {
 		return CrossValidate(factory, assignments[i], x, y, groups, k)
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.SliceStable(results, func(i, j int) bool { return results[i].MeanF1 > results[j].MeanF1 })
+	return results, nil
+}
+
+// GridSearchFrame cross-validates every grid assignment over the frame
+// and returns all results sorted by descending mean F1, best first.
+func GridSearchFrame(factory Factory, grid Grid, fr *frame.Frame, y []int, k int) ([]Result, error) {
+	assignments := grid.Enumerate()
+	if len(assignments) == 0 {
+		return nil, fmt.Errorf("cv: empty grid")
+	}
+	results, err := parallel.Map(len(assignments), func(i int) (Result, error) {
+		return CrossValidateFrame(factory, assignments[i], fr, y, k)
 	})
 	if err != nil {
 		return nil, err

@@ -11,6 +11,7 @@ import (
 	"runtime"
 	"sync"
 
+	"monitorless/internal/frame"
 	"monitorless/internal/ml"
 	"monitorless/internal/ml/tree"
 )
@@ -54,6 +55,7 @@ type Forest struct {
 
 var _ ml.Classifier = (*Forest)(nil)
 var _ ml.FeatureImporter = (*Forest)(nil)
+var _ ml.FrameFitter = (*Forest)(nil)
 
 // New returns an unfitted forest.
 func New(cfg Config) *Forest {
@@ -71,19 +73,48 @@ func New(cfg Config) *Forest {
 	return &Forest{cfg: cfg}
 }
 
-// Fit trains the forest on x, y.
+// Fit trains the forest on x, y. It is a thin adapter over the columnar
+// path: validate once, transpose once, then FitFrame over the whole frame.
 func (f *Forest) Fit(x [][]float64, y []int) error {
-	d, err := ml.ValidateTrainingSet(x, y)
+	if _, err := ml.ValidateTrainingSet(x, y); err != nil {
+		return err
+	}
+	return f.fitFrame(ml.FrameOf(x), y, nil)
+}
+
+// FitFrame trains the forest on the frame rows listed in rows (nil = all
+// rows), with y holding one label per frame row (nil = fr.Labels()). The
+// frame is shared read-only across all tree-fitting goroutines; every
+// bootstrap resample is an index array, never a copied matrix.
+func (f *Forest) FitFrame(fr *frame.Frame, y []int, rows []int) error {
+	y, err := ml.ValidateFrame(fr, y, rows)
 	if err != nil {
 		return err
 	}
-	baseW, err := ml.ClassWeights(y, f.cfg.ClassWeight)
+	return f.fitFrame(fr, y, rows)
+}
+
+// fitFrame is the shared post-validation fitting path.
+func (f *Forest) fitFrame(fr *frame.Frame, y []int, rows []int) error {
+	if rows == nil {
+		rows = make([]int, fr.Rows())
+		for i := range rows {
+			rows[i] = i
+		}
+	}
+	// ty is the compact label vector of the training subset, matching what
+	// the row-oriented path called y.
+	ty := make([]int, len(rows))
+	for p, i := range rows {
+		ty[p] = y[i]
+	}
+	baseW, err := ml.ClassWeights(ty, f.cfg.ClassWeight)
 	if err != nil {
 		return fmt.Errorf("forest: %w", err)
 	}
 
-	n := len(x)
-	f.nFeatures = d
+	n := len(rows)
+	f.nFeatures = fr.NumCols()
 	f.trees = make([]*tree.Tree, f.cfg.NumTrees)
 
 	par := f.cfg.Parallelism
@@ -108,15 +139,16 @@ func (f *Forest) Fit(x [][]float64, y []int) error {
 			defer func() { <-sem }()
 
 			rng := rand.New(rand.NewSource(f.cfg.Seed + int64(ti)*7919))
-			// Bootstrap sample with replacement.
-			bx := make([][]float64, n)
+			// Bootstrap sample with replacement: smp maps bootstrap
+			// sample -> frame row.
+			smp := make([]int, n)
 			by := make([]int, n)
 			bw := make([]float64, n)
 			var n1 int
 			for i := 0; i < n; i++ {
 				j := rng.Intn(n)
-				bx[i] = x[j]
-				by[i] = y[j]
+				smp[i] = rows[j]
+				by[i] = ty[j]
 				bw[i] = baseW[j]
 				n1 += by[i]
 			}
@@ -145,7 +177,7 @@ func (f *Forest) Fit(x [][]float64, y []int) error {
 				MaxFeatures:     f.cfg.MaxFeatures,
 				Seed:            f.cfg.Seed + int64(ti)*104729,
 			})
-			if err := t.FitWeighted(bx, by, bw); err != nil {
+			if err := t.FitFrameSamples(fr, smp, by, bw); err != nil {
 				errOnce.Do(func() { firstErr = fmt.Errorf("forest: tree %d: %w", ti, err) })
 				return
 			}
@@ -158,7 +190,7 @@ func (f *Forest) Fit(x [][]float64, y []int) error {
 	}
 
 	// Average tree importances.
-	f.importances = make([]float64, d)
+	f.importances = make([]float64, f.nFeatures)
 	for _, t := range f.trees {
 		for i, v := range t.FeatureImportances() {
 			f.importances[i] += v

@@ -11,6 +11,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"monitorless/internal/frame"
 	"monitorless/internal/ml"
 )
 
@@ -88,6 +89,7 @@ type Tree struct {
 var _ ml.Classifier = (*Tree)(nil)
 var _ ml.WeightedFitter = (*Tree)(nil)
 var _ ml.FeatureImporter = (*Tree)(nil)
+var _ ml.FrameFitter = (*Tree)(nil)
 
 // New returns an unfitted tree with the given configuration.
 func New(cfg Config) *Tree {
@@ -100,40 +102,93 @@ func New(cfg Config) *Tree {
 	return &Tree{cfg: cfg}
 }
 
-// Fit trains the tree with uniform sample weights.
+// Fit trains the tree with uniform sample weights. It is a thin adapter:
+// the matrix is validated and transposed once, then fitting runs on the
+// columnar path.
 func (t *Tree) Fit(x [][]float64, y []int) error {
 	return t.FitWeighted(x, y, nil)
 }
 
 // FitWeighted trains the tree. w may be nil for uniform weights.
 func (t *Tree) FitWeighted(x [][]float64, y []int, w []float64) error {
-	d, err := ml.ValidateTrainingSet(x, y)
+	if _, err := ml.ValidateTrainingSet(x, y); err != nil {
+		return err
+	}
+	return t.FitFrameSamples(ml.FrameOf(x), nil, y, w)
+}
+
+// FitFrame trains on the frame rows listed in rows (nil = all), with y
+// holding one label per frame row (nil = fr.Labels()). This is the
+// validated frame-boundary entry point.
+func (t *Tree) FitFrame(fr *frame.Frame, y []int, rows []int) error {
+	y, err := ml.ValidateFrame(fr, y, rows)
 	if err != nil {
 		return err
 	}
+	if rows == nil {
+		return t.FitFrameSamples(fr, nil, y, nil)
+	}
+	sy := make([]int, len(rows))
+	for p, i := range rows {
+		sy[p] = y[i]
+	}
+	return t.FitFrameSamples(fr, rows, sy, nil)
+}
+
+// FitFrameSamples trains on the frame rows listed in smp — duplicates
+// allowed, which is how the forest's bootstrap resampling avoids copying
+// feature rows. y and w are per-sample (aligned with smp, len(smp)
+// entries); smp nil means every frame row once, w nil means uniform.
+// The caller is responsible for boundary validation (ValidateFrame or
+// ValidateTrainingSet); this path never re-scans for NaN/Inf.
+func (t *Tree) FitFrameSamples(fr *frame.Frame, smp []int, y []int, w []float64) error {
+	if fr == nil || fr.Rows() == 0 || fr.NumCols() == 0 {
+		return ml.ErrNoData
+	}
+	if smp == nil {
+		smp = make([]int, fr.Rows())
+		for i := range smp {
+			smp[i] = i
+		}
+	}
+	n := len(smp)
+	if n == 0 {
+		return ml.ErrNoData
+	}
+	if len(y) != n {
+		return fmt.Errorf("tree: %d labels for %d samples", len(y), n)
+	}
 	if w == nil {
-		w = make([]float64, len(y))
+		w = make([]float64, n)
 		for i := range w {
 			w[i] = 1
 		}
-	} else if len(w) != len(y) {
-		return fmt.Errorf("tree: %d weights for %d samples", len(w), len(y))
+	} else if len(w) != n {
+		return fmt.Errorf("tree: %d weights for %d samples", len(w), n)
+	}
+
+	d := fr.NumCols()
+	cols := make([][]float64, d)
+	for j := range cols {
+		cols[j] = fr.Col(j)
 	}
 
 	t.nFeatures = d
 	t.nodes = t.nodes[:0]
 	t.importances = make([]float64, d)
 
-	idx := make([]int, len(x))
+	idx := make([]int, n)
 	for i := range idx {
 		idx[i] = i
 	}
 	b := &builder{
-		tree: t,
-		x:    x,
-		y:    y,
-		w:    w,
-		rng:  rand.New(rand.NewSource(t.cfg.Seed)),
+		tree:  t,
+		cols:  cols,
+		smp:   smp,
+		y:     y,
+		w:     w,
+		rng:   rand.New(rand.NewSource(t.cfg.Seed)),
+		order: make([]int, n),
 	}
 	b.totalWeight = 0
 	for _, wi := range w {
@@ -158,14 +213,18 @@ func (t *Tree) FitWeighted(x [][]float64, y []int, w []float64) error {
 	return nil
 }
 
-// builder carries the shared fitting state.
+// builder carries the shared fitting state. Split finding scans
+// contiguous columns: the value of sample i under feature f is
+// cols[f][smp[i]], one slice lookup instead of a row-pointer chase.
 type builder struct {
 	tree        *Tree
-	x           [][]float64
-	y           []int
-	w           []float64
+	cols        [][]float64 // full backing columns, cols[f][row]
+	smp         []int       // sample index -> backing row
+	y           []int       // per-sample labels
+	w           []float64   // per-sample weights
 	rng         *rand.Rand
 	totalWeight float64
+	order       []int // scratch for split scans, reused across nodes
 }
 
 // impurity computes the criterion value for a (weight, positive-weight) pair.
@@ -220,8 +279,9 @@ func (b *builder) build(idx []int, depth int) int32 {
 
 	left := make([]int, 0, len(idx))
 	right := make([]int, 0, len(idx))
+	col := b.cols[feat]
 	for _, i := range idx {
-		if b.x[i][feat] <= thr {
+		if col[b.smp[i]] <= thr {
 			left = append(left, i)
 		} else {
 			right = append(right, i)
@@ -293,11 +353,14 @@ func (b *builder) sampleFeatures(d, k int) []int {
 	return perm[:k]
 }
 
-// scanSplits sorts idx by feature f and scans all boundaries.
+// scanSplits sorts idx by feature f and scans all boundaries. The sort
+// keys come from one contiguous column and the order buffer is builder
+// scratch, so the scan allocates nothing.
 func (b *builder) scanSplits(idx []int, f int, total, pos, parentImp float64) (float64, float64, bool) {
-	order := make([]int, len(idx))
+	col, smp := b.cols[f], b.smp
+	order := b.order[:len(idx)]
 	copy(order, idx)
-	sort.Slice(order, func(a, c int) bool { return b.x[order[a]][f] < b.x[order[c]][f] })
+	sort.Slice(order, func(a, c int) bool { return col[smp[order[a]]] < col[smp[order[c]]] })
 
 	minLeaf := b.tree.cfg.MinSamplesLeaf
 	var leftW, leftPos float64
@@ -309,7 +372,7 @@ func (b *builder) scanSplits(idx []int, f int, total, pos, parentImp float64) (f
 		if b.y[s] == 1 {
 			leftPos += b.w[s]
 		}
-		v, next := b.x[s][f], b.x[order[i+1]][f]
+		v, next := col[smp[s]], col[smp[order[i+1]]]
 		if v == next {
 			continue
 		}
@@ -332,9 +395,10 @@ func (b *builder) scanSplits(idx []int, f int, total, pos, parentImp float64) (f
 // randomSplit draws a single uniform threshold between the observed min and
 // max of feature f (scikit-learn's ExtraTree-style random splitter).
 func (b *builder) randomSplit(idx []int, f int, total, pos, parentImp float64) (float64, float64, bool) {
+	col, smp := b.cols[f], b.smp
 	lo, hi := math.Inf(1), math.Inf(-1)
 	for _, i := range idx {
-		v := b.x[i][f]
+		v := col[smp[i]]
 		if v < lo {
 			lo = v
 		}
@@ -349,7 +413,7 @@ func (b *builder) randomSplit(idx []int, f int, total, pos, parentImp float64) (
 	var leftW, leftPos float64
 	var nLeft int
 	for _, i := range idx {
-		if b.x[i][f] <= thr {
+		if col[smp[i]] <= thr {
 			nLeft++
 			leftW += b.w[i]
 			if b.y[i] == 1 {
@@ -386,6 +450,27 @@ func (t *Tree) PredictProba(x []float64) float64 {
 			i = n.left
 		} else {
 			i = n.right
+		}
+	}
+}
+
+// PredictProbaFrameRow returns P(y=1) for frame row i, reading only the
+// features on the root-to-leaf path straight out of the frame — no row
+// gather. Used by the boosting stage loops.
+func (t *Tree) PredictProbaFrameRow(fr *frame.Frame, i int) float64 {
+	if !t.fitted {
+		return 0.5
+	}
+	k := int32(0)
+	for {
+		n := t.nodes[k]
+		if n.feature < 0 {
+			return n.prob
+		}
+		if fr.At(i, int(n.feature)) <= n.threshold {
+			k = n.left
+		} else {
+			k = n.right
 		}
 	}
 }

@@ -5,6 +5,8 @@ import (
 	"encoding/hex"
 	"fmt"
 	"sort"
+
+	"monitorless/internal/frame"
 )
 
 // Wire encoding for the agents→orchestrator network path: one observation
@@ -37,7 +39,9 @@ type WireObservation struct {
 
 // HashNames fingerprints a metric-name schema: the SHA-256 of the names
 // joined with NUL separators, hex-encoded. Order matters — the vector
-// layout is positional.
+// layout is positional. Kept for legacy (version ≤ 1) model bundles; new
+// fingerprints come from frame.Schema.Hash, which also covers the domain
+// and flag metadata the feature pipeline keys on.
 func HashNames(names []string) string {
 	h := sha256.New()
 	for _, n := range names {
@@ -45,6 +49,24 @@ func HashNames(names []string) string {
 		h.Write([]byte{0})
 	}
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// SchemaFromDefs maps metric definitions onto the columnar frame schema —
+// the single translation from the catalog's metric metadata to the
+// feature pipeline's column metadata. Every layer (dataset assembly,
+// feature engineering, model bundles, serving) derives its schema and its
+// fingerprint from this one mapping.
+func SchemaFromDefs(defs []MetricDef) frame.Schema {
+	out := make(frame.Schema, len(defs))
+	for i, d := range defs {
+		out[i] = frame.Col{
+			Name:   d.Name,
+			Domain: string(d.Domain),
+			Util:   d.Kind.IsUtilization(),
+			Log:    d.LogScale,
+		}
+	}
+	return out
 }
 
 // CombinedNames lists the per-instance schema (host ∥ container) names.
@@ -57,8 +79,14 @@ func (c *Catalog) CombinedNames() []string {
 	return out
 }
 
-// SchemaHash fingerprints the catalog's combined per-instance schema.
-func (c *Catalog) SchemaHash() string { return HashNames(c.CombinedNames()) }
+// FrameSchema returns the catalog's combined per-instance schema as a
+// columnar frame schema.
+func (c *Catalog) FrameSchema() frame.Schema { return SchemaFromDefs(c.CombinedDefs()) }
+
+// SchemaHash fingerprints the catalog's combined per-instance schema
+// (frame.Schema.Hash over FrameSchema, covering names, domains and the
+// utilization/log flags).
+func (c *Catalog) SchemaHash() string { return c.FrameSchema().Hash() }
 
 // ToWire converts an observation for transmission, with instances sorted
 // for deterministic encodings. serviceOf may be nil.

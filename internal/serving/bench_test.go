@@ -82,7 +82,7 @@ func BenchmarkHTTPIngest(b *testing.B) {
 // against the legacy batch-over-window path for a single instance.
 func BenchmarkIncrementalVsWindowed(b *testing.B) {
 	m, _ := sharedTestModel(b)
-	width := len(m.RawNames)
+	width := len(m.RawNames())
 	vec := make([]float64, width)
 	for j := range vec {
 		vec[j] = float64(j%13) * 0.07

@@ -128,7 +128,7 @@ func New(cfg Config) (*Service, error) {
 	s := &Service{
 		model:      cfg.Model,
 		streamer:   streamer,
-		schemaHash: pcp.HashNames(cfg.Model.RawNames),
+		schemaHash: cfg.Model.RawSchema.Hash(),
 		cfg:        cfg,
 		instances:  make(map[string]*instanceState),
 		apps:       make(map[string]*Debouncer),
@@ -159,7 +159,7 @@ func (s *Service) SchemaHash() string { return s.schemaHash }
 
 // RawNames lists the expected raw metric schema in vector order.
 func (s *Service) RawNames() []string {
-	return append([]string(nil), s.model.RawNames...)
+	return s.model.RawNames()
 }
 
 // Ingest folds one tick's observation into the per-instance streaming

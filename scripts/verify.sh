@@ -1,12 +1,17 @@
 #!/usr/bin/env bash
 # Repo verification: the tier-1 lane (build + vet + tests), the race
-# lane added with the parallel execution layer, and the HTTP serving
-# smoke lane. Everything the worker pool touches (CV folds, dataset run
-# groups, experiment sweeps) runs under the race detector; -count=1
-# defeats the test cache so data races cannot hide behind cached passes.
-# The smoke lane launches the real cmd/serve binary on a loopback port,
-# streams observations over HTTP, asserts predictions plus non-zero
-# /metrics counters, and requires a clean SIGTERM drain.
+# lane added with the parallel execution layer, the frame allocation
+# lane, and the HTTP serving smoke lane. Everything the worker pool
+# touches (CV folds, dataset run groups, experiment sweeps) runs under
+# the race detector; -count=1 defeats the test cache so data races
+# cannot hide behind cached passes. The allocation lane re-runs the
+# testing.AllocsPerRun budgets on the columnar frame ops (zero-copy
+# views must stay view-header-only; column access must stay
+# allocation-free) outside the race detector, whose instrumentation
+# would distort the counts. The smoke lane launches the real cmd/serve
+# binary on a loopback port, streams observations over HTTP, asserts
+# predictions plus non-zero /metrics counters, and requires a clean
+# SIGTERM drain.
 #
 # Usage: scripts/verify.sh [-short]
 set -euo pipefail
@@ -28,6 +33,9 @@ go test $short ./...
 
 echo "==> go test -race -count=1 ./... (race lane)"
 go test -race -count=1 $short ./...
+
+echo "==> go test -run TestFrameOpAllocations -count=1 ./internal/frame/ (allocation-regression lane)"
+go test -run TestFrameOpAllocations -count=1 -v ./internal/frame/
 
 echo "==> go run ./scripts/smoke (HTTP serving smoke lane)"
 go run ./scripts/smoke

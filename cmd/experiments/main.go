@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"monitorless/internal/experiments"
+	"monitorless/internal/ml/tree"
 	"monitorless/internal/parallel"
 )
 
@@ -32,6 +33,8 @@ func main() {
 		run       = flag.String("run", "all", "comma-separated experiment list (all, fig2, table1..table8, fig3, ablation)")
 		series    = flag.Bool("series", false, "emit full data series for the figures")
 		workers   = flag.Int("parallel", 0, "worker pool size for the parallel sweeps (0 = GOMAXPROCS)")
+		splitter  = flag.String("splitter", "exact", "forest split search: exact (sorted scans, the parity reference) or hist (histogram-binned, fast retraining)")
+		bins      = flag.Int("bins", 256, "max quantile bins per column for -splitter hist (2..256)")
 	)
 	flag.Parse()
 	parallel.SetDefaultWorkers(*workers)
@@ -40,6 +43,12 @@ func main() {
 	if *scaleName == "full" {
 		scale = experiments.Full()
 	}
+	sp, err := tree.ParseSplitter(*splitter)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scale.Splitter = sp
+	scale.Bins = *bins
 
 	want := map[string]bool{}
 	for _, part := range strings.Split(*run, ",") {

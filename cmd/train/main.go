@@ -18,6 +18,7 @@ import (
 	"monitorless/internal/dataset"
 	"monitorless/internal/experiments"
 	"monitorless/internal/features"
+	"monitorless/internal/ml/tree"
 	"monitorless/internal/parallel"
 	"monitorless/internal/pcp"
 )
@@ -34,6 +35,8 @@ func main() {
 		table4    = flag.Bool("table4", true, "print the Table 4 feature importances")
 		rules     = flag.Bool("rules", false, "distill the model into operator-readable scaling rules (§5 interpretability)")
 		workers   = flag.Int("parallel", 0, "worker pool size for generation and evaluation sweeps (0 = GOMAXPROCS)")
+		splitter  = flag.String("splitter", "exact", "forest split search: exact (sorted scans, the parity reference) or hist (histogram-binned, fast retraining)")
+		bins      = flag.Int("bins", 256, "max quantile bins per column for -splitter hist (2..256)")
 	)
 	flag.Parse()
 	parallel.SetDefaultWorkers(*workers)
@@ -42,6 +45,12 @@ func main() {
 	if *scaleName == "full" {
 		scale = experiments.Full()
 	}
+	sp, perr := tree.ParseSplitter(*splitter)
+	if perr != nil {
+		log.Fatal(perr)
+	}
+	scale.Splitter = sp
+	scale.Bins = *bins
 
 	var (
 		ctx *experiments.Context

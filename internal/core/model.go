@@ -125,8 +125,10 @@ func (m *Model) PredictWindow(window [][]float64) (prob float64, saturated bool,
 }
 
 // PredictFrame classifies every row of a raw frame (batch evaluation) and
-// returns per-run prediction series aligned with the frame's spans. The
-// engineered frame is scanned row by row through one reused gather buffer.
+// returns per-run prediction series aligned with the frame's spans. All
+// rows are scored in one pass through the forest's flattened batch path
+// (each tree's node slab walks every row before the next tree), which is
+// bit-identical to the former per-row gather loop.
 func (m *Model) PredictFrame(fr *frame.Frame) (map[int][]int, map[int][]float64, error) {
 	engineered, err := m.Pipeline.TransformFrame(fr)
 	if err != nil {
@@ -136,18 +138,16 @@ func (m *Model) PredictFrame(fr *frame.Frame) (map[int][]int, map[int][]float64,
 	if len(spans) == 0 {
 		spans = []frame.Span{{ID: 0, Start: 0, End: engineered.Rows()}}
 	}
+	all := m.Forest.PredictProbaFrameRows(engineered, nil)
 	preds := make(map[int][]int, len(spans))
 	probs := make(map[int][]float64, len(spans))
-	buf := make([]float64, engineered.NumCols())
 	for _, sp := range spans {
 		ps := make([]int, sp.End-sp.Start)
 		qs := make([]float64, sp.End-sp.Start)
-		for i := sp.Start; i < sp.End; i++ {
-			buf = engineered.Row(i, buf)
-			q := m.Forest.PredictProba(buf)
-			qs[i-sp.Start] = q
+		copy(qs, all[sp.Start:sp.End])
+		for k, q := range qs {
 			if q >= m.Threshold {
-				ps[i-sp.Start] = 1
+				ps[k] = 1
 			}
 		}
 		preds[sp.ID] = ps

@@ -38,6 +38,12 @@ type Scale struct {
 	GridLite bool
 	// AutoscaleDuration sizes Table 7.
 	AutoscaleDuration int
+	// Splitter selects the forest's split search: tree.Best (the exact
+	// parity reference, the zero value) or tree.Hist (histogram-binned
+	// training, the fast retraining path).
+	Splitter tree.Splitter
+	// Bins caps per-column bins for the Hist splitter; 0 = 256.
+	Bins int
 	// Seed drives all randomness.
 	Seed int64
 }
@@ -98,6 +104,8 @@ func (s Scale) TrainConfig() core.TrainConfig {
 			NumTrees:       s.Trees,
 			MinSamplesLeaf: s.MinSamplesLeaf,
 			Criterion:      tree.Entropy,
+			Splitter:       s.Splitter,
+			Bins:           s.Bins,
 			Seed:           s.Seed,
 		},
 		Threshold: 0.4,

@@ -135,12 +135,18 @@ func Algorithms(s Scale) []AlgorithmSpec {
 				split := tree.Best
 				if cv.Str(p, "DT_splitter", "best") == "random" {
 					split = tree.Random
+				} else if s.Splitter == tree.Hist {
+					// The scale-level hist request replaces the exact
+					// "best" scans; "random" stays random (it is its own
+					// grid axis, not a split-search strategy variant).
+					split = tree.Hist
 				}
 				return boost.NewAdaBoost(boost.AdaBoostConfig{
 					NumEstimators:       cv.Int(p, "n_estimators", 50),
 					Variant:             variant,
 					TreeCriterion:       crit,
 					TreeSplitter:        split,
+					TreeBins:            s.Bins,
 					TreeMinSamplesSplit: cv.Int(p, "DT_min_samples_split", 5),
 					TreeMaxDepth:        3,
 					Seed:                seed,
@@ -183,6 +189,8 @@ func Algorithms(s Scale) []AlgorithmSpec {
 					// breaks transfer to unseen services.
 					Subsample:       0.7,
 					ColsampleByTree: 0.4,
+					Hist:            s.Splitter == tree.Hist,
+					Bins:            s.Bins,
 					Seed:            seed,
 				}), nil
 			},
@@ -211,6 +219,8 @@ func Algorithms(s Scale) []AlgorithmSpec {
 					MinSamplesSplit: cv.Int(p, "min_samples_split", 5),
 					Criterion:       crit,
 					ClassWeight:     cv.Str(p, "class_weight", ""),
+					Splitter:        s.Splitter,
+					Bins:            s.Bins,
 					Seed:            seed,
 				}), nil
 			},

@@ -12,6 +12,7 @@ import (
 	"monitorless/internal/frame"
 	"monitorless/internal/ml"
 	"monitorless/internal/ml/tree"
+	"monitorless/internal/parallel"
 )
 
 // AdaVariant selects the boosting flavor.
@@ -34,10 +35,14 @@ type AdaBoostConfig struct {
 	// LearningRate shrinks each stage (default 1).
 	LearningRate float64
 	// TreeCriterion, TreeSplitter, TreeMinSamplesSplit configure the base
-	// trees (paper: gini, best, 5).
+	// trees (paper: gini, best, 5). With TreeSplitter == tree.Hist the
+	// training rows are quantized once and every stage refits on the
+	// shared binned columns.
 	TreeCriterion       tree.Criterion
 	TreeSplitter        tree.Splitter
 	TreeMinSamplesSplit int
+	// TreeBins caps per-column bins for the Hist splitter; 0 = 256.
+	TreeBins int
 	// TreeMaxDepth bounds base trees (default 3, scikit-learn uses stumps
 	// of depth 1 but the paper pairs AdaBoost with decision trees).
 	TreeMaxDepth int
@@ -113,13 +118,32 @@ func (a *AdaBoost) fitFrame(fr *frame.Frame, y []int, rows []int) error {
 	a.stages = a.stages[:0]
 	a.alphas = a.alphas[:0]
 
-	// predict1 classifies sample i with the stage tree, walking the frame
-	// row directly.
-	predict1 := func(t *tree.Tree, i int) int {
-		if t.PredictProbaFrameRow(fr, rows[i]) >= 0.5 {
-			return 1
-		}
-		return 0
+	// Histogram base trees: quantize the training rows once; every stage
+	// refits over the shared read-only code slab with fresh weights.
+	var bn *frame.Binned
+	if a.cfg.TreeSplitter == tree.Hist {
+		bn = frame.BinFrame(fr, a.cfg.TreeBins, rows)
+	}
+
+	// Each stage's prediction pass over the n samples is embarrassingly
+	// parallel: fixed-size chunks write disjoint ranges of probs by
+	// index, so the buffer's contents — and the strictly serial weight
+	// update that consumes it — are identical at any pool width.
+	probs := make([]float64, n)
+	const predChunk = 512
+	nChunks := (n + predChunk - 1) / predChunk
+	predictStage := func(t *tree.Tree) {
+		_ = parallel.ForEach(nChunks, func(c int) error {
+			lo := c * predChunk
+			hi := lo + predChunk
+			if hi > n {
+				hi = n
+			}
+			for i := lo; i < hi; i++ {
+				probs[i] = t.PredictProbaFrameRow(fr, rows[i])
+			}
+			return nil
+		})
 	}
 
 boosting:
@@ -129,11 +153,19 @@ boosting:
 			MinSamplesSplit: a.cfg.TreeMinSamplesSplit,
 			Criterion:       a.cfg.TreeCriterion,
 			Splitter:        a.cfg.TreeSplitter,
+			Bins:            a.cfg.TreeBins,
 			Seed:            a.cfg.Seed + int64(stage)*6151,
 		})
-		if err := t.FitFrameSamples(fr, rows, ty, w); err != nil {
+		var err error
+		if bn != nil {
+			err = t.FitBinnedSamples(bn, rows, ty, w)
+		} else {
+			err = t.FitFrameSamples(fr, rows, ty, w)
+		}
+		if err != nil {
 			return fmt.Errorf("boost: stage %d: %w", stage, err)
 		}
+		predictStage(t)
 
 		switch a.cfg.Variant {
 		case SAMMER:
@@ -143,7 +175,7 @@ boosting:
 			a.alphas = append(a.alphas, 1)
 			sum := 0.0
 			for i := 0; i < n; i++ {
-				p := clampProb(t.PredictProbaFrameRow(fr, rows[i]))
+				p := clampProb(probs[i])
 				// h(x) = ½·log(p/(1−p)); margin update uses y ∈ {−1,+1}.
 				yi := 2*float64(ty[i]) - 1
 				h := 0.5 * math.Log(p/(1-p))
@@ -160,7 +192,7 @@ boosting:
 			// SAMME (discrete).
 			errRate := 0.0
 			for i := 0; i < n; i++ {
-				if predict1(t, i) != ty[i] {
+				if (probs[i] >= 0.5) != (ty[i] == 1) {
 					errRate += w[i]
 				}
 			}
@@ -184,7 +216,7 @@ boosting:
 			a.alphas = append(a.alphas, alpha)
 			sum := 0.0
 			for i := 0; i < n; i++ {
-				if predict1(t, i) != ty[i] {
+				if (probs[i] >= 0.5) != (ty[i] == 1) {
 					w[i] *= math.Exp(alpha)
 				}
 				sum += w[i]

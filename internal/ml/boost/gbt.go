@@ -7,6 +7,7 @@ import (
 
 	"monitorless/internal/frame"
 	"monitorless/internal/ml"
+	"monitorless/internal/parallel"
 )
 
 // GBTConfig mirrors the paper's Table 2 XGBoost grid
@@ -30,6 +31,13 @@ type GBTConfig struct {
 	// (default 1). Like in XGBoost, values below 1 decorrelate the trees
 	// and improve transfer to unseen distributions.
 	ColsampleByTree float64
+	// Hist selects histogram split finding (XGBoost's tree_method=hist):
+	// columns are quantized once per fit and every node accumulates
+	// per-bin (grad, hess) sums instead of sorting, with candidate
+	// features evaluated in parallel on large nodes.
+	Hist bool
+	// Bins caps per-column bins for the Hist path; 0 = 256.
+	Bins int
 	// Seed makes training deterministic.
 	Seed int64
 }
@@ -154,6 +162,23 @@ func (g *GBT) fitColumns(cols [][]float64, y []int) error {
 	hess := make([]float64, n)
 	rng := rand.New(rand.NewSource(g.cfg.Seed))
 
+	// Histogram path: quantize the columns once (edges over all training
+	// rows); per-round subsamples index the shared code slab.
+	var bn *frame.Binned
+	var histScratch *gbtHistScratch
+	if g.cfg.Hist {
+		bn = frame.BinColumns(cols, n, g.cfg.Bins, nil)
+		nb := bn.MaxNumBins()
+		histScratch = &gbtHistScratch{
+			gl:  make([]float64, nb),
+			hl:  make([]float64, nb),
+			cnt: make([]int, nb),
+		}
+	}
+
+	order := make([]int, n)
+	part := make([]int, 0, n)
+
 	for round := 0; round < g.cfg.NumRounds; round++ {
 		for i := 0; i < n; i++ {
 			pi := sigmoid(margin[i])
@@ -177,7 +202,10 @@ func (g *GBT) fitColumns(cols [][]float64, y []int) error {
 		}
 
 		t := gbtTree{}
-		b := &gbtBuilder{g: g, cols: cols, grad: grad, hess: hess, tree: &t}
+		b := &gbtBuilder{
+			g: g, cols: cols, grad: grad, hess: hess, tree: &t,
+			bn: bn, hist: histScratch, order: order, part: part,
+		}
 		if g.cfg.ColsampleByTree < 1 {
 			d := len(cols)
 			k := int(g.cfg.ColsampleByTree * float64(d))
@@ -197,6 +225,14 @@ func (g *GBT) fitColumns(cols [][]float64, y []int) error {
 	return nil
 }
 
+// gbtHistScratch is the serial-path histogram buffer set, reused across
+// nodes and rounds.
+type gbtHistScratch struct {
+	gl  []float64
+	hl  []float64
+	cnt []int
+}
+
 type gbtBuilder struct {
 	g    *GBT
 	cols [][]float64
@@ -205,6 +241,24 @@ type gbtBuilder struct {
 	tree *gbtTree
 	// feats restricts splits to a per-tree feature subset (nil = all).
 	feats []int
+	// bn/hist enable histogram split finding (nil = exact sorted scans).
+	bn   *frame.Binned
+	hist *gbtHistScratch
+	// order/part are the per-fit arena: order backs the exact path's
+	// sorted scans, part the in-place stable partition. Both are shared
+	// across every node of every round.
+	order []int
+	part  []int
+}
+
+// gbtSplit is one candidate split: exact splits carry the threshold
+// directly, histogram splits carry the bin (threshold derived from the
+// global bin edge).
+type gbtSplit struct {
+	gain float64
+	thr  float64
+	bin  int
+	ok   bool
 }
 
 func (b *gbtBuilder) build(idx []int, depth int) int32 {
@@ -232,30 +286,63 @@ func (b *gbtBuilder) build(idx []int, depth int) int32 {
 			feats[i] = i
 		}
 	}
-	bestGain, bestFeat, bestThr := 0.0, -1, 0.0
 
-	order := make([]int, len(idx))
-	for _, f := range feats {
-		col := b.cols[f]
-		copy(order, idx)
-		sort.Slice(order, func(a, c int) bool { return col[order[a]] < col[order[c]] })
-		var gl, hl float64
-		for i := 0; i < len(order)-1; i++ {
-			s := order[i]
-			gl += b.grad[s]
-			hl += b.hess[s]
-			v, next := col[s], col[order[i+1]]
-			if v == next {
-				continue
+	bestGain, bestFeat, bestThr, bestBin := 0.0, -1, 0.0, -1
+	if b.bn != nil {
+		// Histogram search. On large nodes the independent per-feature
+		// accumulations fan out across the pool (each worker fills its
+		// own buffers); the argmax reduction is always serial in feats
+		// order, so the chosen split is pool-width independent.
+		const parThreshold = 16384
+		var splits []gbtSplit
+		if len(idx)*len(feats) >= parThreshold && len(feats) > 1 {
+			splits, _ = parallel.Map(len(feats), func(k int) (gbtSplit, error) {
+				nb := b.bn.MaxNumBins()
+				s := &gbtHistScratch{
+					gl:  make([]float64, nb),
+					hl:  make([]float64, nb),
+					cnt: make([]int, nb),
+				}
+				return b.evalFeatHist(feats[k], idx, gSum, hSum, parentScore, s), nil
+			})
+		} else {
+			splits = make([]gbtSplit, len(feats))
+			for k, f := range feats {
+				splits[k] = b.evalFeatHist(f, idx, gSum, hSum, parentScore, b.hist)
 			}
-			gr, hr := gSum-gl, hSum-hl
-			if hl < cfg.MinChildWeight || hr < cfg.MinChildWeight {
-				continue
+		}
+		for k, s := range splits {
+			if s.ok && s.gain > bestGain {
+				bestGain, bestFeat, bestBin = s.gain, feats[k], s.bin
 			}
-			gain := 0.5*(gl*gl/(hl+cfg.Lambda)+gr*gr/(hr+cfg.Lambda)-parentScore) - cfg.Gamma
-			if gain > bestGain {
-				bestGain, bestFeat = gain, f
-				bestThr = v + (next-v)/2
+		}
+		if bestFeat >= 0 {
+			bestThr = b.bn.Edge(bestFeat, bestBin)
+		}
+	} else {
+		order := b.order[:len(idx)]
+		for _, f := range feats {
+			col := b.cols[f]
+			copy(order, idx)
+			sort.SliceStable(order, func(a, c int) bool { return col[order[a]] < col[order[c]] })
+			var gl, hl float64
+			for i := 0; i < len(order)-1; i++ {
+				s := order[i]
+				gl += b.grad[s]
+				hl += b.hess[s]
+				v, next := col[s], col[order[i+1]]
+				if v == next {
+					continue
+				}
+				gr, hr := gSum-gl, hSum-hl
+				if hl < cfg.MinChildWeight || hr < cfg.MinChildWeight {
+					continue
+				}
+				gain := 0.5*(gl*gl/(hl+cfg.Lambda)+gr*gr/(hr+cfg.Lambda)-parentScore) - cfg.Gamma
+				if gain > bestGain {
+					bestGain, bestFeat = gain, f
+					bestThr = v + (next-v)/2
+				}
 			}
 		}
 	}
@@ -263,16 +350,7 @@ func (b *gbtBuilder) build(idx []int, depth int) int32 {
 		return nodeIdx
 	}
 
-	left := make([]int, 0, len(idx))
-	right := make([]int, 0, len(idx))
-	bcol := b.cols[bestFeat]
-	for _, i := range idx {
-		if bcol[i] <= bestThr {
-			left = append(left, i)
-		} else {
-			right = append(right, i)
-		}
-	}
+	left, right := b.partition(idx, bestFeat, bestThr, bestBin)
 	if len(left) == 0 || len(right) == 0 {
 		return nodeIdx
 	}
@@ -283,6 +361,83 @@ func (b *gbtBuilder) build(idx []int, depth int) int32 {
 	b.tree.nodes[nodeIdx].left = l
 	b.tree.nodes[nodeIdx].right = r
 	return nodeIdx
+}
+
+// evalFeatHist accumulates feature f's per-bin (count, grad, hess) sums
+// over idx in sample order, then scans the bin boundaries for the best
+// second-order gain.
+func (b *gbtBuilder) evalFeatHist(f int, idx []int, gSum, hSum, parentScore float64, s *gbtHistScratch) gbtSplit {
+	cfg := b.g.cfg
+	nb := b.bn.NumBins(f)
+	gl, hl, cnt := s.gl[:nb], s.hl[:nb], s.cnt[:nb]
+	for i := range cnt {
+		gl[i], hl[i], cnt[i] = 0, 0, 0
+	}
+	codes := b.bn.ColCodes(f)
+	for _, i := range idx {
+		c := codes[i]
+		cnt[c]++
+		gl[c] += b.grad[i]
+		hl[c] += b.hess[i]
+	}
+	var out gbtSplit
+	var lg, lh float64
+	lc := 0
+	for bin := 0; bin < nb-1; bin++ {
+		c := cnt[bin]
+		lc += c
+		lg += gl[bin]
+		lh += hl[bin]
+		if c == 0 {
+			continue
+		}
+		if lc == len(idx) {
+			break // nothing remains on the right
+		}
+		rg, rh := gSum-lg, hSum-lh
+		if lh < cfg.MinChildWeight || rh < cfg.MinChildWeight {
+			continue
+		}
+		gain := 0.5*(lg*lg/(lh+cfg.Lambda)+rg*rg/(rh+cfg.Lambda)-parentScore) - cfg.Gamma
+		if !out.ok || gain > out.gain {
+			out = gbtSplit{gain: gain, bin: bin, ok: true}
+		}
+	}
+	return out
+}
+
+// partition splits idx in place (stable on both sides, one shared
+// scratch buffer — same scheme as the tree builder). Histogram splits
+// compare codes, exact splits compare values; the two are equivalent on
+// the chosen feature because code(v) <= bin ⟺ v <= Edge(f, bin).
+func (b *gbtBuilder) partition(idx []int, feat int, thr float64, bin int) (left, right []int) {
+	scratch := b.part[:0]
+	k := 0
+	if b.bn != nil {
+		codes := b.bn.ColCodes(feat)
+		bc := uint8(bin)
+		for _, i := range idx {
+			if codes[i] <= bc {
+				idx[k] = i
+				k++
+			} else {
+				scratch = append(scratch, i)
+			}
+		}
+	} else {
+		col := b.cols[feat]
+		for _, i := range idx {
+			if col[i] <= thr {
+				idx[k] = i
+				k++
+			} else {
+				scratch = append(scratch, i)
+			}
+		}
+	}
+	b.part = scratch
+	copy(idx[k:], scratch)
+	return idx[:k], idx[k:]
 }
 
 func (t *gbtTree) predict(x []float64) float64 {

@@ -150,12 +150,12 @@ func CrossValidateFrame(factory Factory, params map[string]any, fr *frame.Frame,
 		if err := ml.FitFrame(clf, fr, y, trainRows); err != nil {
 			return score.Confusion{}, fmt.Errorf("cv: fit: %w", err)
 		}
-		pred := make([]int, len(holdout))
+		// Batch holdout scoring: classifiers with a frame-native batch
+		// path (the flattened forest) score all held-out rows in one
+		// pass, bit-identical to the per-row gather fallback.
+		pred := ml.PredictFrameRows(clf, fr, holdout)
 		truth := make([]int, len(holdout))
-		buf := make([]float64, fr.NumCols())
 		for j, i := range holdout {
-			buf = fr.Row(i, buf)
-			pred[j] = clf.Predict(buf)
 			truth[j] = y[i]
 		}
 		return score.Count(pred, truth)

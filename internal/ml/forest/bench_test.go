@@ -3,6 +3,9 @@ package forest
 import (
 	"math/rand"
 	"testing"
+
+	"monitorless/internal/ml"
+	"monitorless/internal/ml/tree"
 )
 
 func benchData(n, d int) ([][]float64, []int) {
@@ -22,16 +25,19 @@ func benchData(n, d int) ([][]float64, []int) {
 	return x, y
 }
 
-func BenchmarkForestFit(b *testing.B) {
+func benchFit(b *testing.B, sp tree.Splitter) {
 	x, y := benchData(2000, 50)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		f := New(Config{NumTrees: 30, MinSamplesLeaf: 10, Seed: int64(i)})
+		f := New(Config{NumTrees: 30, MinSamplesLeaf: 10, Splitter: sp, Seed: int64(i)})
 		if err := f.Fit(x, y); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
+
+func BenchmarkForestFit(b *testing.B)     { benchFit(b, tree.Best) }
+func BenchmarkForestFitHist(b *testing.B) { benchFit(b, tree.Hist) }
 
 func BenchmarkForestPredict(b *testing.B) {
 	x, y := benchData(2000, 50)
@@ -43,4 +49,20 @@ func BenchmarkForestPredict(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		f.PredictProba(x[i%len(x)])
 	}
+}
+
+// BenchmarkForestPredictBatch measures the SoA batch path over a whole
+// frame; ns/row is the number to compare against BenchmarkForestPredict.
+func BenchmarkForestPredictBatch(b *testing.B) {
+	x, y := benchData(2000, 50)
+	f := New(Config{NumTrees: 30, MinSamplesLeaf: 10, Seed: 1})
+	if err := f.Fit(x, y); err != nil {
+		b.Fatal(err)
+	}
+	fr := ml.FrameOf(x)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.PredictProbaFrameRows(fr, nil)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(fr.Rows()), "ns/row")
 }

@@ -6,14 +6,14 @@
 package forest
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"monitorless/internal/frame"
 	"monitorless/internal/ml"
 	"monitorless/internal/ml/tree"
+	"monitorless/internal/parallel"
 )
 
 // Config holds the forest hyper-parameters, mirroring the axes of the
@@ -37,10 +37,19 @@ type Config struct {
 	// Threshold is the P(saturated) cut-off for Predict (paper: 0.4).
 	// Zero selects 0.5.
 	Threshold float64
+	// Splitter selects the per-tree split search: tree.Best (the exact
+	// sorted-scan parity reference, the zero value) or tree.Hist (the
+	// histogram path — the training frame is quantized once and shared
+	// read-only by every tree). Absent in old gob bundles, which
+	// therefore decode to Best.
+	Splitter tree.Splitter
+	// Bins caps per-column bins for the Hist splitter; 0 = 256.
+	Bins int
 	// Seed makes training deterministic.
 	Seed int64
 	// Parallelism bounds the number of concurrently fitted trees;
-	// 0 = GOMAXPROCS.
+	// 0 = the parallel pool's default width (GOMAXPROCS or the
+	// -parallel flag override).
 	Parallelism int
 }
 
@@ -56,6 +65,8 @@ type Forest struct {
 var _ ml.Classifier = (*Forest)(nil)
 var _ ml.FeatureImporter = (*Forest)(nil)
 var _ ml.FrameFitter = (*Forest)(nil)
+var _ ml.FrameProber = (*Forest)(nil)
+var _ ml.FramePredictor = (*Forest)(nil)
 
 // New returns an unfitted forest.
 func New(cfg Config) *Forest {
@@ -117,76 +128,72 @@ func (f *Forest) fitFrame(fr *frame.Frame, y []int, rows []int) error {
 	f.nFeatures = fr.NumCols()
 	f.trees = make([]*tree.Tree, f.cfg.NumTrees)
 
-	par := f.cfg.Parallelism
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
-	}
-	if par > f.cfg.NumTrees {
-		par = f.cfg.NumTrees
+	// Histogram path: quantize the frame exactly once (edges from the
+	// training rows, codes for all rows) and share the read-only code
+	// slab across every bootstrap resample.
+	var bn *frame.Binned
+	if f.cfg.Splitter == tree.Hist {
+		bn = frame.BinFrame(fr, f.cfg.Bins, rows)
 	}
 
-	var (
-		wg       sync.WaitGroup
-		firstErr error
-		errOnce  sync.Once
-		sem      = make(chan struct{}, par)
-	)
-	for ti := 0; ti < f.cfg.NumTrees; ti++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(ti int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-
-			rng := rand.New(rand.NewSource(f.cfg.Seed + int64(ti)*7919))
-			// Bootstrap sample with replacement: smp maps bootstrap
-			// sample -> frame row.
-			smp := make([]int, n)
-			by := make([]int, n)
-			bw := make([]float64, n)
-			var n1 int
-			for i := 0; i < n; i++ {
-				j := rng.Intn(n)
-				smp[i] = rows[j]
-				by[i] = ty[j]
-				bw[i] = baseW[j]
-				n1 += by[i]
-			}
-			if f.cfg.ClassWeight == "subsample" {
-				// Re-balance inside the bootstrap sample
-				// (scikit-learn's class_weight="balanced_subsample").
-				n0 := n - n1
-				if n0 > 0 && n1 > 0 {
-					w0 := float64(n) / (2 * float64(n0))
-					w1 := float64(n) / (2 * float64(n1))
-					for i := range bw {
-						if by[i] == 1 {
-							bw[i] = w1
-						} else {
-							bw[i] = w0
-						}
+	// Each tree's bootstrap RNG and tree seed are pure functions of the
+	// tree index, and the deterministic pool writes results by index, so
+	// the fitted forest is byte-identical at any Parallelism/GOMAXPROCS.
+	err = parallel.Do(context.Background(), f.cfg.Parallelism, f.cfg.NumTrees, func(ti int) error {
+		rng := rand.New(rand.NewSource(f.cfg.Seed + int64(ti)*7919))
+		// Bootstrap sample with replacement: smp maps bootstrap
+		// sample -> frame row.
+		smp := make([]int, n)
+		by := make([]int, n)
+		bw := make([]float64, n)
+		var n1 int
+		for i := 0; i < n; i++ {
+			j := rng.Intn(n)
+			smp[i] = rows[j]
+			by[i] = ty[j]
+			bw[i] = baseW[j]
+			n1 += by[i]
+		}
+		if f.cfg.ClassWeight == "subsample" {
+			// Re-balance inside the bootstrap sample
+			// (scikit-learn's class_weight="balanced_subsample").
+			n0 := n - n1
+			if n0 > 0 && n1 > 0 {
+				w0 := float64(n) / (2 * float64(n0))
+				w1 := float64(n) / (2 * float64(n1))
+				for i := range bw {
+					if by[i] == 1 {
+						bw[i] = w1
+					} else {
+						bw[i] = w0
 					}
 				}
 			}
+		}
 
-			t := tree.New(tree.Config{
-				MaxDepth:        f.cfg.MaxDepth,
-				MinSamplesSplit: f.cfg.MinSamplesSplit,
-				MinSamplesLeaf:  f.cfg.MinSamplesLeaf,
-				Criterion:       f.cfg.Criterion,
-				MaxFeatures:     f.cfg.MaxFeatures,
-				Seed:            f.cfg.Seed + int64(ti)*104729,
-			})
-			if err := t.FitFrameSamples(fr, smp, by, bw); err != nil {
-				errOnce.Do(func() { firstErr = fmt.Errorf("forest: tree %d: %w", ti, err) })
-				return
-			}
-			f.trees[ti] = t
-		}(ti)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return firstErr
+		t := tree.New(tree.Config{
+			MaxDepth:        f.cfg.MaxDepth,
+			MinSamplesSplit: f.cfg.MinSamplesSplit,
+			MinSamplesLeaf:  f.cfg.MinSamplesLeaf,
+			Criterion:       f.cfg.Criterion,
+			MaxFeatures:     f.cfg.MaxFeatures,
+			Bins:            f.cfg.Bins,
+			Seed:            f.cfg.Seed + int64(ti)*104729,
+		})
+		var ferr error
+		if bn != nil {
+			ferr = t.FitBinnedSamples(bn, smp, by, bw)
+		} else {
+			ferr = t.FitFrameSamples(fr, smp, by, bw)
+		}
+		if ferr != nil {
+			return fmt.Errorf("forest: tree %d: %w", ti, ferr)
+		}
+		f.trees[ti] = t
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 
 	// Average tree importances.
@@ -227,6 +234,47 @@ func (f *Forest) Predict(x []float64) int {
 		return 1
 	}
 	return 0
+}
+
+// PredictProbaFrameRows returns the mean leaf probability for every
+// listed frame row (rows nil = all rows) in one batch: each flattened
+// tree is walked over all rows before the next tree, so the slab of one
+// tree stays hot in cache instead of re-paging the whole ensemble per
+// row. The per-row additions happen in the same tree order as
+// PredictProba's loop, so the result is bit-identical to calling
+// PredictProba row by row.
+func (f *Forest) PredictProbaFrameRows(fr *frame.Frame, rows []int) []float64 {
+	n := fr.Rows()
+	if rows != nil {
+		n = len(rows)
+	}
+	out := make([]float64, n)
+	if !f.fitted {
+		for i := range out {
+			out[i] = 0.5
+		}
+		return out
+	}
+	for _, t := range f.trees {
+		t.AccumProbaFrameRows(fr, rows, out)
+	}
+	nt := float64(len(f.trees))
+	for i := range out {
+		out[i] /= nt
+	}
+	return out
+}
+
+// PredictFrameRows applies the decision threshold to a batch of rows.
+func (f *Forest) PredictFrameRows(fr *frame.Frame, rows []int) []int {
+	probs := f.PredictProbaFrameRows(fr, rows)
+	out := make([]int, len(probs))
+	for i, p := range probs {
+		if p >= f.cfg.Threshold {
+			out[i] = 1
+		}
+	}
+	return out
 }
 
 // SetThreshold adjusts the decision threshold after training (the paper's

@@ -51,6 +51,23 @@ type WeightedFitter interface {
 	FitWeighted(x [][]float64, y []int, w []float64) error
 }
 
+// FrameProber is implemented by classifiers with a batch frame-native
+// probability path (the flattened forest): all listed rows are scored in
+// one pass without per-row feature gathering, bit-identical to calling
+// PredictProba row by row.
+type FrameProber interface {
+	// PredictProbaFrameRows returns P(class 1) for every listed frame
+	// row (rows nil = all rows), in rows order.
+	PredictProbaFrameRows(fr *frame.Frame, rows []int) []float64
+}
+
+// FramePredictor is the class-label counterpart of FrameProber.
+type FramePredictor interface {
+	// PredictFrameRows returns the predicted class of every listed frame
+	// row (rows nil = all rows), in rows order.
+	PredictFrameRows(fr *frame.Frame, rows []int) []int
+}
+
 // FeatureImporter is implemented by models that expose per-feature
 // importances (the random forest filter step and Table 4 rely on it).
 type FeatureImporter interface {
@@ -181,24 +198,61 @@ func FitFrame(c Classifier, fr *frame.Frame, y []int, rows []int) error {
 	return c.Fit(sub.MaterializeRows(), ty)
 }
 
-// PredictFrameAll classifies every frame row, reusing one gather buffer.
+// PredictFrameAll classifies every frame row, via the batch frame path
+// when the classifier has one and a per-row gather loop otherwise.
 func PredictFrameAll(c Classifier, fr *frame.Frame) []int {
-	out := make([]int, fr.Rows())
+	return PredictFrameRows(c, fr, nil)
+}
+
+// PredictFrameRows classifies the listed frame rows (nil = all rows),
+// dispatching to the classifier's batch FramePredictor path when
+// available and falling back to one reused gather buffer otherwise.
+func PredictFrameRows(c Classifier, fr *frame.Frame, rows []int) []int {
+	if fp, ok := c.(FramePredictor); ok {
+		return fp.PredictFrameRows(fr, rows)
+	}
+	n := fr.Rows()
+	if rows != nil {
+		n = len(rows)
+	}
+	out := make([]int, n)
 	buf := make([]float64, fr.NumCols())
-	for i := range out {
+	for p := range out {
+		i := p
+		if rows != nil {
+			i = rows[p]
+		}
 		buf = fr.Row(i, buf)
-		out[i] = c.Predict(buf)
+		out[p] = c.Predict(buf)
 	}
 	return out
 }
 
 // PredictProbaFrameAll returns P(class 1) for every frame row.
 func PredictProbaFrameAll(c Classifier, fr *frame.Frame) []float64 {
-	out := make([]float64, fr.Rows())
+	return PredictProbaFrameRows(c, fr, nil)
+}
+
+// PredictProbaFrameRows returns P(class 1) for the listed frame rows
+// (nil = all rows), dispatching to the batch FrameProber path when
+// available.
+func PredictProbaFrameRows(c Classifier, fr *frame.Frame, rows []int) []float64 {
+	if fp, ok := c.(FrameProber); ok {
+		return fp.PredictProbaFrameRows(fr, rows)
+	}
+	n := fr.Rows()
+	if rows != nil {
+		n = len(rows)
+	}
+	out := make([]float64, n)
 	buf := make([]float64, fr.NumCols())
-	for i := range out {
+	for p := range out {
+		i := p
+		if rows != nil {
+			i = rows[p]
+		}
 		buf = fr.Row(i, buf)
-		out[i] = c.PredictProba(buf)
+		out[p] = c.PredictProba(buf)
 	}
 	return out
 }

@@ -1,0 +1,37 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchTreeData(n, d int) ([][]float64, []int) {
+	r := rand.New(rand.NewSource(3))
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = r.NormFloat64()
+		}
+		x[i] = row
+		if row[0]+0.3*row[1] > 0.2 {
+			y[i] = 1
+		}
+	}
+	return x, y
+}
+
+func benchTreeFit(b *testing.B, sp Splitter) {
+	x, y := benchTreeData(2000, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := New(Config{MinSamplesLeaf: 10, Splitter: sp})
+		if err := t.Fit(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTreeFitExact(b *testing.B) { benchTreeFit(b, Best) }
+func BenchmarkTreeFitHist(b *testing.B)  { benchTreeFit(b, Hist) }

@@ -7,7 +7,9 @@ import (
 )
 
 // treeWire mirrors Tree for gob encoding (the working fields are
-// unexported to keep the public API small).
+// unexported to keep the public API small). The wire format was already
+// struct-of-arrays before the in-memory layout was, so bundles written
+// by earlier versions decode unchanged.
 type treeWire struct {
 	Cfg         Config
 	Features    []int32
@@ -24,16 +26,14 @@ type treeWire struct {
 func (t *Tree) GobEncode() ([]byte, error) {
 	w := treeWire{
 		Cfg:         t.cfg,
+		Features:    t.feature,
+		Left:        t.left,
+		Right:       t.right,
+		Thresholds:  t.threshold,
+		Probs:       t.prob,
 		NFeatures:   t.nFeatures,
 		Importances: t.importances,
 		Fitted:      t.fitted,
-	}
-	for _, n := range t.nodes {
-		w.Features = append(w.Features, n.feature)
-		w.Left = append(w.Left, n.left)
-		w.Right = append(w.Right, n.right)
-		w.Thresholds = append(w.Thresholds, n.threshold)
-		w.Probs = append(w.Probs, n.prob)
 	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
@@ -49,18 +49,14 @@ func (t *Tree) GobDecode(data []byte) error {
 		return fmt.Errorf("tree: gob decode: %w", err)
 	}
 	t.cfg = w.Cfg
+	t.feature = w.Features
+	t.left = w.Left
+	t.right = w.Right
+	t.threshold = w.Thresholds
+	t.prob = w.Probs
 	t.nFeatures = w.NFeatures
 	t.importances = w.Importances
 	t.fitted = w.Fitted
-	t.nodes = t.nodes[:0]
-	for i := range w.Features {
-		t.nodes = append(t.nodes, node{
-			feature:   w.Features[i],
-			left:      w.Left[i],
-			right:     w.Right[i],
-			threshold: w.Thresholds[i],
-			prob:      w.Probs[i],
-		})
-	}
+	t.compact()
 	return nil
 }

@@ -35,7 +35,7 @@ func (r Rule) String() string {
 // depth-restricted trees distilled from the forest yield operator-readable
 // scaling rules.
 func (t *Tree) Rules(names []string) []Rule {
-	if len(t.nodes) == 0 {
+	if len(t.feature) == 0 {
 		return nil
 	}
 	name := func(f int32) string {
@@ -47,12 +47,12 @@ func (t *Tree) Rules(names []string) []Rule {
 	var out []Rule
 	var walk func(i int32, conds []string)
 	walk = func(i int32, conds []string) {
-		n := t.nodes[i]
-		if n.feature < 0 {
+		f := t.feature[i]
+		if f < 0 {
 			out = append(out, Rule{
 				Conditions: append([]string(nil), conds...),
-				Prob:       n.prob,
-				Saturated:  n.prob >= 0.5,
+				Prob:       t.prob[i],
+				Saturated:  t.prob[i] >= 0.5,
 			})
 			return
 		}
@@ -60,12 +60,12 @@ func (t *Tree) Rules(names []string) []Rule {
 		// clobber) the backing array between the two recursions.
 		left := make([]string, len(conds)+1)
 		copy(left, conds)
-		left[len(conds)] = fmt.Sprintf("%s <= %.4g", name(n.feature), n.threshold)
-		walk(n.left, left)
+		left[len(conds)] = fmt.Sprintf("%s <= %.4g", name(f), t.threshold[i])
+		walk(t.left[i], left)
 		right := make([]string, len(conds)+1)
 		copy(right, conds)
-		right[len(conds)] = fmt.Sprintf("%s > %.4g", name(n.feature), n.threshold)
-		walk(n.right, right)
+		right[len(conds)] = fmt.Sprintf("%s > %.4g", name(f), t.threshold[i])
+		walk(t.right[i], right)
 	}
 	walk(0, nil)
 	return out

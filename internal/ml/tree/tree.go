@@ -1,8 +1,10 @@
 // Package tree implements CART decision trees (Breiman et al. 1984) for
 // binary classification with sample weights, gini/entropy criteria and the
-// best/random splitter options from the paper's Table 2 grid. The tree is
-// the base learner for the random forest, AdaBoost and (via a regression
-// variant in package boost) gradient boosting.
+// best/random splitter options from the paper's Table 2 grid, plus a
+// histogram splitter that trains on pre-quantized columns without any
+// per-node sorting. The tree is the base learner for the random forest,
+// AdaBoost and (via a regression variant in package boost) gradient
+// boosting.
 package tree
 
 import (
@@ -10,6 +12,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strings"
 
 	"monitorless/internal/frame"
 	"monitorless/internal/ml"
@@ -37,6 +40,36 @@ func (c Criterion) String() string {
 	}
 }
 
+// impurity computes the criterion value for a (weight, positive-weight)
+// pair. The ratio is clamped to [0, 1]: exact-path sums can never leave
+// that range (the clamp never fires there), but histogram-subtraction
+// weights carry float cancellation noise that could otherwise push p
+// epsilon-outside it and NaN the entropy.
+func impurity(c Criterion, total, pos float64) float64 {
+	if total <= 0 {
+		return 0
+	}
+	p := pos / total
+	if p < 0 {
+		p = 0
+	} else if p > 1 {
+		p = 1
+	}
+	switch c {
+	case Entropy:
+		h := 0.0
+		if p > 0 {
+			h -= p * math.Log2(p)
+		}
+		if p < 1 {
+			h -= (1 - p) * math.Log2(1-p)
+		}
+		return h
+	default:
+		return 2 * p * (1 - p)
+	}
+}
+
 // Splitter selects how candidate thresholds are generated.
 type Splitter int
 
@@ -46,7 +79,41 @@ const (
 	// Random draws one uniform threshold per candidate feature
 	// (scikit-learn's splitter="random", an axis in Table 2's AdaBoost grid).
 	Random
+	// Hist quantizes every column once into ≤256 bins and scans bin
+	// boundaries of per-node (count, weight, positive-weight) histograms —
+	// no per-node sorting, LightGBM-style. Approximate: thresholds land on
+	// global quantile bin edges instead of per-node value midpoints.
+	Hist
 )
+
+// String implements fmt.Stringer.
+func (s Splitter) String() string {
+	switch s {
+	case Best:
+		return "best"
+	case Random:
+		return "random"
+	case Hist:
+		return "hist"
+	default:
+		return fmt.Sprintf("Splitter(%d)", int(s))
+	}
+}
+
+// ParseSplitter converts a flag/grid string to a Splitter. "exact" is an
+// alias for "best" (the cmd flags name the paths exact vs hist).
+func ParseSplitter(s string) (Splitter, error) {
+	switch strings.ToLower(s) {
+	case "best", "exact":
+		return Best, nil
+	case "random":
+		return Random, nil
+	case "hist", "histogram":
+		return Hist, nil
+	default:
+		return Best, fmt.Errorf("tree: unknown splitter %q (want best, random or hist)", s)
+	}
+}
 
 // Config holds the tree hyper-parameters. The zero value is a fully grown
 // gini tree considering all features.
@@ -59,28 +126,30 @@ type Config struct {
 	MinSamplesLeaf int
 	// Criterion selects gini or entropy.
 	Criterion Criterion
-	// Splitter selects best or random thresholds.
+	// Splitter selects best, random or histogram thresholds.
 	Splitter Splitter
 	// MaxFeatures is the number of features examined per split;
 	// 0 means all, -1 means √d (the forest default).
 	MaxFeatures int
+	// Bins caps the per-column bin count for the Hist splitter;
+	// 0 means 256. Ignored by the exact splitters.
+	Bins int
 	// Seed seeds the feature subsampling / random splitter RNG.
 	Seed int64
 }
 
-// node is one tree node in the flattened node array.
-type node struct {
-	feature   int32 // -1 for leaves
-	left      int32
-	right     int32
-	threshold float64
-	prob      float64 // P(y=1) among weighted training samples at the node
-}
-
-// Tree is a fitted CART decision tree.
+// Tree is a fitted CART decision tree in a flattened struct-of-arrays
+// layout: node i is (feature[i], threshold[i], left[i], right[i],
+// prob[i]), with the int32 triple packed in one contiguous slab and the
+// float64 pair in another so inference walks two cache streams instead of
+// chasing 40-byte node structs. feature[i] < 0 marks a leaf.
 type Tree struct {
 	cfg         Config
-	nodes       []node
+	feature     []int32
+	left        []int32
+	right       []int32
+	threshold   []float64
+	prob        []float64 // P(y=1) among weighted training samples at the node
 	nFeatures   int
 	importances []float64
 	fitted      bool
@@ -100,6 +169,44 @@ func New(cfg Config) *Tree {
 		cfg.MinSamplesLeaf = 1
 	}
 	return &Tree{cfg: cfg}
+}
+
+// appendLeaf adds a leaf node and returns its index.
+func (t *Tree) appendLeaf(prob float64) int32 {
+	i := int32(len(t.feature))
+	t.feature = append(t.feature, -1)
+	t.left = append(t.left, 0)
+	t.right = append(t.right, 0)
+	t.threshold = append(t.threshold, 0)
+	t.prob = append(t.prob, prob)
+	return i
+}
+
+// setSplit turns leaf i into an internal node.
+func (t *Tree) setSplit(i int32, feat int, thr float64, left, right int32) {
+	t.feature[i] = int32(feat)
+	t.threshold[i] = thr
+	t.left[i] = left
+	t.right[i] = right
+}
+
+// compact repacks the grown node arrays into two contiguous slabs (one
+// for the int32 triple, one for the float64 pair), shedding append
+// over-allocation and giving inference a fixed memory layout.
+func (t *Tree) compact() {
+	n := len(t.feature)
+	ints := make([]int32, 3*n)
+	copy(ints[:n], t.feature)
+	copy(ints[n:2*n], t.left)
+	copy(ints[2*n:], t.right)
+	t.feature = ints[:n:n]
+	t.left = ints[n : 2*n : 2*n]
+	t.right = ints[2*n : 3*n : 3*n]
+	floats := make([]float64, 2*n)
+	copy(floats[:n], t.threshold)
+	copy(floats[n:], t.prob)
+	t.threshold = floats[:n:n]
+	t.prob = floats[n : 2*n : 2*n]
 }
 
 // Fit trains the tree with uniform sample weights. It is a thin adapter:
@@ -135,72 +242,43 @@ func (t *Tree) FitFrame(fr *frame.Frame, y []int, rows []int) error {
 	return t.FitFrameSamples(fr, rows, sy, nil)
 }
 
-// FitFrameSamples trains on the frame rows listed in smp — duplicates
-// allowed, which is how the forest's bootstrap resampling avoids copying
-// feature rows. y and w are per-sample (aligned with smp, len(smp)
-// entries); smp nil means every frame row once, w nil means uniform.
-// The caller is responsible for boundary validation (ValidateFrame or
-// ValidateTrainingSet); this path never re-scans for NaN/Inf.
-func (t *Tree) FitFrameSamples(fr *frame.Frame, smp []int, y []int, w []float64) error {
-	if fr == nil || fr.Rows() == 0 || fr.NumCols() == 0 {
-		return ml.ErrNoData
-	}
+// prepSamples normalizes the (smp, y, w) triple shared by the exact and
+// histogram fit paths: smp nil becomes the identity over n rows, w nil
+// becomes uniform, and the label/weight lengths are checked. It returns
+// the total weight.
+func prepSamples(n int, smp []int, y []int, w []float64) ([]int, []float64, float64, error) {
 	if smp == nil {
-		smp = make([]int, fr.Rows())
+		smp = make([]int, n)
 		for i := range smp {
 			smp[i] = i
 		}
 	}
-	n := len(smp)
-	if n == 0 {
-		return ml.ErrNoData
+	if len(smp) == 0 {
+		return nil, nil, 0, ml.ErrNoData
 	}
-	if len(y) != n {
-		return fmt.Errorf("tree: %d labels for %d samples", len(y), n)
+	if len(y) != len(smp) {
+		return nil, nil, 0, fmt.Errorf("tree: %d labels for %d samples", len(y), len(smp))
 	}
 	if w == nil {
-		w = make([]float64, n)
+		w = make([]float64, len(smp))
 		for i := range w {
 			w[i] = 1
 		}
-	} else if len(w) != n {
-		return fmt.Errorf("tree: %d weights for %d samples", len(w), n)
+	} else if len(w) != len(smp) {
+		return nil, nil, 0, fmt.Errorf("tree: %d weights for %d samples", len(w), len(smp))
 	}
-
-	d := fr.NumCols()
-	cols := make([][]float64, d)
-	for j := range cols {
-		cols[j] = fr.Col(j)
-	}
-
-	t.nFeatures = d
-	t.nodes = t.nodes[:0]
-	t.importances = make([]float64, d)
-
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
-	}
-	b := &builder{
-		tree:  t,
-		cols:  cols,
-		smp:   smp,
-		y:     y,
-		w:     w,
-		rng:   rand.New(rand.NewSource(t.cfg.Seed)),
-		order: make([]int, n),
-	}
-	b.totalWeight = 0
+	totalWeight := 0.0
 	for _, wi := range w {
-		b.totalWeight += wi
+		totalWeight += wi
 	}
-	if b.totalWeight <= 0 {
-		return fmt.Errorf("tree: total sample weight must be positive")
+	if totalWeight <= 0 {
+		return nil, nil, 0, fmt.Errorf("tree: total sample weight must be positive")
 	}
-	b.build(idx, 0)
-	t.fitted = true
+	return smp, w, totalWeight, nil
+}
 
-	// Normalize importances to sum to 1.
+// finishFit normalizes importances and compacts the node arrays.
+func (t *Tree) finishFit() {
 	sum := 0.0
 	for _, v := range t.importances {
 		sum += v
@@ -210,12 +288,76 @@ func (t *Tree) FitFrameSamples(fr *frame.Frame, smp []int, y []int, w []float64)
 			t.importances[i] /= sum
 		}
 	}
+	t.compact()
+	t.fitted = true
+}
+
+// FitFrameSamples trains on the frame rows listed in smp — duplicates
+// allowed, which is how the forest's bootstrap resampling avoids copying
+// feature rows. y and w are per-sample (aligned with smp, len(smp)
+// entries); smp nil means every frame row once, w nil means uniform.
+// The caller is responsible for boundary validation (ValidateFrame or
+// ValidateTrainingSet); this path never re-scans for NaN/Inf. With
+// Splitter == Hist the frame is quantized here (edges from the sampled
+// rows); callers fitting many trees on one frame should bin once with
+// frame.BinFrame and use FitBinnedSamples instead.
+func (t *Tree) FitFrameSamples(fr *frame.Frame, smp []int, y []int, w []float64) error {
+	if fr == nil || fr.Rows() == 0 || fr.NumCols() == 0 {
+		return ml.ErrNoData
+	}
+	if t.cfg.Splitter == Hist {
+		return t.FitBinnedSamples(frame.BinFrame(fr, t.cfg.Bins, smp), smp, y, w)
+	}
+	smp, w, totalWeight, err := prepSamples(fr.Rows(), smp, y, w)
+	if err != nil {
+		return err
+	}
+	d := fr.NumCols()
+	cols := make([][]float64, d)
+	for j := range cols {
+		cols[j] = fr.Col(j)
+	}
+
+	t.startFit(d)
+	n := len(smp)
+	b := &builder{
+		tree:        t,
+		cols:        cols,
+		smp:         smp,
+		y:           y,
+		w:           w,
+		rng:         rand.New(rand.NewSource(t.cfg.Seed)),
+		totalWeight: totalWeight,
+		order:       make([]int, n),
+		part:        make([]int, 0, n),
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	b.build(idx, 0)
+	t.finishFit()
 	return nil
 }
 
-// builder carries the shared fitting state. Split finding scans
-// contiguous columns: the value of sample i under feature f is
-// cols[f][smp[i]], one slice lookup instead of a row-pointer chase.
+// startFit resets the node arrays for a fresh fit over d features.
+func (t *Tree) startFit(d int) {
+	t.nFeatures = d
+	t.feature = t.feature[:0]
+	t.left = t.left[:0]
+	t.right = t.right[:0]
+	t.threshold = t.threshold[:0]
+	t.prob = t.prob[:0]
+	t.importances = make([]float64, d)
+	t.fitted = false
+}
+
+// builder carries the shared fitting state of the exact splitters. Split
+// finding scans contiguous columns: the value of sample i under feature f
+// is cols[f][smp[i]], one slice lookup instead of a row-pointer chase.
+// order and part are the per-builder arena — every node's sort and
+// partition run inside these two buffers, so growing the tree allocates
+// nothing beyond the node arrays themselves.
 type builder struct {
 	tree        *Tree
 	cols        [][]float64 // full backing columns, cols[f][row]
@@ -225,30 +367,18 @@ type builder struct {
 	rng         *rand.Rand
 	totalWeight float64
 	order       []int // scratch for split scans, reused across nodes
+	part        []int // scratch for in-place partition, reused across nodes
+	allFeats    []int // identity feature list, built lazily when k == d
 }
 
-// impurity computes the criterion value for a (weight, positive-weight) pair.
 func (b *builder) impurity(total, pos float64) float64 {
-	if total <= 0 {
-		return 0
-	}
-	p := pos / total
-	switch b.tree.cfg.Criterion {
-	case Entropy:
-		h := 0.0
-		if p > 0 {
-			h -= p * math.Log2(p)
-		}
-		if p < 1 {
-			h -= (1 - p) * math.Log2(1-p)
-		}
-		return h
-	default:
-		return 2 * p * (1 - p)
-	}
+	return impurity(b.tree.cfg.Criterion, total, pos)
 }
 
-// build grows the subtree over idx and returns its node index.
+// build grows the subtree over idx and returns its node index. idx is a
+// subrange of the builder's root index buffer: children are produced by a
+// stable in-place partition of the same subrange, so the whole recursion
+// shares one index allocation.
 func (b *builder) build(idx []int, depth int) int32 {
 	t := b.tree
 	var total, pos float64
@@ -263,8 +393,7 @@ func (b *builder) build(idx []int, depth int) int32 {
 		prob = pos / total
 	}
 
-	nodeIdx := int32(len(t.nodes))
-	t.nodes = append(t.nodes, node{feature: -1, prob: prob})
+	nodeIdx := t.appendLeaf(prob)
 
 	if len(idx) < t.cfg.MinSamplesSplit ||
 		(t.cfg.MaxDepth > 0 && depth >= t.cfg.MaxDepth) ||
@@ -277,16 +406,7 @@ func (b *builder) build(idx []int, depth int) int32 {
 		return nodeIdx
 	}
 
-	left := make([]int, 0, len(idx))
-	right := make([]int, 0, len(idx))
-	col := b.cols[feat]
-	for _, i := range idx {
-		if col[b.smp[i]] <= thr {
-			left = append(left, i)
-		} else {
-			right = append(right, i)
-		}
-	}
+	left, right := b.partition(idx, b.cols[feat], thr)
 	if len(left) < t.cfg.MinSamplesLeaf || len(right) < t.cfg.MinSamplesLeaf {
 		return nodeIdx
 	}
@@ -295,30 +415,36 @@ func (b *builder) build(idx []int, depth int) int32 {
 
 	leftIdx := b.build(left, depth+1)
 	rightIdx := b.build(right, depth+1)
-	t.nodes[nodeIdx].feature = int32(feat)
-	t.nodes[nodeIdx].threshold = thr
-	t.nodes[nodeIdx].left = leftIdx
-	t.nodes[nodeIdx].right = rightIdx
+	t.setSplit(nodeIdx, feat, thr, leftIdx, rightIdx)
 	return nodeIdx
+}
+
+// partition splits idx in place around "col[smp[i]] <= thr", keeping both
+// sides in their original relative order: the left samples are compacted
+// into the prefix, the right samples pass through the part scratch buffer
+// and are copied back into the suffix. The two returned slices alias
+// disjoint subranges of idx.
+func (b *builder) partition(idx []int, col []float64, thr float64) (left, right []int) {
+	scratch := b.part[:0]
+	k := 0
+	for _, i := range idx {
+		if col[b.smp[i]] <= thr {
+			idx[k] = i
+			k++
+		} else {
+			scratch = append(scratch, i)
+		}
+	}
+	b.part = scratch
+	copy(idx[k:], scratch)
+	return idx[:k], idx[k:]
 }
 
 // bestSplit searches the candidate features for the best (feature,
 // threshold) pair; returns feature -1 when no split improves impurity.
 func (b *builder) bestSplit(idx []int, total, pos float64) (int, float64, float64) {
 	t := b.tree
-	d := t.nFeatures
-	k := t.cfg.MaxFeatures
-	switch {
-	case k == 0 || k > d:
-		k = d
-	case k < 0:
-		k = int(math.Sqrt(float64(d)))
-		if k < 1 {
-			k = 1
-		}
-	}
-
-	features := b.sampleFeatures(d, k)
+	features := b.sampleFeatures()
 	parentImp := b.impurity(total, pos)
 
 	bestFeat, bestThr, bestGain := -1, 0.0, 1e-12
@@ -340,27 +466,73 @@ func (b *builder) bestSplit(idx []int, total, pos float64) (int, float64, float6
 	return bestFeat, bestThr, bestGain
 }
 
-// sampleFeatures returns k distinct feature indices out of d.
-func (b *builder) sampleFeatures(d, k int) []int {
-	if k >= d {
-		all := make([]int, d)
-		for i := range all {
-			all[i] = i
+// resolveMaxFeatures maps the MaxFeatures config (0 = all, -1 = √d) to a
+// concrete per-node candidate count.
+func resolveMaxFeatures(maxFeatures, d int) int {
+	k := maxFeatures
+	switch {
+	case k == 0 || k > d:
+		k = d
+	case k < 0:
+		k = int(math.Sqrt(float64(d)))
+		if k < 1 {
+			k = 1
 		}
-		return all
 	}
-	perm := b.rng.Perm(d)
+	return k
+}
+
+// sampleFeatures returns the node's candidate feature indices. The
+// full-feature identity list is part of the builder arena (built once);
+// subsampling consumes the rng per node, exactly as before.
+func (b *builder) sampleFeatures() []int {
+	d := b.tree.nFeatures
+	if resolveMaxFeatures(b.tree.cfg.MaxFeatures, d) >= d {
+		if b.allFeats == nil {
+			b.allFeats = identityFeats(d)
+		}
+		return b.allFeats
+	}
+	return sampleFeatures(b.rng, d, b.tree.cfg.MaxFeatures)
+}
+
+func identityFeats(d int) []int {
+	all := make([]int, d)
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
+func sampleFeatures(rng *rand.Rand, d, maxFeatures int) []int {
+	k := resolveMaxFeatures(maxFeatures, d)
+	if k >= d {
+		return identityFeats(d)
+	}
+	perm := rng.Perm(d)
 	return perm[:k]
 }
 
 // scanSplits sorts idx by feature f and scans all boundaries. The sort
 // keys come from one contiguous column and the order buffer is builder
-// scratch, so the scan allocates nothing.
+// scratch, so the scan allocates nothing. Ties are broken by sample
+// index, making the comparator a total order: the resulting permutation
+// — and therefore the scan's running sums and the fitted tree — is a
+// pure function of the training set, never of how the sort algorithm
+// happens to permute equal keys. Because the stable partition keeps
+// every node's index list ascending, this order is exactly the stable
+// sort's order, at unstable-sort (pdqsort) speed.
 func (b *builder) scanSplits(idx []int, f int, total, pos, parentImp float64) (float64, float64, bool) {
 	col, smp := b.cols[f], b.smp
 	order := b.order[:len(idx)]
 	copy(order, idx)
-	sort.Slice(order, func(a, c int) bool { return col[smp[order[a]]] < col[smp[order[c]]] })
+	sort.Slice(order, func(a, c int) bool {
+		va, vc := col[smp[order[a]]], col[smp[order[c]]]
+		if va != vc {
+			return va < vc
+		}
+		return order[a] < order[c]
+	})
 
 	minLeaf := b.tree.cfg.MinSamplesLeaf
 	var leftW, leftPos float64
@@ -442,14 +614,14 @@ func (t *Tree) PredictProba(x []float64) float64 {
 	}
 	i := int32(0)
 	for {
-		n := t.nodes[i]
-		if n.feature < 0 {
-			return n.prob
+		f := t.feature[i]
+		if f < 0 {
+			return t.prob[i]
 		}
-		if x[n.feature] <= n.threshold {
-			i = n.left
+		if x[f] <= t.threshold[i] {
+			i = t.left[i]
 		} else {
-			i = n.right
+			i = t.right[i]
 		}
 	}
 }
@@ -463,14 +635,62 @@ func (t *Tree) PredictProbaFrameRow(fr *frame.Frame, i int) float64 {
 	}
 	k := int32(0)
 	for {
-		n := t.nodes[k]
-		if n.feature < 0 {
-			return n.prob
+		f := t.feature[k]
+		if f < 0 {
+			return t.prob[k]
 		}
-		if fr.At(i, int(n.feature)) <= n.threshold {
-			k = n.left
+		if fr.At(i, int(f)) <= t.threshold[k] {
+			k = t.left[k]
 		} else {
-			k = n.right
+			k = t.right[k]
+		}
+	}
+}
+
+// AccumProbaFrameRows walks every listed frame row (rows nil = all rows)
+// and adds its leaf probability into acc[p] for row rows[p]. The adds
+// land in row order, so an ensemble summing trees in a fixed order
+// performs bit-identical arithmetic to a per-row loop over the same
+// trees — this is the batch inference kernel behind PredictFrame.
+func (t *Tree) AccumProbaFrameRows(fr *frame.Frame, rows []int, acc []float64) {
+	if !t.fitted {
+		for p := range acc {
+			acc[p] += 0.5
+		}
+		return
+	}
+	feature, left, right, threshold, prob := t.feature, t.left, t.right, t.threshold, t.prob
+	if rows == nil {
+		for i := 0; i < fr.Rows(); i++ {
+			k := int32(0)
+			for {
+				f := feature[k]
+				if f < 0 {
+					acc[i] += prob[k]
+					break
+				}
+				if fr.At(i, int(f)) <= threshold[k] {
+					k = left[k]
+				} else {
+					k = right[k]
+				}
+			}
+		}
+		return
+	}
+	for p, i := range rows {
+		k := int32(0)
+		for {
+			f := feature[k]
+			if f < 0 {
+				acc[p] += prob[k]
+				break
+			}
+			if fr.At(i, int(f)) <= threshold[k] {
+				k = left[k]
+			} else {
+				k = right[k]
+			}
 		}
 	}
 }
@@ -491,20 +711,19 @@ func (t *Tree) FeatureImportances() []float64 {
 }
 
 // NumNodes reports the size of the fitted tree.
-func (t *Tree) NumNodes() int { return len(t.nodes) }
+func (t *Tree) NumNodes() int { return len(t.feature) }
 
 // Depth returns the depth of the fitted tree (root = 0 for a stump leaf).
 func (t *Tree) Depth() int {
-	if len(t.nodes) == 0 {
+	if len(t.feature) == 0 {
 		return 0
 	}
 	var walk func(i int32) int
 	walk = func(i int32) int {
-		n := t.nodes[i]
-		if n.feature < 0 {
+		if t.feature[i] < 0 {
 			return 0
 		}
-		l, r := walk(n.left), walk(n.right)
+		l, r := walk(t.left[i]), walk(t.right[i])
 		if l > r {
 			return l + 1
 		}

@@ -1,23 +1,26 @@
 package serving
 
 import (
+	"bytes"
 	"fmt"
 	"net/http/httptest"
 	"strings"
 	"testing"
 
+	"monitorless/internal/core"
+	"monitorless/internal/dataset"
 	"monitorless/internal/features"
+	"monitorless/internal/ml/forest"
+	"monitorless/internal/ml/tree"
 	"monitorless/internal/pcp"
 )
 
-// TestHTTPStreamingMatchesBatchPredictions is the online/offline
-// equivalence proof: raw metric rows streamed tick-by-tick through the
-// HTTP API must yield bit-identical probabilities to the offline batch
-// table path over the same rows. JSON transport preserves float64
-// exactly (Go emits the shortest round-tripping representation), so any
-// mismatch is a real divergence in the incremental feature math.
-func TestHTTPStreamingMatchesBatchPredictions(t *testing.T) {
-	m, ds := sharedTestModel(t)
+// streamMatchesBatch streams the eval runs tick-by-tick through the HTTP
+// API and asserts every probability is bit-identical to the offline batch
+// table path over the same rows. It returns the number of rows served and
+// the server's final /metrics dump.
+func streamMatchesBatch(t *testing.T, m *core.Model, ds *dataset.Dataset) (rows int, metrics string) {
+	t.Helper()
 	eval := ds.FilterRuns(1, 22)
 	tab := features.FromDataset(eval)
 	preds, probs, err := m.PredictTable(tab)
@@ -42,7 +45,6 @@ func TestHTTPStreamingMatchesBatchPredictions(t *testing.T) {
 		}
 	}
 
-	rows := 0
 	for j := 0; j < maxLen; j++ {
 		obs := pcp.Observation{T: j, Vectors: map[string][]float64{}}
 		for _, run := range tab.Runs {
@@ -83,17 +85,75 @@ func TestHTTPStreamingMatchesBatchPredictions(t *testing.T) {
 			t.Fatalf("tick %d: app OR %v/%v != instance OR %v", j, st.Raw, st.Saturated, anySat)
 		}
 	}
-
-	// The run must have left non-zero serving metrics behind.
-	metrics, err := c.Metrics()
+	metrics, err = c.Metrics()
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := fmt.Sprintf("monitorless_ingest_samples_total %d", rows)
-	if !strings.Contains(metrics, want) {
-		t.Errorf("metrics missing %q", want)
-	}
-	if !strings.Contains(metrics, fmt.Sprintf("monitorless_predict_seconds_count %d", rows)) {
-		t.Error("predict latency histogram not populated")
-	}
+	return rows, metrics
+}
+
+// TestHTTPStreamingMatchesBatchPredictions is the online/offline
+// equivalence proof: raw metric rows streamed tick-by-tick through the
+// HTTP API must yield bit-identical probabilities to the offline batch
+// table path over the same rows. JSON transport preserves float64
+// exactly (Go emits the shortest round-tripping representation), so any
+// mismatch is a real divergence in the incremental feature math.
+//
+// The check runs twice: once on the shared exact-splitter model, and once
+// on a histogram-trained model that additionally passes through the v2
+// bundle format — the flattened SoA trees must survive the gob round trip
+// and serve the hot path unchanged.
+func TestHTTPStreamingMatchesBatchPredictions(t *testing.T) {
+	m, ds := sharedTestModel(t)
+
+	t.Run("exact", func(t *testing.T) {
+		// The run must have left non-zero serving metrics behind.
+		rows, metrics := streamMatchesBatch(t, m, ds)
+		want := fmt.Sprintf("monitorless_ingest_samples_total %d", rows)
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+		if !strings.Contains(metrics, fmt.Sprintf("monitorless_predict_seconds_count %d", rows)) {
+			t.Error("predict latency histogram not populated")
+		}
+	})
+
+	t.Run("hist-bundle", func(t *testing.T) {
+		hm, err := core.Train(ds, core.TrainConfig{
+			Pipeline: features.Config{
+				Normalize:    true,
+				Reduce1:      features.ReduceFilter,
+				TimeFeatures: true,
+				Products:     true,
+				Reduce2:      features.ReduceFilter,
+				FilterTopK:   30,
+				FilterTrees:  20,
+				Seed:         7,
+			},
+			Forest: forest.Config{
+				NumTrees:       30,
+				MinSamplesLeaf: 10,
+				Criterion:      tree.Entropy,
+				Splitter:       tree.Hist,
+				Bins:           128,
+				Seed:           7,
+			},
+			Threshold: 0.4,
+		})
+		if err != nil {
+			t.Fatalf("hist train: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := core.SaveBundle(&buf, hm, 3); err != nil {
+			t.Fatalf("SaveBundle: %v", err)
+		}
+		b, err := core.LoadBundle(&buf)
+		if err != nil {
+			t.Fatalf("LoadBundle: %v", err)
+		}
+		if b.Version != core.BundleVersion {
+			t.Fatalf("bundle version %d, want %d", b.Version, core.BundleVersion)
+		}
+		streamMatchesBatch(t, b.Model, ds)
+	})
 }

@@ -1,17 +1,21 @@
 #!/usr/bin/env bash
 # Repo verification: the tier-1 lane (build + vet + tests), the race
-# lane added with the parallel execution layer, the frame allocation
-# lane, and the HTTP serving smoke lane. Everything the worker pool
-# touches (CV folds, dataset run groups, experiment sweeps) runs under
-# the race detector; -count=1 defeats the test cache so data races
-# cannot hide behind cached passes. The allocation lane re-runs the
-# testing.AllocsPerRun budgets on the columnar frame ops (zero-copy
-# views must stay view-header-only; column access must stay
-# allocation-free) outside the race detector, whose instrumentation
-# would distort the counts. The smoke lane launches the real cmd/serve
-# binary on a loopback port, streams observations over HTTP, asserts
-# predictions plus non-zero /metrics counters, and requires a clean
-# SIGTERM drain.
+# lane added with the parallel execution layer, the allocation lanes,
+# the benchmark smoke lane, and the HTTP serving smoke lane. Everything
+# the worker pool touches (CV folds, dataset run groups, experiment
+# sweeps) runs under the race detector; -count=1 defeats the test cache
+# so data races cannot hide behind cached passes. The allocation lanes
+# re-run the testing.AllocsPerRun budgets on the columnar frame ops
+# (zero-copy views must stay view-header-only; column access must stay
+# allocation-free) and on the tree builders (the arena must keep tree
+# growth free of per-node allocations) outside the race detector, whose
+# instrumentation would distort the counts. The benchmark smoke lane
+# runs the tree/forest fit and predict benchmarks once (-benchtime=1x):
+# not a timing gate on the 1-core CI box, but it keeps the benchmarks
+# compiling and executing so a perf regression can always be measured.
+# The smoke lane launches the real cmd/serve binary on a loopback port,
+# streams observations over HTTP, asserts predictions plus non-zero
+# /metrics counters, and requires a clean SIGTERM drain.
 #
 # Usage: scripts/verify.sh [-short]
 set -euo pipefail
@@ -36,6 +40,13 @@ go test -race -count=1 $short ./...
 
 echo "==> go test -run TestFrameOpAllocations -count=1 ./internal/frame/ (allocation-regression lane)"
 go test -run TestFrameOpAllocations -count=1 -v ./internal/frame/
+
+echo "==> go test -run TestTreeBuilderAllocations -count=1 ./internal/ml/tree/ (tree-arena allocation lane)"
+go test -run TestTreeBuilderAllocations -count=1 -v ./internal/ml/tree/
+
+echo "==> benchmark smoke lane (-benchtime=1x)"
+go test -run '^$' -bench 'BenchmarkTreeFit' -benchtime=1x ./internal/ml/tree/
+go test -run '^$' -bench 'BenchmarkForest' -benchtime=1x ./internal/ml/forest/
 
 echo "==> go run ./scripts/smoke (HTTP serving smoke lane)"
 go run ./scripts/smoke

@@ -1,0 +1,38 @@
+package apps
+
+import (
+	"testing"
+
+	"monitorless/internal/cluster"
+)
+
+// TestEngineTickAllocations pins the simulation hot loop at zero
+// steady-state allocations: once the tick arena is warm, advancing the
+// full 21-container multi-tenant deployment must not touch the heap.
+// The arena is rebuilt (and may allocate) only when the container
+// topology changes.
+func TestEngineTickAllocations(t *testing.T) {
+	c, err := cluster.New(EvalNodes()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tea, err := NewTeaStore(c, TeaStoreLoad(135, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shop, err := NewSockshop(c, SockshopLoad(0.27))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(c, tea, shop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		eng.Tick() // warm the arena
+	}
+	allocs := testing.AllocsPerRun(100, func() { eng.Tick() })
+	if allocs > 0 {
+		t.Errorf("Engine.Tick allocates %.1f objects/op steady state, want 0", allocs)
+	}
+}

@@ -26,9 +26,37 @@ func BenchmarkEngineTick(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eng.Tick()
+	}
+}
+
+// BenchmarkEngineRunCorpus measures a corpus-scale simulation segment: the
+// full 21-container multi-tenant deployment advanced one hour of simulated
+// time (3600 ticks) per iteration, the shape of one Table 1 measured run.
+func BenchmarkEngineRunCorpus(b *testing.B) {
+	c, err := cluster.New(EvalNodes()...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tea, err := NewTeaStore(c, TeaStoreLoad(135, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	shop, err := NewSockshop(c, SockshopLoad(0.27))
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := NewEngine(c, tea, shop)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Run(3600, nil)
 	}
 }
 

@@ -201,6 +201,139 @@ type Engine struct {
 	cluster *cluster.Cluster
 	apps    []*App
 	now     int
+	arena   tickArena
+}
+
+// instWork is one instance's per-tick working state. The topology fields
+// (inst, prof, node, pos) are cached when the arena is rebuilt; the float
+// fields are overwritten every tick.
+type instWork struct {
+	inst *Instance
+	prof *Profile
+	node int32 // index into tickArena.nodes
+	pos  int32 // index into the node's ID-sorted container list
+
+	offered    float64
+	desire     float64 // offered + backlog drain
+	thrash     float64
+	background float64 // steady + burst CPU
+}
+
+// tickArena holds Tick's reusable scratch, allocated once per topology
+// (cluster epoch) and overwritten in place every tick, so steady-state
+// simulation performs no allocations. All per-node slices are indexed by
+// position in the node's ID-sorted container list (cluster.Container
+// .NodeIndex), which is also the deterministic floating-point
+// accumulation order.
+type tickArena struct {
+	built bool
+	epoch uint64
+
+	nodes []*cluster.Node
+	ctrs  [][]*cluster.Container // shared ID-sorted views (Node.Placed)
+
+	// Per node, indexed by container position.
+	demands [][]cluster.Demand
+	present [][]bool // demand written this tick (instance-backed)
+	avail   [][]cluster.Grant
+
+	// Compacted per-node arbitration inputs (active containers only, in
+	// ID order), rebuilt every tick without allocating.
+	actCtrs []*cluster.Container
+	actPos  []int32
+	actDem  []cluster.Demand
+	actFair []cluster.Demand
+	grants  []cluster.Grant
+	fair    []cluster.Grant
+	limits  []float64
+	scr     cluster.ArbScratch
+
+	work []instWork
+}
+
+// rebuildArena resizes the arena to the current topology and caches each
+// instance's node/position coordinates in engine iteration order.
+func (e *Engine) rebuildArena() {
+	ar := &e.arena
+	ar.nodes = ar.nodes[:0]
+	ar.nodes = append(ar.nodes, e.cluster.NodesView()...)
+	nodeIdx := make(map[*cluster.Node]int32, len(ar.nodes))
+	for i, n := range ar.nodes {
+		nodeIdx[n] = int32(i)
+	}
+
+	grow := func(n int) {
+		if cap(ar.ctrs) < n {
+			ar.ctrs = make([][]*cluster.Container, n)
+			ar.demands = make([][]cluster.Demand, n)
+			ar.present = make([][]bool, n)
+			ar.avail = make([][]cluster.Grant, n)
+		}
+		ar.ctrs = ar.ctrs[:n]
+		ar.demands = ar.demands[:n]
+		ar.present = ar.present[:n]
+		ar.avail = ar.avail[:n]
+	}
+	grow(len(ar.nodes))
+	for i, n := range ar.nodes {
+		ctrs := n.Placed()
+		ar.ctrs[i] = ctrs
+		if cap(ar.demands[i]) < len(ctrs) {
+			ar.demands[i] = make([]cluster.Demand, len(ctrs))
+			ar.present[i] = make([]bool, len(ctrs))
+			ar.avail[i] = make([]cluster.Grant, len(ctrs))
+		}
+		ar.demands[i] = ar.demands[i][:len(ctrs)]
+		ar.present[i] = ar.present[i][:len(ctrs)]
+		ar.avail[i] = ar.avail[i][:len(ctrs)]
+	}
+
+	ar.work = ar.work[:0]
+	for _, a := range e.apps {
+		for _, s := range a.services {
+			for _, inst := range s.instances {
+				ni, ok := nodeIdx[inst.Ctr.Node()]
+				if !ok {
+					// Unplaced instance: leave the arena unbuilt so Tick
+					// falls back to a rebuild next time (NewEngine rejects
+					// this; it can only arise from mid-run misuse).
+					ar.built = false
+					return
+				}
+				ar.work = append(ar.work, instWork{
+					inst: inst,
+					prof: &s.Profile,
+					node: ni,
+					pos:  inst.Ctr.NodeIndex(),
+				})
+			}
+		}
+	}
+	ar.epoch = e.cluster.Epoch()
+	ar.built = true
+}
+
+// arenaValid reports whether the cached arena still matches the cluster
+// epoch and the exact instance iteration order. The pointer walk also
+// catches instance-set drift that bypassed the cluster (for example a
+// RemoveInstance without the paired cluster.Remove).
+func (e *Engine) arenaValid() bool {
+	ar := &e.arena
+	if !ar.built || ar.epoch != e.cluster.Epoch() {
+		return false
+	}
+	w := 0
+	for _, a := range e.apps {
+		for _, s := range a.services {
+			for _, inst := range s.instances {
+				if w >= len(ar.work) || ar.work[w].inst != inst {
+					return false
+				}
+				w++
+			}
+		}
+	}
+	return w == len(ar.work)
 }
 
 // NewEngine builds an engine over a cluster and its applications.
@@ -239,23 +372,42 @@ func (e *Engine) Apps() []*App {
 // Now returns the current simulation second.
 func (e *Engine) Now() int { return e.now }
 
-// Tick advances the simulation by one second.
+// NumInstances returns the total instance count across all applications
+// without allocating; collectors use it to cheaply validate cached
+// collection plans every tick.
+func (e *Engine) NumInstances() int {
+	n := 0
+	for _, a := range e.apps {
+		for _, s := range a.services {
+			n += len(s.instances)
+		}
+	}
+	return n
+}
+
+// Tick advances the simulation by one second. Steady-state ticks perform
+// no allocations: all working state lives in the arena, which is rebuilt
+// only when the container topology changes.
 func (e *Engine) Tick() {
 	t := e.now
 	e.now++
 
-	// Phase 1: per-instance offered load and resource demand.
-	type work struct {
-		inst       *Instance
-		prof       *Profile
-		offered    float64
-		desire     float64 // offered + backlog drain
-		thrash     float64
-		background float64 // steady + burst CPU
+	if !e.arenaValid() {
+		e.rebuildArena()
 	}
-	demandsByNode := make(map[*cluster.Node]map[string]cluster.Demand)
-	pending := make(map[string]*work)
+	ar := &e.arena
 
+	// Phase 1: per-instance offered load and resource demand, written
+	// into the arena at each instance's (node, position) coordinates.
+	for ni := range ar.demands {
+		dem, pres := ar.demands[ni], ar.present[ni]
+		for i := range dem {
+			dem[i] = cluster.Demand{}
+			pres[i] = false
+		}
+	}
+
+	wi := 0
 	for _, a := range e.apps {
 		lambda := a.Load.At(t)
 		if lambda < 0 {
@@ -267,8 +419,10 @@ func (e *Engine) Tick() {
 				continue
 			}
 			perInst := lambda * s.Visit / float64(len(s.instances))
-			for _, inst := range s.instances {
-				prof := &s.Profile
+			for range s.instances {
+				w := &ar.work[wi]
+				wi++
+				inst, prof := w.inst, w.prof
 				desire := perInst + inst.backlog
 				background := prof.CPUBackground + burstCPU(prof, inst.Ctr.ID, t)
 
@@ -293,17 +447,17 @@ func (e *Engine) Tick() {
 				net := desire * (prof.NetInPerReqKB + prof.NetOutPerReqKB) * 8 / 1000 // Mbit/s
 				membw := desire * prof.MemBWPerReqMB / 1000                           // GB/s
 
-				node := inst.Ctr.Node()
-				if demandsByNode[node] == nil {
-					demandsByNode[node] = make(map[string]cluster.Demand)
-				}
-				demandsByNode[node][inst.Ctr.ID] = cluster.Demand{
+				ar.demands[w.node][w.pos] = cluster.Demand{
 					CPU:   background + desire*prof.CPUPerReq,
 					Disk:  diskRead + diskWrite,
 					Net:   net,
 					MemBW: membw,
 				}
-				pending[inst.Ctr.ID] = &work{inst: inst, prof: prof, offered: perInst, desire: desire, thrash: thrash, background: background}
+				ar.present[w.node][w.pos] = true
+				w.offered = perInst
+				w.desire = desire
+				w.thrash = thrash
+				w.background = background
 				inst.State = InstanceState{
 					Offered:      perInst,
 					MemUsedGB:    memUsed,
@@ -320,44 +474,70 @@ func (e *Engine) Tick() {
 	// cgroup limit) bounds how much an instance could claw back under
 	// max-min fairness. Available capacity is then
 	// min(limit, max(granted + spare, fair share)).
-	grantsByID := make(map[string]cluster.Grant)
-	availByID := make(map[string]cluster.Grant)
-	for node, demands := range demandsByNode {
-		grants := node.Arbitrate(demands)
-		maxDemands := make(map[string]cluster.Demand, len(demands))
-		limits := make(map[string]float64, len(demands))
-		for id := range demands {
+	//
+	// The active containers are compacted in node-position order, which
+	// is ID-sorted: both the water-fill and the spare sums accumulate in
+	// that deterministic order, so floating-point results never depend on
+	// any map layout.
+	for ni, node := range ar.nodes {
+		ctrs, pres := ar.ctrs[ni], ar.present[ni]
+		ar.actCtrs = ar.actCtrs[:0]
+		ar.actPos = ar.actPos[:0]
+		ar.actDem = ar.actDem[:0]
+		ar.actFair = ar.actFair[:0]
+		ar.limits = ar.limits[:0]
+		for pos, ctr := range ctrs {
+			if !pres[pos] {
+				continue
+			}
 			lim := node.Cores
-			if ctr, ok := e.cluster.Container(id); ok && ctr.CPULimit > 0 && ctr.CPULimit < lim {
+			if ctr.CPULimit > 0 && ctr.CPULimit < lim {
 				lim = ctr.CPULimit
 			}
-			limits[id] = lim
-			maxDemands[id] = cluster.Demand{CPU: lim, Disk: node.DiskMBps, Net: node.NetMbps, MemBW: node.MemBWGBps}
+			ar.actCtrs = append(ar.actCtrs, ctr)
+			ar.actPos = append(ar.actPos, int32(pos))
+			ar.actDem = append(ar.actDem, ar.demands[ni][pos])
+			ar.actFair = append(ar.actFair, cluster.Demand{CPU: lim, Disk: node.DiskMBps, Net: node.NetMbps, MemBW: node.MemBWGBps})
+			ar.limits = append(ar.limits, lim)
 		}
-		fair := node.Arbitrate(maxDemands)
+		nact := len(ar.actCtrs)
+		if nact == 0 {
+			continue
+		}
+		if cap(ar.grants) < nact {
+			ar.grants = make([]cluster.Grant, nact)
+			ar.fair = make([]cluster.Grant, nact)
+		}
+		ar.grants = ar.grants[:nact]
+		ar.fair = ar.fair[:nact]
+		node.ArbitrateInto(ar.actCtrs, ar.actDem, ar.grants, &ar.scr)
+		node.ArbitrateInto(ar.actCtrs, ar.actFair, ar.fair, &ar.scr)
 
 		spare := cluster.Demand{CPU: node.Cores, Disk: node.DiskMBps, Net: node.NetMbps, MemBW: node.MemBWGBps}
-		for _, g := range grants {
+		for i := range ar.grants {
+			g := &ar.grants[i]
 			spare.CPU -= g.CPU
 			spare.Disk -= g.Disk
 			spare.Net -= g.Net
 			spare.MemBW -= g.MemBW
 		}
-		for id, g := range grants {
-			grantsByID[id] = g
-			avail := cluster.Grant{
-				CPU:   math.Min(limits[id], math.Max(g.CPU+math.Max(spare.CPU, 0), fair[id].CPU)),
-				Disk:  math.Max(g.Disk+math.Max(spare.Disk, 0), fair[id].Disk),
-				Net:   math.Max(g.Net+math.Max(spare.Net, 0), fair[id].Net),
-				MemBW: math.Max(g.MemBW+math.Max(spare.MemBW, 0), fair[id].MemBW),
+		for i := range ar.grants {
+			g := &ar.grants[i]
+			ar.avail[ni][ar.actPos[i]] = cluster.Grant{
+				CPU:   math.Min(ar.limits[i], math.Max(g.CPU+math.Max(spare.CPU, 0), ar.fair[i].CPU)),
+				Disk:  math.Max(g.Disk+math.Max(spare.Disk, 0), ar.fair[i].Disk),
+				Net:   math.Max(g.Net+math.Max(spare.Net, 0), ar.fair[i].Net),
+				MemBW: math.Max(g.MemBW+math.Max(spare.MemBW, 0), ar.fair[i].MemBW),
 			}
-			availByID[id] = avail
 		}
 	}
 
 	// Phase 3: effective capacity, throughput, queueing, response time.
-	for id, w := range pending {
-		avail := availByID[id]
+	// Instances are independent here; the arena order is just the engine
+	// iteration order.
+	for i := range ar.work {
+		w := &ar.work[i]
+		avail := ar.avail[w.node][w.pos]
 		inst, prof := w.inst, w.prof
 		st := &inst.State
 

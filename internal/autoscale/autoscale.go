@@ -347,6 +347,8 @@ func Simulate(build BuildEnv, scaler Scaler, model *core.Model, opt Options) (Re
 					if err != nil {
 						return Result{}, fmt.Errorf("autoscale: predict at t=%d: %w", t, err)
 					}
+					// Map-range order is safe here: this only builds a
+					// set; every read of `predicted` is a keyed lookup.
 					for id, s := range sat {
 						if s {
 							predicted[id] = true

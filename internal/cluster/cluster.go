@@ -47,12 +47,19 @@ func NewNode(name string, cores, memGB, diskMBps, netMbps float64) *Node {
 	}
 }
 
-// Containers returns the containers currently placed on the node.
+// Containers returns a copy of the containers currently placed on the
+// node, sorted by ID.
 func (n *Node) Containers() []*Container {
 	out := make([]*Container, len(n.containers))
 	copy(out, n.containers)
 	return out
 }
+
+// Placed returns the node's containers sorted by ID as a shared read-only
+// view: no copy is made, and the slice is only valid until the next Place
+// or Remove on the owning cluster (watch Cluster.Epoch to detect that).
+// The per-tick hot paths index their arenas by position in this slice.
+func (n *Node) Placed() []*Container { return n.containers }
 
 // Container is one service instance's virtual environment.
 type Container struct {
@@ -67,16 +74,48 @@ type Container struct {
 	MemLimitGB float64
 
 	node *Node
+	slot int32 // dense cluster-wide slot, stable while placed
+	pos  int32 // index into node.containers (ID-sorted)
 }
 
 // Node returns the hosting node, or nil if unplaced.
 func (c *Container) Node() *Node { return c.node }
 
+// Slot returns the container's dense cluster-wide slot index, assigned by
+// Place and stable until Remove (slots of removed containers are reused).
+// Collectors index per-container state slabs by slot instead of hashing
+// the string ID every tick. Returns -1 if the container is not placed.
+func (c *Container) Slot() int32 {
+	if c.node == nil {
+		return -1
+	}
+	return c.slot
+}
+
+// NodeIndex returns the container's position in its node's ID-sorted
+// container list (Node.Placed), or -1 if unplaced. Valid until the next
+// Place/Remove on the cluster.
+func (c *Container) NodeIndex() int32 {
+	if c.node == nil {
+		return -1
+	}
+	return c.pos
+}
+
 // Cluster is a set of nodes with container placement.
 type Cluster struct {
 	nodes      []*Node
 	nodeByName map[string]*Node
+	// containers is the string-ID boundary map: placement, scaling and
+	// wire-facing lookups go through it. The per-tick hot paths never
+	// range over it (map iteration order is random; slot and node-position
+	// indices carry the deterministic order instead), so its order cannot
+	// leak into emitted metrics.
 	containers map[string]*Container
+
+	slots     []*Container // dense slot registry; nil entries are free
+	freeSlots []int32      // LIFO free list of slot indices
+	epoch     uint64       // bumped by every Place/Remove
 }
 
 // New returns a cluster over the given nodes.
@@ -98,7 +137,11 @@ func New(nodes ...*Node) (*Cluster, error) {
 	return c, nil
 }
 
-// Nodes returns the cluster's nodes in insertion order.
+// NodesView returns the cluster's nodes in insertion order as a shared
+// read-only view (no copy); the slice must not be mutated.
+func (c *Cluster) NodesView() []*Node { return c.nodes }
+
+// Nodes returns a copy of the cluster's nodes in insertion order.
 func (c *Cluster) Nodes() []*Node {
 	out := make([]*Node, len(c.nodes))
 	copy(out, c.nodes)
@@ -111,7 +154,26 @@ func (c *Cluster) Node(name string) (*Node, bool) {
 	return n, ok
 }
 
-// Place creates a container on the named node.
+// Epoch returns a counter that changes whenever the container topology
+// does (every Place/Remove). Hot paths cache slot- and position-indexed
+// arenas and rebuild them when the epoch moves.
+func (c *Cluster) Epoch() uint64 { return c.epoch }
+
+// NumSlots returns the size of the dense slot space (placed containers
+// plus currently free slots). Slot-indexed state slabs are sized by it.
+func (c *Cluster) NumSlots() int { return len(c.slots) }
+
+// BySlot returns the container occupying a slot, or nil if the slot is
+// free or out of range.
+func (c *Cluster) BySlot(slot int32) *Container {
+	if slot < 0 || int(slot) >= len(c.slots) {
+		return nil
+	}
+	return c.slots[slot]
+}
+
+// Place creates a container on the named node, assigning it a dense slot
+// and inserting it into the node's ID-sorted container list.
 func (c *Cluster) Place(nodeName string, ctr *Container) error {
 	n, ok := c.nodeByName[nodeName]
 	if !ok {
@@ -124,12 +186,30 @@ func (c *Cluster) Place(nodeName string, ctr *Container) error {
 		return fmt.Errorf("cluster: duplicate container %q", ctr.ID)
 	}
 	ctr.node = n
-	n.containers = append(n.containers, ctr)
+	if k := len(c.freeSlots); k > 0 {
+		ctr.slot = c.freeSlots[k-1]
+		c.freeSlots = c.freeSlots[:k-1]
+		c.slots[ctr.slot] = ctr
+	} else {
+		ctr.slot = int32(len(c.slots))
+		c.slots = append(c.slots, ctr)
+	}
+	// Keep the node list sorted by ID so positional iteration is the
+	// deterministic order (and the floating-point accumulation order).
+	i := sort.Search(len(n.containers), func(i int) bool { return n.containers[i].ID >= ctr.ID })
+	n.containers = append(n.containers, nil)
+	copy(n.containers[i+1:], n.containers[i:])
+	n.containers[i] = ctr
+	for j := i; j < len(n.containers); j++ {
+		n.containers[j].pos = int32(j)
+	}
 	c.containers[ctr.ID] = ctr
+	c.epoch++
 	return nil
 }
 
-// Remove deletes a container from the cluster (scale-in).
+// Remove deletes a container from the cluster (scale-in), releasing its
+// slot for reuse.
 func (c *Cluster) Remove(id string) error {
 	ctr, ok := c.containers[id]
 	if !ok {
@@ -140,10 +220,18 @@ func (c *Cluster) Remove(id string) error {
 	for i, x := range n.containers {
 		if x == ctr {
 			n.containers = append(n.containers[:i], n.containers[i+1:]...)
+			for j := i; j < len(n.containers); j++ {
+				n.containers[j].pos = int32(j)
+			}
 			break
 		}
 	}
+	c.slots[ctr.slot] = nil
+	c.freeSlots = append(c.freeSlots, ctr.slot)
 	ctr.node = nil
+	ctr.slot = -1
+	ctr.pos = -1
+	c.epoch++
 	return nil
 }
 
@@ -192,49 +280,53 @@ type Grant struct {
 	CPUThrottled bool
 }
 
-// Arbitrate distributes one node's resources over the demands of its
-// containers for one tick. CPU uses max-min fair water-filling honoring
-// per-container cgroup limits; disk, network and memory bandwidth are
-// shared proportionally when oversubscribed. demands is keyed by container
-// ID and must only contain containers placed on this node.
-func (n *Node) Arbitrate(demands map[string]Demand) map[string]Grant {
-	grants := make(map[string]Grant, len(demands))
+// cpuState is the water-filling working state for one container.
+type cpuState struct {
+	want    float64 // demand clipped by cgroup limit
+	rawWant float64
+	granted float64
+}
 
-	// Deterministic ordering.
-	ids := make([]string, 0, len(demands))
-	for id := range demands {
-		ids = append(ids, id)
+// ArbScratch holds Arbitrate's reusable working state so steady-state
+// arbitration performs no allocations. A scratch may be reused across
+// ticks and across nodes, but not concurrently.
+type ArbScratch struct {
+	states []cpuState
+}
+
+// ArbitrateInto distributes one node's resources over per-container
+// demands for one tick, writing the allocations into grants. CPU uses
+// max-min fair water-filling honoring per-container cgroup limits; disk,
+// network and memory bandwidth are shared proportionally when
+// oversubscribed.
+//
+// ctrs, demands and grants are parallel slices: demands[i] is the request
+// of ctrs[i] and grants[i] receives its allocation. ctrs must be in
+// ID-sorted order (Node.Placed, or a subset preserving that order) — the
+// iteration order is the floating-point accumulation order, so a sorted
+// slice makes arbitration bit-reproducible. A nil ctrs[i] is treated as a
+// container without a cgroup CPU limit. Every element participates in the
+// water-fill (zero demands included), mirroring one entry per map key in
+// the Arbitrate boundary wrapper.
+func (n *Node) ArbitrateInto(ctrs []*Container, demands []Demand, grants []Grant, scr *ArbScratch) {
+	if len(demands) != len(ctrs) || len(grants) != len(ctrs) {
+		panic("cluster: ArbitrateInto slice length mismatch")
 	}
-	sort.Strings(ids)
 
 	// --- CPU: max-min fair with cgroup caps. -------------------------
-	type cpuState struct {
-		id      string
-		want    float64 // demand clipped by cgroup limit
-		rawWant float64
-		granted float64
-	}
-	states := make([]cpuState, 0, len(ids))
-	limitOf := func(id string) float64 {
-		for _, ctr := range n.containers {
-			if ctr.ID == id {
-				if ctr.CPULimit > 0 && ctr.CPULimit < n.Cores {
-					return ctr.CPULimit
-				}
-				return n.Cores
-			}
+	states := scr.states[:0]
+	for i := range ctrs {
+		lim := n.Cores
+		if ctr := ctrs[i]; ctr != nil && ctr.CPULimit > 0 && ctr.CPULimit < lim {
+			lim = ctr.CPULimit
 		}
-		return n.Cores
-	}
-	for _, id := range ids {
-		d := demands[id]
-		lim := limitOf(id)
-		want := d.CPU
+		want := demands[i].CPU
 		if want > lim {
 			want = lim
 		}
-		states = append(states, cpuState{id: id, want: want, rawWant: d.CPU})
+		states = append(states, cpuState{want: want, rawWant: demands[i].CPU})
 	}
+	scr.states = states
 	remaining := n.Cores
 	unsat := len(states)
 	for unsat > 0 && remaining > 1e-12 {
@@ -267,11 +359,10 @@ func (n *Node) Arbitrate(demands map[string]Demand) map[string]Grant {
 
 	// --- Disk / Net / MemBW: proportional sharing. --------------------
 	var diskSum, netSum, bwSum float64
-	for _, id := range ids {
-		d := demands[id]
-		diskSum += d.Disk
-		netSum += d.Net
-		bwSum += d.MemBW
+	for i := range demands {
+		diskSum += demands[i].Disk
+		netSum += demands[i].Net
+		bwSum += demands[i].MemBW
 	}
 	scale := func(total, capacity float64) float64 {
 		if capacity <= 0 || total <= capacity {
@@ -283,17 +374,52 @@ func (n *Node) Arbitrate(demands map[string]Demand) map[string]Grant {
 	netF := scale(netSum, n.NetMbps)
 	bwF := scale(bwSum, n.MemBWGBps)
 
-	for _, s := range states {
-		d := demands[s.id]
-		grants[s.id] = Grant{
+	for i := range states {
+		s := &states[i]
+		grants[i] = Grant{
 			CPU:   s.granted,
-			Disk:  d.Disk * diskF,
-			Net:   d.Net * netF,
-			MemBW: d.MemBW * bwF,
+			Disk:  demands[i].Disk * diskF,
+			Net:   demands[i].Net * netF,
+			MemBW: demands[i].MemBW * bwF,
 			// Only the cgroup quota clip counts as kernel throttling;
 			// host contention shows up as load, not nr_throttled.
 			CPUThrottled: s.rawWant > s.want+1e-12,
 		}
 	}
-	return grants
+}
+
+// Arbitrate is the map-keyed boundary wrapper over ArbitrateInto for
+// callers outside the tick hot path. demands is keyed by container ID and
+// must only contain containers placed on this node (unknown IDs are
+// treated as unlimited containers). The map is reduced to ID-sorted
+// slices before arbitration, so map iteration order never reaches the
+// floating-point accumulation: results are bit-identical for any map
+// layout.
+func (n *Node) Arbitrate(demands map[string]Demand) map[string]Grant {
+	ids := make([]string, 0, len(demands))
+	for id := range demands {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	ctrs := make([]*Container, len(ids))
+	dem := make([]Demand, len(ids))
+	for i, id := range ids {
+		for _, ctr := range n.containers {
+			if ctr.ID == id {
+				ctrs[i] = ctr
+				break
+			}
+		}
+		dem[i] = demands[id]
+	}
+	grants := make([]Grant, len(ids))
+	var scr ArbScratch
+	n.ArbitrateInto(ctrs, dem, grants, &scr)
+
+	out := make(map[string]Grant, len(ids))
+	for i, id := range ids {
+		out[id] = grants[i]
+	}
+	return out
 }

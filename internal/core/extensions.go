@@ -174,6 +174,7 @@ func (r PredictionReport) WireSize() int {
 // architecture's full-vector message for comparison.
 func ObservationWireSize(obs pcp.Observation) int {
 	size := 8
+	// Map-range order is safe here: integer size sums are commutative.
 	for id, vec := range obs.Vectors {
 		size += len(id) + 8*len(vec)
 	}
@@ -207,6 +208,8 @@ func (e *EdgeAgent) Observe(eng *apps.Engine) (PredictionReport, bool, error) {
 	}
 	report := PredictionReport{T: obs.T, Probs: make(map[string]float64, len(obs.Vectors))}
 	w := e.model.WindowSize()
+	// Map-range order is safe here: each instance's window and prediction
+	// are independent, and the results land in a map keyed by ID.
 	for id, vec := range obs.Vectors {
 		win := append(e.windows[id], vec)
 		if len(win) > w {

@@ -82,6 +82,9 @@ func (o *Orchestrator) Ingest(obs pcp.Observation) error {
 		}
 		o.streamer = s
 	}
+	// Map-range order is safe here: every instance's streaming state and
+	// prediction are independent of the others; consumers that need a
+	// deterministic order (SaturatedInstances) sort before returning.
 	for id, vec := range obs.Vectors {
 		st := o.states[id]
 		if st == nil {

@@ -3,7 +3,10 @@ package dataset
 import (
 	"testing"
 
+	"monitorless/internal/apps"
+	"monitorless/internal/cluster"
 	"monitorless/internal/parallel"
+	"monitorless/internal/pcp"
 )
 
 // BenchmarkGenerateParallel compares corpus generation over four Table 1
@@ -32,4 +35,74 @@ func BenchmarkGenerateParallel(b *testing.B) {
 	}
 	b.Run("serial", func(b *testing.B) { run(b, 1) })
 	b.Run("pool", func(b *testing.B) { run(b, 0) })
+}
+
+// BenchmarkGenerateCorpus measures the dataset assembly hot loop at corpus
+// scale: the 21-container multi-tenant deployment ticked one simulated hour
+// (3600 ticks) per iteration with per-instance sample collection, the same
+// tick → ObserveTick → slab-append structure generateGroup runs for every
+// Table 1 group.
+func BenchmarkGenerateCorpus(b *testing.B) {
+	cat := pcp.DefaultCatalog()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c, err := cluster.New(apps.EvalNodes()...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tea, err := apps.NewTeaStore(c, apps.TeaStoreLoad(135, 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		shop, err := apps.NewSockshop(c, apps.SockshopLoad(0.27))
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng, err := apps.NewEngine(c, tea, shop)
+		if err != nil {
+			b.Fatal(err)
+		}
+		type handle struct {
+			runID int
+			kpi   float64
+			ctr   *cluster.Container
+		}
+		var handles []handle
+		for ai, a := range []*apps.App{tea, shop} {
+			for _, s := range a.Services() {
+				for _, inst := range s.Instances() {
+					handles = append(handles, handle{runID: ai, kpi: a.KPI.Throughput, ctr: inst.Ctr})
+				}
+			}
+		}
+		agent := pcp.NewAgent(pcp.NewCollector(cat, 7))
+		width := len(cat.HostDefs) + len(cat.ContainerDefs)
+		slab := make([]float64, 0, len(handles)*(3600-5)*width)
+		samples := make([]Sample, 0, len(handles)*(3600-5))
+		for t := 0; t < 3600; t++ {
+			eng.Tick()
+			ts, ok := agent.ObserveTick(eng)
+			if !ok || t < 5 {
+				continue
+			}
+			for _, h := range handles {
+				ri := ts.Index(h.ctr)
+				if ri < 0 {
+					continue
+				}
+				start := len(slab)
+				slab = append(slab, ts.Vector(ri)...)
+				samples = append(samples, Sample{
+					RunID:  h.runID,
+					T:      t,
+					Label:  0,
+					KPI:    h.kpi,
+					Values: slab[start:len(slab):len(slab)],
+				})
+			}
+		}
+		if len(samples) == 0 {
+			b.Fatal("no samples collected")
+		}
+	}
 }

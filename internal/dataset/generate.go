@@ -155,30 +155,55 @@ func generateGroup(group []RunConfig, opt GenOptions) (*groupResult, error) {
 	}
 	agent := pcp.NewAgent(pcp.NewCollector(opt.Catalog, opt.Seed+int64(group[0].ID)*1009))
 
+	// The topology is fixed for the whole measured run, so resolve each
+	// config's containers once (in sample emission order) instead of
+	// walking apps/services/instances every tick.
+	type instHandle struct {
+		cfgIdx int
+		ctr    *cluster.Container
+	}
+	var handles []instHandle
+	for i := range group {
+		for _, s := range appList[i].Services() {
+			for _, inst := range s.Instances() {
+				handles = append(handles, instHandle{cfgIdx: i, ctr: inst.Ctr})
+			}
+		}
+	}
+
+	// Frame-native assembly: each tick's vectors are copied out of the
+	// agent's reusable slab into one growing row-major value slab — no
+	// per-tick Observation maps, no per-sample vector allocations.
+	width := len(opt.Catalog.CombinedDefs())
+	rows := len(handles) * (opt.Duration - opt.Warmup)
+	if rows < 0 {
+		rows = 0
+	}
+	slab := make([]float64, 0, rows*width)
+	res.samples = make([]Sample, 0, rows)
+
 	for t := 0; t < opt.Duration; t++ {
 		eng.Tick()
-		obs, ok := agent.Observe(eng)
+		ts, ok := agent.ObserveTick(eng)
 		if !ok || t < opt.Warmup {
 			continue
 		}
-		for i, cfg := range group {
-			lab := res.thresholds[cfg.ID]
-			y := lab.Label(appList[i].KPI.Throughput)
-			for _, s := range appList[i].Services() {
-				for _, inst := range s.Instances() {
-					vec, present := obs.Vectors[inst.Ctr.ID]
-					if !present {
-						continue
-					}
-					res.samples = append(res.samples, Sample{
-						RunID:  cfg.ID,
-						T:      t,
-						Label:  y,
-						KPI:    appList[i].KPI.Throughput,
-						Values: vec,
-					})
-				}
+		for _, h := range handles {
+			ri := ts.Index(h.ctr)
+			if ri < 0 {
+				continue
 			}
+			cfg := group[h.cfgIdx]
+			kpi := appList[h.cfgIdx].KPI.Throughput
+			start := len(slab)
+			slab = append(slab, ts.Vector(ri)...)
+			res.samples = append(res.samples, Sample{
+				RunID:  cfg.ID,
+				T:      t,
+				Label:  res.thresholds[cfg.ID].Label(kpi),
+				KPI:    kpi,
+				Values: slab[start:len(slab):len(slab)],
+			})
 		}
 	}
 	return res, nil

@@ -104,16 +104,24 @@ func CollectEval(build BuildTarget, load workload.Pattern, opt CollectOptions) (
 		data.Raw.Runs = append(data.Raw.Runs, features.Run{ID: i})
 	}
 
-	instOf := map[string]*apps.Instance{}
+	// Resolve each recorded ID to its container once: the per-tick lookup
+	// then goes through the agent's slot index instead of a string map.
+	ctrOf := make([]*cluster.Container, len(ids))
 	for _, s := range target.Services() {
 		for _, inst := range s.Instances() {
-			instOf[inst.Ctr.ID] = inst
+			for i, id := range ids {
+				if id == inst.Ctr.ID {
+					ctrOf[i] = inst.Ctr
+				}
+			}
 		}
 	}
 
+	cpuIdx := cat.NumHost() + cat.ContainerIndex("C-CPU-U")
+	memIdx := cat.NumHost() + cat.ContainerIndex("S-MEM-U")
 	for t := 0; t < opt.Duration; t++ {
 		eng.Tick()
-		obs, ok := agent.Observe(eng)
+		ts, ok := agent.ObserveTick(eng)
 		if !ok || t < opt.Warmup {
 			continue
 		}
@@ -121,8 +129,8 @@ func CollectEval(build BuildTarget, load workload.Pattern, opt CollectOptions) (
 			continue
 		}
 		complete := true
-		for _, id := range ids {
-			if obs.Vectors[id] == nil {
+		for _, ctr := range ctrOf {
+			if ts.Index(ctr) < 0 {
 				complete = false
 				break
 			}
@@ -132,11 +140,12 @@ func CollectEval(build BuildTarget, load workload.Pattern, opt CollectOptions) (
 		}
 		// The threshold baselines consume the *monitored* relative
 		// utilizations (C-CPU-U, S-MEM-U), exactly what a production
-		// threshold rule would read — measurement noise included.
-		cpuIdx := cat.NumHost() + cat.ContainerIndex("C-CPU-U")
-		memIdx := cat.NumHost() + cat.ContainerIndex("S-MEM-U")
+		// threshold rule would read — measurement noise included. The
+		// agent's slab is reused next tick, so retained rows are copies.
 		for i, id := range ids {
-			vec := obs.Vectors[id]
+			src := ts.Vector(ts.Index(ctrOf[i]))
+			vec := make([]float64, len(src))
+			copy(vec, src)
 			data.Raw.Runs[i].Rows = append(data.Raw.Runs[i].Rows, vec)
 			data.CPUUtil[id] = append(data.CPUUtil[id], vec[cpuIdx])
 			data.MemUtil[id] = append(data.MemUtil[id], vec[memIdx])

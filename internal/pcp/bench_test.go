@@ -28,9 +28,39 @@ func BenchmarkAgentObserve(b *testing.B) {
 		b.Fatal(err)
 	}
 	agent := NewAgent(NewCollector(DefaultCatalog(), 1))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eng.Tick()
 		agent.Observe(eng)
+	}
+}
+
+// BenchmarkAgentObserveTick measures the same collection through the
+// frame-native path: derived vectors land in reusable index-addressed
+// buffers with no per-tick Observation map or vector copies.
+func BenchmarkAgentObserveTick(b *testing.B) {
+	c, err := cluster.New(apps.EvalNodes()...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tea, err := apps.NewTeaStore(c, workload.Constant{Rate: 150})
+	if err != nil {
+		b.Fatal(err)
+	}
+	shop, err := apps.NewSockshop(c, workload.Constant{Rate: 80})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := apps.NewEngine(c, tea, shop)
+	if err != nil {
+		b.Fatal(err)
+	}
+	agent := NewAgent(NewCollector(DefaultCatalog(), 1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Tick()
+		agent.ObserveTick(eng)
 	}
 }

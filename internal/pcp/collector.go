@@ -10,7 +10,12 @@ import (
 )
 
 // Snapshot is one tick's raw metric readings: counters are cumulative, as
-// a real PCP agent reports them.
+// a real PCP agent reports them. Snapshots returned by Collect alias
+// reusable collector buffers: treat them as read-only, valid until the
+// second following Collect call (one previous snapshot may be held for
+// rate diffing). The maps are a wire-path convenience only; their
+// iteration order is never used inside the collector, so it cannot leak
+// into emitted values.
 type Snapshot struct {
 	// T is the simulation second of the reading.
 	T int
@@ -22,31 +27,76 @@ type Snapshot struct {
 	NodeOf map[string]string
 }
 
+// instRef is one service instance in collection order, resolved to
+// integer coordinates: plan node index and cluster slot.
+type instRef struct {
+	ctr  *cluster.Container
+	st   *apps.InstanceState
+	node int32 // index into collectPlan.nodes
+	slot int32 // cluster slot (Container.Slot)
+}
+
+// collectPlan caches the engine's topology in collection order. The
+// deterministic orders are part of the output contract: hosts are visited
+// sorted by node name, containers sorted by container ID, and the shared
+// rng draws in exactly that sequence, so emitted values are reproducible
+// bit for bit regardless of how the topology was built.
+type collectPlan struct {
+	built   bool
+	cluster *cluster.Cluster
+	epoch   uint64
+	nrefs   int
+
+	nodes     []*cluster.Node // sorted by name
+	refs      []instRef       // sorted by container ID
+	refOfSlot []int32         // cluster slot → refs index, -1 when absent
+	aggs      []nodeAggregate // per node scratch, reset each tick
+}
+
+// rawTick is one tick's raw readings in slot-indexed form: host vectors
+// by plan node index, container vectors by cluster slot. Two buffers
+// rotate, so a reading stays valid until the second following collection
+// (the agent diffs the previous tick against the current one).
+type rawTick struct {
+	t       int
+	cluster *cluster.Cluster
+	host    [][]float64          // by plan node index
+	ctr     [][]float64          // by cluster slot
+	owner   []*cluster.Container // by cluster slot, for slot-reuse detection
+}
+
 // Collector synthesizes PCP readings from the simulator state. It holds
-// cumulative counter state and random-walk state so consecutive snapshots
-// diff into meaningful rates.
+// cumulative counter state and random-walk state so consecutive readings
+// diff into meaningful rates. All persistent per-container state is
+// indexed by cluster slot and all per-host state by plan node index —
+// the hot path performs no string hashing and no steady-state
+// allocations.
 type Collector struct {
 	cat *Catalog
 	rng *rand.Rand
 
-	hostCum   map[string][]float64
-	ctrCum    map[string][]float64
-	hostWalk  map[string][]float64
-	ctrWalk   map[string][]float64
-	loadState map[string][3]float64
+	plan    collectPlan
+	planGen uint64 // bumped on every plan rebuild
+
+	hostCum   [][]float64  // by plan node index
+	hostWalk  [][]float64  // by plan node index
+	loadState [][3]float64 // by plan node index
+	ctrCum    [][]float64  // by cluster slot
+	ctrWalk   [][]float64  // by cluster slot
+	ctrOwner  []*cluster.Container
+
+	raw     [2]rawTick
+	flip    int
+	snap    [2]*Snapshot // Collect adapters aliasing the raw buffers
+	snapGen [2]uint64
 }
 
 // NewCollector returns a collector over the catalog with deterministic
 // measurement noise derived from seed.
 func NewCollector(cat *Catalog, seed int64) *Collector {
 	return &Collector{
-		cat:       cat,
-		rng:       rand.New(rand.NewSource(seed)),
-		hostCum:   make(map[string][]float64),
-		ctrCum:    make(map[string][]float64),
-		hostWalk:  make(map[string][]float64),
-		ctrWalk:   make(map[string][]float64),
-		loadState: make(map[string][3]float64),
+		cat: cat,
+		rng: rand.New(rand.NewSource(seed)),
 	}
 }
 
@@ -80,24 +130,33 @@ type nodeAggregate struct {
 	throttledContainers int
 }
 
-// Collect produces a snapshot of every node and container in the engine.
-func (c *Collector) Collect(eng *apps.Engine) *Snapshot {
-	snap := &Snapshot{
-		T:      eng.Now(),
-		Host:   make(map[string][]float64),
-		Ctr:    make(map[string][]float64),
-		NodeOf: make(map[string]string),
+// ensurePlan rebuilds the collection plan when the engine's topology
+// changed (cluster pointer, epoch, or instance count). Pointing the
+// collector at a different cluster resets all cumulative state; within
+// one cluster, per-slot container state survives topology changes for
+// containers that persist, and a reused slot restarts from zero.
+func (c *Collector) ensurePlan(eng *apps.Engine) {
+	cl := eng.Cluster()
+	p := &c.plan
+	if p.built && p.cluster == cl && p.epoch == cl.Epoch() && p.nrefs == eng.NumInstances() {
+		return
+	}
+	c.planGen++
+	if p.cluster != cl {
+		c.hostCum, c.hostWalk, c.loadState = nil, nil, nil
+		c.ctrCum, c.ctrWalk, c.ctrOwner = nil, nil, nil
+	}
+	p.cluster = cl
+	p.epoch = cl.Epoch()
+
+	p.nodes = append(p.nodes[:0], cl.NodesView()...)
+	sort.Slice(p.nodes, func(i, j int) bool { return p.nodes[i].Name < p.nodes[j].Name })
+	nodeIdx := make(map[*cluster.Node]int32, len(p.nodes))
+	for i, n := range p.nodes {
+		nodeIdx[n] = int32(i)
 	}
 
-	// Gather instances grouped by node, deterministically ordered.
-	aggs := make(map[*cluster.Node]*nodeAggregate)
-	type instRef struct {
-		id   string
-		node *cluster.Node
-		st   *apps.InstanceState
-		ctr  *cluster.Container
-	}
-	var refs []instRef
+	p.refs = p.refs[:0]
 	for _, a := range eng.Apps() {
 		for _, s := range a.Services() {
 			for _, inst := range s.Instances() {
@@ -105,18 +164,101 @@ func (c *Collector) Collect(eng *apps.Engine) *Snapshot {
 				if node == nil {
 					continue
 				}
-				refs = append(refs, instRef{id: inst.Ctr.ID, node: node, st: &inst.State, ctr: inst.Ctr})
+				p.refs = append(p.refs, instRef{
+					ctr:  inst.Ctr,
+					st:   &inst.State,
+					node: nodeIdx[node],
+					slot: inst.Ctr.Slot(),
+				})
 			}
 		}
 	}
-	sort.Slice(refs, func(i, j int) bool { return refs[i].id < refs[j].id })
+	sort.Slice(p.refs, func(i, j int) bool { return p.refs[i].ctr.ID < p.refs[j].ctr.ID })
+	p.nrefs = eng.NumInstances()
 
-	for _, r := range refs {
-		agg := aggs[r.node]
-		if agg == nil {
-			agg = &nodeAggregate{}
-			aggs[r.node] = agg
+	nslots := cl.NumSlots()
+	if cap(p.refOfSlot) < nslots {
+		p.refOfSlot = make([]int32, nslots)
+	}
+	p.refOfSlot = p.refOfSlot[:nslots]
+	for i := range p.refOfSlot {
+		p.refOfSlot[i] = -1
+	}
+	for i := range p.refs {
+		p.refOfSlot[p.refs[i].slot] = int32(i)
+	}
+
+	if cap(p.aggs) < len(p.nodes) {
+		p.aggs = make([]nodeAggregate, len(p.nodes))
+	}
+	p.aggs = p.aggs[:len(p.nodes)]
+
+	// Host state slabs: node indices are stable for the lifetime of a
+	// cluster (the node set is fixed at cluster.New), so existing rows
+	// carry over untouched.
+	hostW := len(c.cat.HostDefs)
+	for len(c.hostCum) < len(p.nodes) {
+		c.hostCum = append(c.hostCum, make([]float64, hostW))
+		c.hostWalk = append(c.hostWalk, make([]float64, hostW))
+		c.loadState = append(c.loadState, [3]float64{})
+	}
+
+	// Container state slabs by slot: a slot whose owner changed is a new
+	// container, so its counters and random walks restart from zero —
+	// exactly what a fresh container would report. (This also means the
+	// state of removed containers is reclaimed instead of leaking, which
+	// the old ID-keyed maps never did.)
+	ctrW := len(c.cat.ContainerDefs)
+	for len(c.ctrCum) < nslots {
+		c.ctrCum = append(c.ctrCum, nil)
+		c.ctrWalk = append(c.ctrWalk, nil)
+		c.ctrOwner = append(c.ctrOwner, nil)
+	}
+	for i := range p.refs {
+		slot := p.refs[i].slot
+		if c.ctrCum[slot] == nil {
+			c.ctrCum[slot] = make([]float64, ctrW)
+			c.ctrWalk[slot] = make([]float64, ctrW)
+		} else if c.ctrOwner[slot] != p.refs[i].ctr {
+			for j := range c.ctrCum[slot] {
+				c.ctrCum[slot][j] = 0
+				c.ctrWalk[slot][j] = 0
+			}
 		}
+		c.ctrOwner[slot] = p.refs[i].ctr
+	}
+	p.built = true
+}
+
+// collectRaw samples the engine into the next raw buffer. The returned
+// tick stays valid until the second following collectRaw call.
+func (c *Collector) collectRaw(eng *apps.Engine) *rawTick {
+	c.ensurePlan(eng)
+	p := &c.plan
+	rt := &c.raw[c.flip]
+	c.flip ^= 1
+	rt.t = eng.Now()
+	rt.cluster = p.cluster
+
+	hostW := len(c.cat.HostDefs)
+	ctrW := len(c.cat.ContainerDefs)
+	for len(rt.host) < len(p.nodes) {
+		rt.host = append(rt.host, make([]float64, hostW))
+	}
+	nslots := len(c.ctrCum)
+	for len(rt.ctr) < nslots {
+		rt.ctr = append(rt.ctr, nil)
+	}
+	rt.owner = append(rt.owner[:0], c.ctrOwner...)
+
+	// Aggregate instance states per node, in ID-sorted container order —
+	// the deterministic floating-point accumulation order.
+	for i := range p.aggs {
+		p.aggs[i] = nodeAggregate{}
+	}
+	for i := range p.refs {
+		r := &p.refs[i]
+		agg := &p.aggs[r.node]
 		st := r.st
 		agg.cpuUsed += st.CPUGranted
 		agg.cpuWant += st.CPUWant
@@ -136,20 +278,50 @@ func (c *Collector) Collect(eng *apps.Engine) *Snapshot {
 		}
 	}
 
-	nodes := eng.Cluster().Nodes()
-	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Name < nodes[j].Name })
-	for _, node := range nodes {
-		agg := aggs[node]
-		if agg == nil {
-			agg = &nodeAggregate{}
+	// The rng draw order is part of the output contract: hosts first, in
+	// node-name order, then containers in ID order.
+	for ni, node := range p.nodes {
+		c.fillHost(ni, node, &p.aggs[ni], rt.host[ni])
+	}
+	for i := range p.refs {
+		r := &p.refs[i]
+		if rt.ctr[r.slot] == nil || len(rt.ctr[r.slot]) != ctrW {
+			rt.ctr[r.slot] = make([]float64, ctrW)
 		}
-		snap.Host[node.Name] = c.hostVector(node, agg)
+		c.fillCtr(r.ctr, p.nodes[r.node], r.st, rt.ctr[r.slot])
 	}
-	for _, r := range refs {
-		snap.Ctr[r.id] = c.ctrVector(r.ctr, r.node, r.st)
-		snap.NodeOf[r.id] = r.node.Name
+	return rt
+}
+
+// Collect produces a snapshot of every node and container in the engine.
+// It is the map-keyed boundary adapter over the slot-indexed raw path:
+// the returned snapshot's vectors alias the collector's rotating buffers
+// and its maps are rebuilt only when the topology changes, so
+// steady-state collection reuses the previous tick's maps and slices.
+func (c *Collector) Collect(eng *apps.Engine) *Snapshot {
+	rt := c.collectRaw(eng)
+	idx := c.flip ^ 1 // the buffer collectRaw just filled
+	p := &c.plan
+	s := c.snap[idx]
+	if s == nil || c.snapGen[idx] != c.planGen {
+		s = &Snapshot{
+			Host:   make(map[string][]float64, len(p.nodes)),
+			Ctr:    make(map[string][]float64, len(p.refs)),
+			NodeOf: make(map[string]string, len(p.refs)),
+		}
+		for ni, node := range p.nodes {
+			s.Host[node.Name] = rt.host[ni]
+		}
+		for i := range p.refs {
+			r := &p.refs[i]
+			s.Ctr[r.ctr.ID] = rt.ctr[r.slot]
+			s.NodeOf[r.ctr.ID] = p.nodes[r.node].Name
+		}
+		c.snap[idx] = s
+		c.snapGen[idx] = c.planGen
 	}
-	return snap
+	s.T = rt.t
+	return s
 }
 
 // bump adds a (noisy, non-negative) increment to a cumulative counter.
@@ -166,18 +338,13 @@ func (c *Collector) bump(cum []float64, idx int, rate float64) {
 
 const gb = 1 << 30
 
-func (c *Collector) hostVector(node *cluster.Node, agg *nodeAggregate) []float64 {
+// fillHost writes one node's raw host vector into out, advancing the
+// node's cumulative counters, load-average smoothing and noise walks
+// (indexed by plan node position).
+func (c *Collector) fillHost(ni int, node *cluster.Node, agg *nodeAggregate, out []float64) {
 	defs := c.cat.HostDefs
-	cum := c.hostCum[node.Name]
-	if cum == nil {
-		cum = make([]float64, len(defs))
-		c.hostCum[node.Name] = cum
-	}
-	walk := c.hostWalk[node.Name]
-	if walk == nil {
-		walk = make([]float64, len(defs))
-		c.hostWalk[node.Name] = walk
-	}
+	cum := c.hostCum[ni]
+	walk := c.hostWalk[ni]
 
 	// OS background activity.
 	osCPU := 0.02 * node.Cores
@@ -197,18 +364,17 @@ func (c *Collector) hostVector(node *cluster.Node, agg *nodeAggregate) []float64
 	bwUtil := 100 * agg.memBW / node.MemBWGBps
 
 	// Load averages with exponential smoothing per window.
-	ls := c.loadState[node.Name]
+	ls := c.loadState[ni]
 	want := agg.cpuWant + osCPU
 	ls[0] = ls[0]*math.Exp(-1.0/60) + want*(1-math.Exp(-1.0/60))
 	ls[1] = ls[1]*math.Exp(-1.0/300) + want*(1-math.Exp(-1.0/300))
 	ls[2] = ls[2]*math.Exp(-1.0/900) + want*(1-math.Exp(-1.0/900))
-	c.loadState[node.Name] = ls
+	c.loadState[ni] = ls
 
 	netPkts := agg.netMbps / 8 * 1e6 / 1200 // ~1.2 KB per packet
 	cachedGB := 0.35 * memUsedGB
 	nprocs := 180 + 25*float64(agg.nContainers) + 0.05*agg.conc
 
-	out := make([]float64, len(defs))
 	for i, d := range defs {
 		switch d.Name {
 		case "kernel.all.cpu.user":
@@ -364,21 +530,15 @@ func (c *Collector) hostVector(node *cluster.Node, agg *nodeAggregate) []float64
 			out[i] = cum[i]
 		}
 	}
-	return out
 }
 
-func (c *Collector) ctrVector(ctr *cluster.Container, node *cluster.Node, st *apps.InstanceState) []float64 {
+// fillCtr writes one container's raw vector into out, advancing the
+// slot-indexed cumulative counters and noise walks.
+func (c *Collector) fillCtr(ctr *cluster.Container, node *cluster.Node, st *apps.InstanceState, out []float64) {
 	defs := c.cat.ContainerDefs
-	cum := c.ctrCum[ctr.ID]
-	if cum == nil {
-		cum = make([]float64, len(defs))
-		c.ctrCum[ctr.ID] = cum
-	}
-	walk := c.ctrWalk[ctr.ID]
-	if walk == nil {
-		walk = make([]float64, len(defs))
-		c.ctrWalk[ctr.ID] = walk
-	}
+	slot := ctr.Slot()
+	cum := c.ctrCum[slot]
+	walk := c.ctrWalk[slot]
 
 	cpuLimit := st.CPULimit
 	if cpuLimit <= 0 {
@@ -398,7 +558,6 @@ func (c *Collector) ctrVector(ctr *cluster.Container, node *cluster.Node, st *ap
 	mappedGB := 0.1 * st.MemUsedGB
 	activeFileGB := 0.2 * st.MemUsedGB
 
-	out := make([]float64, len(defs))
 	for i, d := range defs {
 		switch d.Name {
 		case "cgroup.cpuacct.usage":
@@ -481,7 +640,6 @@ func (c *Collector) ctrVector(ctr *cluster.Container, node *cluster.Node, st *ap
 			out[i] = cum[i]
 		}
 	}
-	return out
 }
 
 func clampPct(v float64) float64 {

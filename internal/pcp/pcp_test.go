@@ -275,7 +275,8 @@ func TestProcessVectorRateConversion(t *testing.T) {
 	}
 	cur := []float64{110, 7}
 	prev := []float64{100, 3}
-	out := processVector(defs, cur, prev, 1)
+	out := make([]float64, len(defs))
+	processInto(defs, cur, prev, 1, out)
 	if out[0] != 10 {
 		t.Errorf("counter rate %v, want 10", out[0])
 	}
@@ -283,12 +284,12 @@ func TestProcessVectorRateConversion(t *testing.T) {
 		t.Errorf("gauge %v, want pass-through 7", out[1])
 	}
 	// Counter reset must clamp to zero, not go negative.
-	out = processVector(defs, []float64{5, 1}, []float64{100, 1}, 1)
+	processInto(defs, []float64{5, 1}, []float64{100, 1}, 1, out)
 	if out[0] != 0 {
 		t.Errorf("reset counter rate %v, want 0", out[0])
 	}
 	// Missing prev yields zero rates.
-	out = processVector(defs, cur, nil, 1)
+	processInto(defs, cur, nil, 1, out)
 	if out[0] != 0 {
 		t.Errorf("no-prev counter rate %v, want 0", out[0])
 	}

@@ -7,9 +7,14 @@
 # so data races cannot hide behind cached passes. The allocation lanes
 # re-run the testing.AllocsPerRun budgets on the columnar frame ops
 # (zero-copy views must stay view-header-only; column access must stay
-# allocation-free) and on the tree builders (the arena must keep tree
-# growth free of per-node allocations) outside the race detector, whose
-# instrumentation would distort the counts. The benchmark smoke lane
+# allocation-free), on the tree builders (the arena must keep tree
+# growth free of per-node allocations), and on the simulator hot loop
+# (CPU arbitration, the engine tick arena, and frame-native metric
+# collection must all stay allocation-free at steady state) outside the
+# race detector, whose instrumentation would distort the counts. The
+# dataset golden lane proves the allocation work never changed a bit of
+# output: generated frames must hash to the recorded fixture at several
+# worker counts. The benchmark smoke lane
 # runs the tree/forest fit and predict benchmarks once (-benchtime=1x):
 # not a timing gate on the 1-core CI box, but it keeps the benchmarks
 # compiling and executing so a perf regression can always be measured.
@@ -38,15 +43,28 @@ go test $short ./...
 echo "==> go test -race -count=1 ./... (race lane)"
 go test -race -count=1 $short ./...
 
+echo "==> go test -race -count=1 ./internal/cluster/ ./internal/apps/ ./internal/pcp/ (simulator race lane)"
+go test -race -count=1 ./internal/cluster/ ./internal/apps/ ./internal/pcp/
+
 echo "==> go test -run TestFrameOpAllocations -count=1 ./internal/frame/ (allocation-regression lane)"
 go test -run TestFrameOpAllocations -count=1 -v ./internal/frame/
 
 echo "==> go test -run TestTreeBuilderAllocations -count=1 ./internal/ml/tree/ (tree-arena allocation lane)"
 go test -run TestTreeBuilderAllocations -count=1 -v ./internal/ml/tree/
 
+echo "==> simulator allocation lane (arbitration, tick arena, frame-native collection must stay allocation-free)"
+go test -run TestArbitrateAllocations -count=1 -v ./internal/cluster/
+go test -run 'TestEngineTickAllocations' -count=1 -v ./internal/apps/
+go test -run 'TestObserveTickAllocations|TestCollectSnapshotReuse' -count=1 -v ./internal/pcp/
+
+echo "==> go test -run TestGenerateGoldenFrameBytes -count=1 ./internal/dataset/ (byte-identical dataset golden)"
+go test -run TestGenerateGoldenFrameBytes -count=1 -v ./internal/dataset/
+
 echo "==> benchmark smoke lane (-benchtime=1x)"
 go test -run '^$' -bench 'BenchmarkTreeFit' -benchtime=1x ./internal/ml/tree/
 go test -run '^$' -bench 'BenchmarkForest' -benchtime=1x ./internal/ml/forest/
+go test -run '^$' -bench 'BenchmarkEngineTick' -benchtime=1x ./internal/apps/
+go test -run '^$' -bench 'BenchmarkAgentObserveTick' -benchtime=1x ./internal/pcp/
 
 echo "==> go run ./scripts/smoke (HTTP serving smoke lane)"
 go run ./scripts/smoke

@@ -1,0 +1,514 @@
+// Command loadgen benchmarks the serving plane at fleet scale: it trains
+// a lean model bundle, builds and launches the real cmd/serve binary on a
+// loopback port, then simulates N instances emitting one metric vector
+// per second and ships them as binary batch frames (?quiet=1) over a few
+// persistent connections. Base vectors come from the allocation-free
+// workload simulator (a handful of Table 1 runs ticking live), tiled
+// across the fleet so every sample is a realistic catalog-width vector
+// without simulating 100k containers one by one.
+//
+// It records per-request ingest latency (p50/p99), per-tick wall time,
+// and end-to-end samples/s into a JSON report, verifies the server
+// tracked every instance and counted every sample, then SIGTERMs the
+// server and requires a clean drain.
+//
+// Usage:
+//
+//	go run ./cmd/loadgen -instances 100000 -ticks 30 -out BENCH_serving_scale.json
+//	go run ./cmd/loadgen -instances 1000 -ticks 10 -out /tmp/smoke.json   # CI smoke
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime/debug"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"monitorless/internal/apps"
+	"monitorless/internal/cluster"
+	"monitorless/internal/core"
+	"monitorless/internal/dataset"
+	"monitorless/internal/features"
+	"monitorless/internal/ml/forest"
+	"monitorless/internal/ml/tree"
+	"monitorless/internal/pcp"
+	"monitorless/internal/serving"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+	debug.SetGCPercent(300)
+
+	var (
+		instances = flag.Int("instances", 100000, "simulated instances")
+		ticks     = flag.Int("ticks", 30, "measured observation ticks")
+		warmup    = flag.Int("warmup", 3, "unmeasured warm-up ticks (fleet maps, pools, scratch all reach steady state)")
+		hz        = flag.Float64("hz", 1, "target ticks per second")
+		batch     = flag.Int("batch", 8192, "samples per binary frame")
+		conns     = flag.Int("conns", 2, "concurrent ingest connections")
+		shards    = flag.Int("shards", 0, "server shard count (0 = server default)")
+		modelPath = flag.String("model", "", "existing lean bundle (default: train one)")
+		out       = flag.String("out", "BENCH_serving_scale.json", "JSON report path")
+	)
+	flag.Parse()
+	if err := run(*instances, *ticks, *warmup, *hz, *batch, *conns, *shards, *modelPath, *out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// report is the BENCH_serving_scale.json shape.
+type report struct {
+	Instances     int     `json:"instances"`
+	Ticks         int     `json:"ticks"`
+	WarmupTicks   int     `json:"warmup_ticks"`
+	TargetHz      float64 `json:"target_hz"`
+	Batch         int     `json:"batch"`
+	Conns         int     `json:"conns"`
+	Shards        int     `json:"shards"`
+	Width         int     `json:"width"`
+	FrameBytes    int     `json:"frame_bytes_per_batch"`
+	TotalSamples  int     `json:"total_samples"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	SamplesPerSec float64 `json:"samples_per_sec"`
+	IngestP50Ms   float64 `json:"ingest_p50_ms"`
+	IngestP99Ms   float64 `json:"ingest_p99_ms"`
+	TickP50Ms     float64 `json:"tick_p50_ms"`
+	TickMaxMs     float64 `json:"tick_max_ms"`
+	OnTimeTicks   int     `json:"on_time_ticks"`
+}
+
+func run(instances, ticks, warmup int, hz float64, batch, conns, shards int, modelPath, out string) error {
+	if instances < 1 || ticks < 1 || batch < 1 || conns < 1 || hz <= 0 {
+		return fmt.Errorf("instances, ticks, batch, conns and hz must be positive")
+	}
+	if warmup < 0 {
+		return fmt.Errorf("warmup must be non-negative")
+	}
+	tmp, err := os.MkdirTemp("", "monitorless-loadgen-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	// 1. Model bundle: lean online config — normalize + importance filter,
+	// no time windows — so per-sample serving cost is dominated by the
+	// plane being measured, not feature math.
+	if modelPath == "" {
+		modelPath = filepath.Join(tmp, "model.gob")
+		start := time.Now()
+		if err := trainLeanBundle(modelPath); err != nil {
+			return fmt.Errorf("train lean bundle: %w", err)
+		}
+		fmt.Printf("trained lean bundle in %s\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	// 2. Launch the real serve binary.
+	bin := filepath.Join(tmp, "serve")
+	if outB, err := exec.Command("go", "build", "-o", bin, "./cmd/serve").CombinedOutput(); err != nil {
+		return fmt.Errorf("build cmd/serve: %v\n%s", err, outB)
+	}
+	args := []string{"-model", modelPath, "-addr", "127.0.0.1:0", "-drain", "10s"}
+	if shards > 0 {
+		args = append(args, "-shards", fmt.Sprint(shards))
+	}
+	cmd := exec.Command(bin, args...)
+	cmd.Env = append(os.Environ(), "GOGC=300")
+	pr, pw, err := os.Pipe()
+	if err != nil {
+		return err
+	}
+	cmd.Stdout = pw
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	pw.Close()
+	defer cmd.Process.Kill()
+
+	base, lines, err := awaitListen(pr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serve up at %s\n", base)
+
+	client := serving.NewClient(base)
+	schema, err := client.Schema()
+	if err != nil {
+		return fmt.Errorf("GET /schema: %w", err)
+	}
+	width := len(schema.Metrics)
+
+	// 3. Traffic source: live simulator ticks provide the base vectors.
+	src, err := newTrafficSource()
+	if err != nil {
+		return fmt.Errorf("traffic source: %w", err)
+	}
+	fmt.Printf("simulator provides %d base vectors of width %d, tiled to %d instances\n",
+		len(src.vectors), width, instances)
+
+	// Precomputed fleet: IDs and the base vector each instance emits. A
+	// few dozen apps so per-app aggregation does real work.
+	samples := make([]pcp.WireSample, instances)
+	const numApps = 32
+	for i := range samples {
+		samples[i] = pcp.WireSample{
+			Instance: fmt.Sprintf("app%02d/svc/%d", i%numApps, i),
+			Values:   src.vectors[i%len(src.vectors)],
+		}
+	}
+
+	// 4. Paced tick loop: each tick advances the simulator, refreshes the
+	// base vectors in place (every tiled sample sees the new values), and
+	// fans batches out over the worker connections as binary frames.
+	numBatches := (instances + batch - 1) / batch
+	type job struct {
+		lo, hi, t int
+		record    bool
+		done      *sync.WaitGroup
+	}
+	jobs := make(chan job, numBatches)
+	latencies := make([]time.Duration, 0, numBatches*ticks)
+	var latMu sync.Mutex
+	var workerErr error
+	var errOnce sync.Once
+	var wg sync.WaitGroup
+	for w := 0; w < conns; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			hc := &http.Client{Timeout: 60 * time.Second}
+			var buf []byte
+			var local []time.Duration
+			for j := range jobs {
+				obs := pcp.WireObservation{T: j.t, SchemaHash: schema.SchemaHash, Samples: samples[j.lo:j.hi]}
+				var err error
+				start := time.Now()
+				buf, err = serving.AppendWire(buf[:0], obs)
+				if err == nil {
+					err = postFrame(hc, base, buf)
+				}
+				if j.record {
+					local = append(local, time.Since(start))
+				}
+				if err != nil {
+					errOnce.Do(func() { workerErr = fmt.Errorf("batch [%d,%d) tick %d: %w", j.lo, j.hi, j.t, err) })
+				}
+				j.done.Done()
+			}
+			latMu.Lock()
+			latencies = append(latencies, local...)
+			latMu.Unlock()
+		}()
+	}
+
+	// Warm-up ticks run the identical paced loop but are excluded from the
+	// measurement: the first ticks pay one-off costs (fleet-sized map
+	// growth, pool and scratch warm-up) that a steady 1 Hz pipeline never
+	// sees again.
+	period := time.Duration(float64(time.Second) / hz)
+	tickWall := make([]time.Duration, 0, ticks)
+	onTime := 0
+	var benchStart time.Time
+	total := warmup + ticks
+	for t := 0; t < total; t++ {
+		measured := t >= warmup
+		if t == warmup {
+			benchStart = time.Now()
+		}
+		tickStart := time.Now()
+		src.tick()
+		var tickWG sync.WaitGroup
+		for lo := 0; lo < instances; lo += batch {
+			hi := min(lo+batch, instances)
+			tickWG.Add(1)
+			jobs <- job{lo: lo, hi: hi, t: t, record: measured, done: &tickWG}
+		}
+		// Drain this tick before mutating the base vectors for the next.
+		tickWG.Wait()
+		el := time.Since(tickStart)
+		if workerErr != nil {
+			close(jobs)
+			wg.Wait()
+			return workerErr
+		}
+		if measured {
+			tickWall = append(tickWall, el)
+			if el < period {
+				onTime++
+			}
+		}
+		if el < period && t < total-1 {
+			time.Sleep(period - el)
+		}
+	}
+	wall := time.Since(benchStart)
+	close(jobs)
+	wg.Wait()
+	if workerErr != nil {
+		return workerErr
+	}
+
+	// 5. The server must have tracked the whole fleet and every sample.
+	stats, err := client.Healthz()
+	if err != nil {
+		return fmt.Errorf("GET /healthz: %w", err)
+	}
+	totalSamples := instances * ticks
+	if stats.Instances != instances {
+		return fmt.Errorf("server tracks %d instances, want %d", stats.Instances, instances)
+	}
+	if want := instances * (warmup + ticks); int(stats.SamplesTotal) != want {
+		return fmt.Errorf("server counted %.0f samples, want %d", stats.SamplesTotal, want)
+	}
+	apps, err := client.Apps()
+	if err != nil {
+		return fmt.Errorf("GET /apps: %w", err)
+	}
+	if len(apps) != numApps {
+		return fmt.Errorf("server aggregates %d apps, want %d", len(apps), numApps)
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	sort.Slice(tickWall, func(i, j int) bool { return tickWall[i] < tickWall[j] })
+	frameBytes := 0
+	if probe, err := serving.EncodeWire(pcp.WireObservation{T: 0, SchemaHash: schema.SchemaHash,
+		Samples: samples[:min(batch, instances)]}); err == nil {
+		frameBytes = len(probe)
+	}
+	rep := report{
+		Instances:     instances,
+		Ticks:         ticks,
+		WarmupTicks:   warmup,
+		TargetHz:      hz,
+		Batch:         batch,
+		Conns:         conns,
+		Shards:        stats.Shards,
+		Width:         width,
+		FrameBytes:    frameBytes,
+		TotalSamples:  totalSamples,
+		WallSeconds:   wall.Seconds(),
+		SamplesPerSec: float64(totalSamples) / wall.Seconds(),
+		IngestP50Ms:   ms(quantile(latencies, 0.50)),
+		IngestP99Ms:   ms(quantile(latencies, 0.99)),
+		TickP50Ms:     ms(quantile(tickWall, 0.50)),
+		TickMaxMs:     ms(tickWall[len(tickWall)-1]),
+		OnTimeTicks:   onTime,
+	}
+	if rep.SamplesPerSec <= 0 {
+		return fmt.Errorf("measured zero throughput")
+	}
+	blob, _ := json.MarshalIndent(rep, "", "  ")
+	blob = append(blob, '\n')
+	if err := os.WriteFile(out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%d instances × %d ticks: %.0f samples/s, ingest p50 %.1fms p99 %.1fms, tick p50 %.0fms max %.0fms, %d/%d ticks on time\n",
+		instances, ticks, rep.SamplesPerSec, rep.IngestP50Ms, rep.IngestP99Ms, rep.TickP50Ms, rep.TickMaxMs, onTime, ticks)
+	fmt.Printf("report written to %s\n", out)
+
+	// 6. Clean SIGTERM drain.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+	select {
+	case err := <-exited:
+		if err != nil {
+			return fmt.Errorf("serve exited uncleanly after SIGTERM: %w", err)
+		}
+	case <-time.After(20 * time.Second):
+		return fmt.Errorf("serve did not exit within 20s of SIGTERM")
+	}
+	if rest := <-lines; !strings.Contains(rest, "drained cleanly") {
+		return fmt.Errorf("no clean-drain confirmation in output:\n%s", rest)
+	}
+	fmt.Println("serve drained cleanly")
+	return nil
+}
+
+func postFrame(hc *http.Client, base string, frame []byte) error {
+	resp, err := hc.Post(base+"/ingest?quiet=1", serving.WireContentType, bytes.NewReader(frame))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("ingest status %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	_, err = io.Copy(io.Discard, resp.Body)
+	return err
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// trafficSource wraps a live simulator: a few Table 1 runs ticking on one
+// training host, their per-instance vectors copied out each tick into
+// stable slices the tiled fleet references.
+type trafficSource struct {
+	eng     *apps.Engine
+	agent   *pcp.Agent
+	ctrs    []*cluster.Container
+	vectors [][]float64
+}
+
+func newTrafficSource() (*trafficSource, error) {
+	var cfgs []dataset.RunConfig
+	for _, c := range dataset.Table1() {
+		switch c.ID {
+		case 1, 7, 8, 9, 22, 23:
+			cfgs = append(cfgs, c)
+		}
+	}
+	c, err := cluster.New(apps.TrainingNode("load"))
+	if err != nil {
+		return nil, err
+	}
+	var appList []*apps.App
+	for _, cfg := range cfgs {
+		app, err := apps.Build(c, fmt.Sprintf("run%d", cfg.ID), cfg.Traffic(11), []apps.ServiceSpec{{
+			Name:       cfg.Service,
+			Node:       "load",
+			Profile:    cfg.Profile(),
+			Visit:      1,
+			CPULimit:   cfg.CPULimit,
+			MemLimitGB: cfg.MemLimitGB,
+		}})
+		if err != nil {
+			return nil, err
+		}
+		appList = append(appList, app)
+	}
+	eng, err := apps.NewEngine(c, appList...)
+	if err != nil {
+		return nil, err
+	}
+	src := &trafficSource{eng: eng, agent: pcp.NewAgent(pcp.NewCollector(pcp.DefaultCatalog(), 11))}
+	for _, app := range appList {
+		for _, s := range app.Services() {
+			for _, inst := range s.Instances() {
+				src.ctrs = append(src.ctrs, inst.Ctr)
+			}
+		}
+	}
+	width := len(src.agent.Catalog().CombinedDefs())
+	src.vectors = make([][]float64, len(src.ctrs))
+	for i := range src.vectors {
+		src.vectors[i] = make([]float64, width)
+	}
+	// Two warm ticks: the first agent observation only primes counters.
+	src.tick()
+	src.tick()
+	return src, nil
+}
+
+// tick advances the simulation one second and refreshes the base vectors
+// in place (the fleet's samples alias them, so every tiled instance sees
+// the new values without any per-tick reassignment).
+func (s *trafficSource) tick() {
+	s.eng.Tick()
+	ts, ok := s.agent.ObserveTick(s.eng)
+	if !ok {
+		return
+	}
+	for i, ctr := range s.ctrs {
+		if ri := ts.Index(ctr); ri >= 0 {
+			copy(s.vectors[i], ts.Vector(ri))
+		}
+	}
+}
+
+// trainLeanBundle fits the load-test model: normalize + importance filter
+// (no time windows), a small histogram-trained forest — the cheapest
+// per-sample online path that still runs the full pipeline and forest.
+func trainLeanBundle(path string) error {
+	var cfgs []dataset.RunConfig
+	for _, c := range dataset.Table1() {
+		switch c.ID {
+		case 1, 8, 22:
+			cfgs = append(cfgs, c)
+		}
+	}
+	rep, err := dataset.Generate(cfgs, dataset.GenOptions{Duration: 300, RampSeconds: 200, Seed: 3})
+	if err != nil {
+		return err
+	}
+	m, err := core.Train(rep.Dataset, core.TrainConfig{
+		Pipeline: features.Config{
+			Normalize:   true,
+			Reduce1:     features.ReduceFilter,
+			FilterTopK:  16,
+			FilterTrees: 10,
+			Seed:        7,
+		},
+		Forest: forest.Config{
+			NumTrees:       12,
+			MinSamplesLeaf: 20,
+			Criterion:      tree.Entropy,
+			Splitter:       tree.Hist,
+			Seed:           7,
+		},
+		Threshold: 0.4,
+	})
+	if err != nil {
+		return err
+	}
+	return core.SaveBundleFile(path, m, 3)
+}
+
+// awaitListen scans serve's stdout for the listen banner and returns the
+// base URL plus a channel that later yields the remaining output.
+func awaitListen(stdout io.Reader) (string, chan string, error) {
+	scanner := bufio.NewScanner(stdout)
+	found := make(chan string, 1)
+	rest := make(chan string, 1)
+	go func() {
+		var tail strings.Builder
+		for scanner.Scan() {
+			line := scanner.Text()
+			if i := strings.Index(line, "serving on http://"); i >= 0 {
+				addr := line[i+len("serving on "):]
+				if j := strings.IndexByte(addr, ' '); j >= 0 {
+					addr = addr[:j]
+				}
+				select {
+				case found <- addr:
+				default:
+				}
+				continue
+			}
+			tail.WriteString(line)
+			tail.WriteString("\n")
+		}
+		rest <- tail.String()
+	}()
+	select {
+	case addr := <-found:
+		return addr, rest, nil
+	case <-time.After(60 * time.Second):
+		return "", nil, fmt.Errorf("serve did not print its listen address within 60s")
+	}
+}

@@ -46,6 +46,7 @@ func main() {
 		debounceK  = flag.Int("debounce-k", 3, "raise an app alarm when ≥K of the last N raw decisions were saturated")
 		debounceN  = flag.Int("debounce-n", 5, "debounce window length in ticks")
 		clearBelow = flag.Int("clear-below", 1, "clear the alarm when fewer than this many positives remain in the window")
+		shards     = flag.Int("shards", 0, "instance-state shard count, rounded up to a power of two (0 = default)")
 		drain      = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
 		replay     = flag.Bool("replay", false, "replay the Table 7 TeaStore loop through the HTTP API and verify it matches the in-process path")
 		target     = flag.String("target", "", "replay: existing serve instance to drive (default: self-host on a loopback port)")
@@ -66,10 +67,12 @@ func main() {
 		DebounceK:  *debounceK,
 		DebounceN:  *debounceN,
 		ClearBelow: *clearBelow,
+		Shards:     *shards,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("instance state sharded %d ways\n", svc.NumShards())
 
 	if *replay {
 		if err := runReplay(svc, b.Model, *target, *duration, *seed); err != nil {

@@ -113,6 +113,28 @@ func (m *Model) PredictVector(vec []float64) (prob float64, saturated bool) {
 	return p, p >= m.Threshold
 }
 
+// EngineeredSchema returns the engineered feature schema the forest
+// consumes — the column layout for the serving layer's per-tick scratch
+// frames.
+func (m *Model) EngineeredSchema() frame.Schema {
+	names := m.Pipeline.OutputNames()
+	out := make(frame.Schema, len(names))
+	for i, n := range names {
+		out[i] = frame.Col{Name: n}
+	}
+	return out
+}
+
+// PredictProbaRowsInto is the batch serving entry: it scores every row
+// of an already-engineered frame through the forest's flattened
+// tree-outer walk, reusing dst when its capacity suffices. The per-row
+// probabilities are bit-identical to calling PredictVector row by row
+// (the batch walk accumulates trees in the same order); callers apply
+// m.Threshold for the decision.
+func (m *Model) PredictProbaRowsInto(engineered *frame.Frame, dst []float64) []float64 {
+	return m.Forest.PredictProbaFrameRowsInto(engineered, nil, dst)
+}
+
 // PredictWindow classifies the most recent sample of one instance given
 // its trailing window of raw metric vectors (oldest first).
 func (m *Model) PredictWindow(window [][]float64) (prob float64, saturated bool, err error) {

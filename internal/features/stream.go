@@ -206,39 +206,156 @@ func (st *StreamState) Samples() int { return st.n }
 // result is bit-identical to transforming the instance's full history
 // through the batch pipeline and taking the last row.
 func (s *Streamer) Step(st *StreamState, raw []float64) ([]float64, error) {
+	return s.StepInto(st, raw, nil)
+}
+
+// StepScratch holds the reusable row buffers StepInto ping-pongs the step
+// chain through, so a steady-state step makes zero allocations. One
+// scratch serves one goroutine at a time; vectors returned by StepInto
+// alias its buffers and are only valid until the next StepInto call with
+// the same scratch.
+type StepScratch struct {
+	bufs [2][]float64
+}
+
+// StepInto is Step with caller-owned scratch buffers: the same arithmetic
+// in the same order (so results stay bit-identical to the batch pipeline),
+// but intermediate and output rows live in sc instead of fresh slices. A
+// nil scratch behaves exactly like Step. Steps without an append-style
+// path (PCA) fall back to their allocating TransformRow.
+func (s *Streamer) StepInto(st *StreamState, raw []float64, sc *StepScratch) ([]float64, error) {
 	if len(raw) != s.pipe.InCols {
 		return nil, fmt.Errorf("features: stream: pipeline fitted on %d raw cols, got %d", s.pipe.InCols, len(raw))
 	}
 	cur := raw
-	for _, step := range s.pre {
-		next, err := step.TransformRow(cur)
+	slot := 0
+	apply := func(step RowStep) error {
+		var next []float64
+		var err error
+		handled := false
+		if sc != nil {
+			next, handled, err = transformRowInto(step, sc.bufs[slot][:0], cur)
+			if handled && err == nil {
+				sc.bufs[slot] = next
+				slot ^= 1
+			}
+		}
+		if !handled {
+			next, err = step.TransformRow(cur)
+		}
 		if err != nil {
-			return nil, fmt.Errorf("features: stream %s: %w", step.Name(), err)
+			return fmt.Errorf("features: stream %s: %w", step.Name(), err)
 		}
 		cur = next
+		return nil
+	}
+	for _, step := range s.pre {
+		if err := apply(step); err != nil {
+			return nil, err
+		}
 	}
 	if s.tf != nil {
-		next, err := s.timeStep(st, cur)
+		var out []float64
+		if sc != nil {
+			out = sc.bufs[slot][:0]
+		}
+		next, err := s.timeStep(st, cur, out)
 		if err != nil {
 			return nil, err
+		}
+		if sc != nil {
+			sc.bufs[slot] = next
+			slot ^= 1
 		}
 		cur = next
 	}
 	st.n++
 	for _, step := range s.post {
-		next, err := step.TransformRow(cur)
-		if err != nil {
-			return nil, fmt.Errorf("features: stream %s: %w", step.Name(), err)
+		if err := apply(step); err != nil {
+			return nil, err
 		}
-		cur = next
 	}
 	return cur, nil
 }
 
-// timeStep appends the X-AVG/X-LAG variants for row index st.n, updating
-// the rings. It mirrors TimeFeatures.Transform exactly: averages divide a
-// prefix-sum difference by the clamped span, lags clamp to row 0.
-func (s *Streamer) timeStep(st *StreamState, base []float64) ([]float64, error) {
+// transformRowInto is the allocation-free twin of RowStep.TransformRow:
+// it appends the transformed row to dst (which must be empty) and reports
+// whether the step has an append path at all. The arithmetic — every
+// operation and its order — matches TransformRow exactly.
+func transformRowInto(step RowStep, dst, row []float64) ([]float64, bool, error) {
+	switch t := step.(type) {
+	case *Expand:
+		if t.In == 0 {
+			return nil, true, fmt.Errorf("fitted before streaming support; re-fit the pipeline")
+		}
+		if len(row) != t.In {
+			return nil, true, fmt.Errorf("fitted on %d cols, got %d", t.In, len(row))
+		}
+		nr := append(dst, row...)
+		for _, ci := range t.LogIdx {
+			nr[ci] = log10p1(nr[ci])
+		}
+		for k, i := range t.TargetIdx {
+			v := row[i]
+			for _, spec := range levelSpecs(t.TargetCPU[k]) {
+				if spec.Test(v) {
+					nr = append(nr, 1)
+				} else {
+					nr = append(nr, 0)
+				}
+			}
+		}
+		return nr, true, nil
+	case *StandardScale:
+		if len(row) != len(t.Mean) {
+			return nil, true, fmt.Errorf("fitted on %d cols, got %d", len(t.Mean), len(row))
+		}
+		nr := dst
+		for i, v := range row {
+			if t.Std[i] > 0 {
+				nr = append(nr, (v-t.Mean[i])/t.Std[i])
+			} else {
+				nr = append(nr, 0)
+			}
+		}
+		return nr, true, nil
+	case *RFFilter:
+		nr, err := appendSelect(dst, row, t.Keep)
+		return nr, true, err
+	case *DropZeroVariance:
+		nr, err := appendSelect(dst, row, t.Keep)
+		return nr, true, err
+	case *Products:
+		if len(row) != t.InCols {
+			return nil, true, fmt.Errorf("fitted on %d cols, got %d", t.InCols, len(row))
+		}
+		nr := append(dst, row...)
+		for _, pr := range t.Pairs {
+			nr = append(nr, row[pr[0]]*row[pr[1]])
+		}
+		return nr, true, nil
+	}
+	return nil, false, nil
+}
+
+// appendSelect is selectRow appending onto dst.
+func appendSelect(dst, row []float64, keep []int) ([]float64, error) {
+	for _, k := range keep {
+		if k >= len(row) {
+			return nil, fmt.Errorf("column %d out of range (%d cols)", k, len(row))
+		}
+		dst = append(dst, row[k])
+	}
+	return dst, nil
+}
+
+// timeStep appends the X-AVG/X-LAG variants for row index st.n onto out
+// (nil for a fresh slice), updating the rings. It mirrors
+// TimeFeatures.Transform exactly: averages divide a prefix-sum difference
+// by the clamped span, lags clamp to row 0. The rings own their row
+// storage — base is copied in, never retained — so callers may reuse the
+// slice behind base across steps.
+func (s *Streamer) timeStep(st *StreamState, base, out []float64) ([]float64, error) {
 	if len(base) != s.baseCols {
 		return nil, fmt.Errorf("features: stream time-features fitted on %d cols, got %d", s.baseCols, len(base))
 	}
@@ -252,15 +369,17 @@ func (s *Streamer) timeStep(st *StreamState, base []float64) ([]float64, error) 
 	if len(prev) < s.baseCols {
 		prev = make([]float64, s.baseCols) // zeroVec too short for this schema
 	}
-	p := make([]float64, s.baseCols)
+	p := ringRow(st.prefix, j, s.baseCols)
 	for c := 0; c < s.baseCols; c++ {
 		p[c] = prev[c] + base[c]
 	}
-	st.prefix[j%len(st.prefix)] = p
-	st.base[j%len(st.base)] = base
+	copy(ringRow(st.base, j, s.baseCols), base)
 
 	tf := s.tf
-	nr := make([]float64, 0, s.baseCols*(1+len(tf.AvgWindows)+len(tf.LagWindows)))
+	nr := out
+	if cap(nr) == 0 {
+		nr = make([]float64, 0, s.baseCols*(1+len(tf.AvgWindows)+len(tf.LagWindows)))
+	}
 	nr = append(nr, base...)
 	for _, w := range tf.AvgWindows {
 		lo := j - w
@@ -288,6 +407,17 @@ func (s *Streamer) timeStep(st *StreamState, base []float64) ([]float64, error) 
 		nr = append(nr, lagRow[:s.baseCols]...)
 	}
 	return nr, nil
+}
+
+// ringRow returns ring slot j's row, (re)allocating it to cols once so
+// steady-state ring updates are copies into owned storage.
+func ringRow(ring [][]float64, j, cols int) []float64 {
+	i := j % len(ring)
+	if cap(ring[i]) < cols {
+		ring[i] = make([]float64, cols)
+	}
+	ring[i] = ring[i][:cols]
+	return ring[i]
 }
 
 // zeroVec stands in for the implicit P[-1] = 0 prefix; wide enough for any

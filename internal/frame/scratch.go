@@ -1,0 +1,67 @@
+package frame
+
+import "fmt"
+
+// Scratch is a reusable dense row buffer over a fixed schema, built for
+// tick-batched serving: each tick the caller asks for an n-row frame,
+// fills it row by row, and hands it to a batch predictor. The backing
+// array is reused across ticks (growing monotonically to the high-water
+// row count), so a steady-state tick performs no allocations here.
+//
+// A Scratch is not safe for concurrent use; the serving layer keeps one
+// per shard behind the shard lock. The frame returned by Frame aliases
+// the scratch backing and is invalidated by the next Frame call.
+type Scratch struct {
+	f Frame
+}
+
+// NewScratch returns a scratch buffer over schema with initial capacity
+// for capRows rows.
+func NewScratch(schema Schema, capRows int) *Scratch {
+	if capRows < 0 {
+		capRows = 0
+	}
+	return &Scratch{f: Frame{
+		schema: schema,
+		data:   make([]float64, capRows*len(schema)),
+		stride: capRows,
+		owned:  true,
+	}}
+}
+
+// Frame resizes the scratch to exactly rows rows (reusing the backing
+// when capacity suffices, reallocating otherwise) and returns it. The
+// row contents are unspecified until set; the caller must fill every row
+// it reads back. The returned frame has no spans and no labels.
+func (s *Scratch) Frame(rows int) *Frame {
+	if rows < 0 {
+		panic(fmt.Sprintf("frame: scratch resize to %d rows", rows))
+	}
+	if s.f.stride < rows {
+		ns := 2 * s.f.stride
+		if ns < rows {
+			ns = rows
+		}
+		s.f.data = make([]float64, ns*len(s.f.schema))
+		s.f.stride = ns
+	}
+	s.f.rows = rows
+	return &s.f
+}
+
+// SetRow writes vals as row i of the scratch. It must follow a Frame
+// call that covered row i.
+func (s *Scratch) SetRow(i int, vals []float64) {
+	if i < 0 || i >= s.f.rows {
+		panic(fmt.Sprintf("frame: scratch row %d out of range (rows=%d)", i, s.f.rows))
+	}
+	if len(vals) != len(s.f.schema) {
+		panic(fmt.Sprintf("frame: scratch row has %d values, schema has %d", len(vals), len(s.f.schema)))
+	}
+	for j, v := range vals {
+		s.f.data[j*s.f.stride+i] = v
+	}
+}
+
+// Cap returns the current row capacity (for tests and sizing heuristics).
+func (s *Scratch) Cap() int { return s.f.stride }

@@ -1,0 +1,80 @@
+package frame
+
+import "testing"
+
+func TestScratchRoundTrip(t *testing.T) {
+	schema := Schema{{Name: "a"}, {Name: "b"}, {Name: "c"}}
+	s := NewScratch(schema, 2)
+
+	fr := s.Frame(2)
+	s.SetRow(0, []float64{1, 2, 3})
+	s.SetRow(1, []float64{4, 5, 6})
+	if fr.Rows() != 2 || fr.NumCols() != 3 {
+		t.Fatalf("frame shape %dx%d", fr.Rows(), fr.NumCols())
+	}
+	for i, want := range [][]float64{{1, 2, 3}, {4, 5, 6}} {
+		for j, v := range want {
+			if got := fr.At(i, j); got != v {
+				t.Fatalf("At(%d,%d) = %v, want %v", i, j, got, v)
+			}
+		}
+	}
+
+	// Growing reallocates; shrinking reuses and keeps columns addressable.
+	fr = s.Frame(5)
+	if fr.Rows() != 5 || s.Cap() < 5 {
+		t.Fatalf("grow: rows=%d cap=%d", fr.Rows(), s.Cap())
+	}
+	for i := 0; i < 5; i++ {
+		s.SetRow(i, []float64{float64(i), float64(i) * 10, float64(i) * 100})
+	}
+	fr = s.Frame(3)
+	if fr.Rows() != 3 {
+		t.Fatalf("shrink: rows=%d", fr.Rows())
+	}
+	if got := fr.At(2, 1); got != 20 {
+		t.Fatalf("shrunk frame lost data: At(2,1)=%v", got)
+	}
+	if err := fr.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestScratchPanics(t *testing.T) {
+	s := NewScratch(Schema{{Name: "a"}}, 1)
+	s.Frame(1)
+	for name, fn := range map[string]func(){
+		"row out of range": func() { s.SetRow(1, []float64{1}) },
+		"width mismatch":   func() { s.SetRow(0, []float64{1, 2}) },
+		"negative rows":    func() { s.Frame(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestScratchSteadyStateAllocations pins the reuse contract: once the
+// scratch has grown to the high-water row count, a tick (resize + fill)
+// performs no allocations.
+func TestScratchSteadyStateAllocations(t *testing.T) {
+	schema := Schema{{Name: "a"}, {Name: "b"}}
+	s := NewScratch(schema, 0)
+	row := []float64{1, 2}
+	s.Frame(64) // warm to high water
+	allocs := testing.AllocsPerRun(100, func() {
+		fr := s.Frame(64)
+		for i := 0; i < 64; i++ {
+			s.SetRow(i, row)
+		}
+		_ = fr.Col(0)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state scratch tick allocates %v times, want 0", allocs)
+	}
+}

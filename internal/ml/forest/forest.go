@@ -244,16 +244,31 @@ func (f *Forest) Predict(x []float64) int {
 // PredictProba's loop, so the result is bit-identical to calling
 // PredictProba row by row.
 func (f *Forest) PredictProbaFrameRows(fr *frame.Frame, rows []int) []float64 {
+	return f.PredictProbaFrameRowsInto(fr, rows, nil)
+}
+
+// PredictProbaFrameRowsInto is PredictProbaFrameRows with a caller-owned
+// output buffer: dst is reused when its capacity suffices (the serving
+// tick loop passes a per-shard slab so steady-state batch prediction
+// allocates nothing). The accumulation order is identical to the
+// allocating path, so results stay bit-identical to per-row PredictProba.
+func (f *Forest) PredictProbaFrameRowsInto(fr *frame.Frame, rows []int, dst []float64) []float64 {
 	n := fr.Rows()
 	if rows != nil {
 		n = len(rows)
 	}
-	out := make([]float64, n)
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	out := dst[:n]
 	if !f.fitted {
 		for i := range out {
 			out[i] = 0.5
 		}
 		return out
+	}
+	for i := range out {
+		out[i] = 0
 	}
 	for _, t := range f.trees {
 		t.AccumProbaFrameRows(fr, rows, out)

@@ -21,8 +21,17 @@ type Client struct {
 	http *http.Client
 	// ServiceOf optionally annotates outgoing samples with service names.
 	ServiceOf map[string]string
+	// Wire selects the binary batch frame encoding for /ingest (the JSON
+	// compat encoding is the default). Both land on the same endpoint and
+	// the same server-side ingest path.
+	Wire bool
+	// Quiet asks the server to omit the per-instance prediction echo from
+	// ingest responses (?quiet=1) — the high-throughput agent mode.
+	// Predict requires the echo and must not be combined with Quiet.
+	Quiet bool
 
 	schemaHash string
+	wireBuf    []byte
 }
 
 // NewClient returns a client for a server at base (e.g.
@@ -79,11 +88,24 @@ func (c *Client) Ingest(obs pcp.Observation) (*IngestResponse, error) {
 		c.schemaHash = s.SchemaHash
 	}
 	wire := pcp.ToWire(obs, c.schemaHash, c.ServiceOf)
-	body, err := json.Marshal(wire)
+	contentType := "application/json"
+	var body []byte
+	var err error
+	if c.Wire {
+		contentType = WireContentType
+		c.wireBuf, err = AppendWire(c.wireBuf[:0], wire)
+		body = c.wireBuf
+	} else {
+		body, err = json.Marshal(wire)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("serving client: encode: %w", err)
 	}
-	resp, err := c.http.Post(c.base+"/ingest", "application/json", bytes.NewReader(body))
+	url := c.base + "/ingest"
+	if c.Quiet {
+		url += "?quiet=1"
+	}
+	resp, err := c.http.Post(url, contentType, bytes.NewReader(body))
 	if err != nil {
 		return nil, fmt.Errorf("serving client: POST /ingest: %w", err)
 	}

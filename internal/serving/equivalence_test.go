@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -21,6 +22,18 @@ import (
 // the server's final /metrics dump.
 func streamMatchesBatch(t *testing.T, m *core.Model, ds *dataset.Dataset) (rows int, metrics string) {
 	t.Helper()
+	return streamMatchesBatchOpt(t, m, ds, false)
+}
+
+// streamMatchesBatchWire is streamMatchesBatch over the binary batch
+// transport instead of JSON.
+func streamMatchesBatchWire(t *testing.T, m *core.Model, ds *dataset.Dataset) (rows int, metrics string) {
+	t.Helper()
+	return streamMatchesBatchOpt(t, m, ds, true)
+}
+
+func streamMatchesBatchOpt(t *testing.T, m *core.Model, ds *dataset.Dataset, wire bool) (rows int, metrics string) {
+	t.Helper()
 	eval := ds.FilterRuns(1, 22)
 	tab := features.FromDataset(eval)
 	preds, probs, err := m.PredictTable(tab)
@@ -35,6 +48,7 @@ func streamMatchesBatch(t *testing.T, m *core.Model, ds *dataset.Dataset) (rows 
 	srv := httptest.NewServer(NewServer(svc))
 	defer srv.Close()
 	c := NewClient(srv.URL)
+	c.Wire = wire
 
 	ids := map[int]string{}
 	maxLen := 0
@@ -118,6 +132,16 @@ func TestHTTPStreamingMatchesBatchPredictions(t *testing.T) {
 		}
 	})
 
+	t.Run("wire-transport", func(t *testing.T) {
+		// Same proof over the binary batch transport: the wire frame must
+		// carry float64 values bitwise, so streamed probabilities stay
+		// bit-identical to the offline batch path.
+		rows, _ := streamMatchesBatchWire(t, m, ds)
+		if rows == 0 {
+			t.Fatal("no rows served")
+		}
+	})
+
 	t.Run("hist-bundle", func(t *testing.T) {
 		hm, err := core.Train(ds, core.TrainConfig{
 			Pipeline: features.Config{
@@ -156,4 +180,139 @@ func TestHTTPStreamingMatchesBatchPredictions(t *testing.T) {
 		}
 		streamMatchesBatch(t, b.Model, ds)
 	})
+}
+
+// TestBinaryIngestMatchesJSONIngest drives the identical observation
+// stream into two fresh services — one over the JSON compat encoding,
+// one over the binary batch frame — and requires every per-tick
+// prediction to be bit-identical. Both encodings land on the same
+// /ingest endpoint and the same server-side path; the only difference
+// allowed is the bytes on the wire.
+func TestBinaryIngestMatchesJSONIngest(t *testing.T) {
+	m, ds := sharedTestModel(t)
+	tab := features.FromDataset(ds.FilterRuns(1, 23))
+
+	type lane struct {
+		wire bool
+		c    *Client
+		srv  *httptest.Server
+	}
+	lanes := make([]*lane, 2)
+	for i, wire := range []bool{false, true} {
+		svc, err := New(Config{Model: m, Shards: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(NewServer(svc))
+		defer srv.Close()
+		c := NewClient(srv.URL)
+		c.Wire = wire
+		lanes[i] = &lane{wire: wire, c: c, srv: srv}
+	}
+
+	const ticks = 40
+	for j := 0; j < ticks; j++ {
+		obs := pcp.Observation{T: j, Vectors: map[string][]float64{}}
+		for _, run := range tab.Runs {
+			if j < len(run.Rows) {
+				obs.Vectors[fmt.Sprintf("eq/run%d/0", run.ID)] = run.Rows[j]
+			}
+		}
+		resps := make([]*IngestResponse, 2)
+		for i, l := range lanes {
+			resp, err := l.c.Ingest(obs)
+			if err != nil {
+				t.Fatalf("tick %d wire=%v: %v", j, l.wire, err)
+			}
+			resps[i] = resp
+		}
+		if len(resps[0].Predictions) == 0 {
+			t.Fatalf("tick %d: empty predictions", j)
+		}
+		if !reflect.DeepEqual(resps[0].Predictions, resps[1].Predictions) {
+			t.Fatalf("tick %d: JSON and binary predictions diverge:\n json %+v\n wire %+v",
+				j, resps[0].Predictions, resps[1].Predictions)
+		}
+		if !reflect.DeepEqual(resps[0].Apps, resps[1].Apps) {
+			t.Fatalf("tick %d: JSON and binary app decisions diverge", j)
+		}
+	}
+}
+
+// TestShardCountEquivalence proves the tick-batched prediction path is
+// bit-identical to the per-row path regardless of sharding: the same
+// stream ingested into services sharded 1/4/16 ways must produce
+// identical predictions, all equal to a reference computed sample by
+// sample with the streamer plus per-vector forest walk.
+func TestShardCountEquivalence(t *testing.T) {
+	m, ds := sharedTestModel(t)
+	tab := features.FromDataset(ds.FilterRuns(1, 22, 23))
+
+	shardCounts := []int{1, 4, 16}
+	svcs := make([]*Service, len(shardCounts))
+	for i, n := range shardCounts {
+		svc, err := New(Config{Model: m, Shards: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		svcs[i] = svc
+	}
+
+	// Per-row reference: independent streamer states, one PredictVector
+	// per sample — the pre-batching serving semantics.
+	streamer, err := m.Streamer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := map[string]*features.StreamState{}
+	refProbs := map[string][]float64{}
+
+	const ticks = 40
+	for j := 0; j < ticks; j++ {
+		obs := pcp.WireObservation{T: j}
+		for _, run := range tab.Runs {
+			if j >= len(run.Rows) {
+				continue
+			}
+			id := fmt.Sprintf("sh/run%d/0", run.ID)
+			obs.Samples = append(obs.Samples, pcp.WireSample{Instance: id, Values: run.Rows[j]})
+			st := states[id]
+			if st == nil {
+				st = streamer.NewState()
+				states[id] = st
+			}
+			fvec, err := streamer.Step(st, run.Rows[j])
+			if err != nil {
+				t.Fatalf("reference step: %v", err)
+			}
+			p, _ := m.PredictVector(fvec)
+			refProbs[id] = append(refProbs[id], p)
+		}
+		for i, svc := range svcs {
+			resp, err := svc.Ingest(obs)
+			if err != nil {
+				t.Fatalf("shards=%d tick %d: %v", shardCounts[i], j, err)
+			}
+			for id, pred := range resp.Predictions {
+				if want := refProbs[id][j]; pred.Prob != want {
+					t.Fatalf("shards=%d tick %d %s: batched prob %v != per-row prob %v (not bit-identical)",
+						shardCounts[i], j, id, pred.Prob, want)
+				}
+			}
+			if len(resp.Predictions) != len(obs.Samples) {
+				t.Fatalf("shards=%d tick %d: %d predictions for %d samples",
+					shardCounts[i], j, len(resp.Predictions), len(obs.Samples))
+			}
+			svc.PutResponse(resp)
+		}
+	}
+
+	// Final snapshots across shard counts must agree exactly.
+	base := svcs[0].Predictions()
+	for i := 1; i < len(svcs); i++ {
+		if got := svcs[i].Predictions(); !reflect.DeepEqual(base, got) {
+			t.Fatalf("final predictions diverge between shards=%d and shards=%d",
+				shardCounts[0], shardCounts[i])
+		}
+	}
 }

@@ -4,15 +4,52 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strings"
+	"sync"
 	"time"
 
 	"monitorless/internal/pcp"
 )
 
-// maxIngestBytes bounds one /ingest request body (an observation with a
-// few hundred instances fits in well under a megabyte).
-const maxIngestBytes = 16 << 20
+// maxIngestBytes bounds one /ingest request body (a binary batch frame
+// carrying ~8k instances at catalog width is ~17 MB).
+const maxIngestBytes = 64 << 20
+
+// bodyPool recycles frame read buffers across /ingest requests. DecodeWire
+// copies identifiers and values out of the input, so the buffer can be
+// returned as soon as decoding finishes.
+var bodyPool sync.Pool
+
+// wireScratchPool recycles decode slabs (sample headers + value matrix)
+// across /ingest requests; the service copies everything it keeps out of
+// the observation before the handler returns the scratch.
+var wireScratchPool sync.Pool
+
+// readFrameBody reads a binary frame body, reusing a pooled buffer sized
+// from Content-Length when the client declares one (io.ReadAll would grow
+// and re-copy a multi-megabyte frame several times per request). The
+// returned release func recycles the buffer; call it only after the frame
+// bytes are no longer referenced.
+func readFrameBody(r *http.Request) (body []byte, release func(), err error) {
+	release = func() {}
+	if n := r.ContentLength; n > 0 && n <= maxIngestBytes {
+		bp, _ := bodyPool.Get().(*[]byte)
+		if bp == nil || cap(*bp) < int(n) {
+			b := make([]byte, n)
+			bp = &b
+		}
+		body = (*bp)[:n]
+		if _, err := io.ReadFull(r.Body, body); err != nil {
+			bodyPool.Put(bp)
+			return nil, release, err
+		}
+		return body, func() { bodyPool.Put(bp) }, nil
+	}
+	body, err = io.ReadAll(r.Body)
+	return body, release, err
+}
 
 // Server is the HTTP front of a Service:
 //
@@ -83,6 +120,23 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
 }
 
+// isWireContentType reports whether a Content-Type header selects the
+// binary batch frame encoding (parameters such as charset are ignored).
+func isWireContentType(ct string) bool {
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	ct = strings.ToLower(strings.TrimSpace(ct))
+	return ct == WireContentType || ct == "application/octet-stream"
+}
+
+// handleIngest accepts one observation per POST, negotiated by
+// Content-Type: the binary batch frame (WireContentType or
+// application/octet-stream) or the JSON compat encoding (anything else).
+// Both decode into the same pcp.WireObservation and flow through the
+// same Service.Ingest, so the two encodings are behaviourally identical.
+// ?quiet=1 suppresses the per-instance prediction echo in the response —
+// the high-throughput agent path.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
@@ -90,13 +144,43 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, maxIngestBytes)
 	var obs pcp.WireObservation
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&obs); err != nil {
-		writeError(w, http.StatusBadRequest, "decode observation: %v", err)
-		return
+	var scratch *WireScratch
+	if isWireContentType(r.Header.Get("Content-Type")) {
+		body, release, err := readFrameBody(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "read frame: %v", err)
+			return
+		}
+		scratch, _ = wireScratchPool.Get().(*WireScratch)
+		if scratch == nil {
+			scratch = &WireScratch{}
+		}
+		// The observation aliases the scratch slabs until ingest returns;
+		// everything the service keeps (strings, feature state) is copied
+		// out by then, so the scratch goes back to the pool right after.
+		defer wireScratchPool.Put(scratch)
+		obs, err = DecodeWireScratch(body, scratch)
+		release()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	} else {
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&obs); err != nil {
+			writeError(w, http.StatusBadRequest, "decode observation: %v", err)
+			return
+		}
 	}
-	resp, err := s.svc.Ingest(obs)
+	quiet := r.URL.Query().Get("quiet") == "1"
+	var resp *IngestResponse
+	var err error
+	if quiet {
+		resp, err = s.svc.IngestQuiet(obs)
+	} else {
+		resp, err = s.svc.Ingest(obs)
+	}
 	if err != nil {
 		code := http.StatusBadRequest
 		if errors.Is(err, ErrSchemaMismatch) {
@@ -106,6 +190,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+	s.svc.PutResponse(resp)
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {

@@ -78,6 +78,58 @@ func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 // Value reads the gauge.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
+// shardCell is one cache-line-padded counter slot. The padding keeps
+// neighbouring shards' hot counters out of each other's cache lines, so
+// per-sample accounting on one shard never bounces a line owned by
+// another.
+type shardCell struct {
+	bits atomic.Uint64
+	_    [7]uint64
+}
+
+// ShardedCounter is a monotonically increasing float64 split into
+// per-shard padded cells. Writers add to their own cell without
+// contention; readers (the /metrics scrape) sum the cells, so a scrape
+// never blocks ingest and ingest never serializes on a shared line.
+type ShardedCounter struct {
+	cells []shardCell
+}
+
+// NewShardedCounter returns a counter with n independent cells.
+func NewShardedCounter(n int) *ShardedCounter {
+	if n < 1 {
+		n = 1
+	}
+	return &ShardedCounter{cells: make([]shardCell, n)}
+}
+
+// Add increments shard i's cell; negative deltas are ignored.
+func (c *ShardedCounter) Add(i int, v float64) {
+	if v < 0 {
+		return
+	}
+	cell := &c.cells[i]
+	for {
+		old := cell.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if cell.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Inc adds one to shard i's cell.
+func (c *ShardedCounter) Inc(i int) { c.Add(i, 1) }
+
+// Value sums the cells.
+func (c *ShardedCounter) Value() float64 {
+	s := 0.0
+	for i := range c.cells {
+		s += math.Float64frombits(c.cells[i].bits.Load())
+	}
+	return s
+}
+
 // DefaultLatencyBuckets spans 100µs – 2.5s, tuned for model-serving
 // request latencies.
 var DefaultLatencyBuckets = []float64{
@@ -95,13 +147,28 @@ type Histogram struct {
 }
 
 // Observe records one value.
-func (h *Histogram) Observe(v float64) {
+func (h *Histogram) Observe(v float64) { h.ObserveN(v, 1) }
+
+// ObserveN records n observations of the same value under one lock
+// acquisition — the batch serving path records each tick's per-sample
+// latency once per shard batch instead of once per sample.
+func (h *Histogram) ObserveN(v float64, n uint64) {
+	if n == 0 {
+		return
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
-	h.counts[i]++
-	h.sum += v
-	h.total++
+	h.counts[i] += n
+	h.sum += v * float64(n)
+	h.total += n
+}
+
+// snapshot copies the histogram state for rendering.
+func (h *Histogram) snapshot() (bounds []float64, counts []uint64, sum float64, total uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.bounds, append([]uint64(nil), h.counts...), h.sum, h.total
 }
 
 // Count returns the number of observations.
@@ -141,6 +208,67 @@ func (h *Histogram) Quantile(q float64) float64 {
 		}
 	}
 	return h.bounds[len(h.bounds)-1]
+}
+
+// ShardedHistogram splits one logical histogram into per-shard
+// histograms (each with its own short mutex) merged at scrape time, so
+// concurrent shard batches never serialize on one histogram lock.
+type ShardedHistogram struct {
+	hs []*Histogram
+}
+
+// NewShardedHistogram returns n per-shard histograms over bounds
+// (nil selects DefaultLatencyBuckets).
+func NewShardedHistogram(n int, bounds []float64) *ShardedHistogram {
+	if bounds == nil {
+		bounds = DefaultLatencyBuckets
+	}
+	if n < 1 {
+		n = 1
+	}
+	hs := make([]*Histogram, n)
+	for i := range hs {
+		hs[i] = &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+	}
+	return &ShardedHistogram{hs: hs}
+}
+
+// Shard returns shard i's histogram.
+func (s *ShardedHistogram) Shard(i int) *Histogram { return s.hs[i] }
+
+// Count sums the per-shard observation counts.
+func (s *ShardedHistogram) Count() uint64 {
+	var t uint64
+	for _, h := range s.hs {
+		t += h.Count()
+	}
+	return t
+}
+
+// snapshot merges the per-shard histograms into one rendering image.
+func (s *ShardedHistogram) snapshot() (bounds []float64, counts []uint64, sum float64, total uint64) {
+	bounds = s.hs[0].bounds
+	counts = make([]uint64, len(bounds)+1)
+	for _, h := range s.hs {
+		_, c, hs, ht := h.snapshot()
+		for i, v := range c {
+			counts[i] += v
+		}
+		sum += hs
+		total += ht
+	}
+	return bounds, counts, sum, total
+}
+
+// histSource is anything renderable as one histogram series.
+type histSource interface {
+	snapshot() (bounds []float64, counts []uint64, sum float64, total uint64)
+}
+
+// funcMetric renders a counter or gauge series from a callback at scrape
+// time — the aggregation hook for per-shard cells.
+type funcMetric struct {
+	fn func() float64
 }
 
 // metricKind tags a family.
@@ -213,6 +341,39 @@ func (r *Registry) Gauge(name, help string, l Labels) *Gauge {
 	return g
 }
 
+// CounterFunc registers a counter series whose value is computed by fn
+// at scrape time (e.g. the sum of per-shard cells). Re-registering the
+// same series replaces the callback.
+func (r *Registry) CounterFunc(name, help string, l Labels, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, kindCounter, nil)
+	k := labelKey(l)
+	f.series[k] = &funcMetric{fn: fn}
+	f.labels[k] = l
+}
+
+// GaugeFunc registers a gauge series computed by fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, l Labels, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, kindGauge, nil)
+	k := labelKey(l)
+	f.series[k] = &funcMetric{fn: fn}
+	f.labels[k] = l
+}
+
+// HistogramSource registers src (e.g. a ShardedHistogram) as the labeled
+// histogram series, rendered from its merged snapshot at scrape time.
+func (r *Registry) HistogramSource(name, help string, l Labels, src histSource) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, kindHistogram, nil)
+	k := labelKey(l)
+	f.series[k] = src
+	f.labels[k] = l
+}
+
 // Histogram returns (creating if needed) the labeled histogram series.
 // bounds must be ascending; nil selects DefaultLatencyBuckets.
 func (r *Registry) Histogram(name, help string, bounds []float64, l Labels) *Histogram {
@@ -262,7 +423,9 @@ func (r *Registry) WriteText(w io.Writer) error {
 				fmt.Fprintf(w, "%s%s %v\n", f.name, k, m.Value())
 			case *Gauge:
 				fmt.Fprintf(w, "%s%s %v\n", f.name, k, m.Value())
-			case *Histogram:
+			case *funcMetric:
+				fmt.Fprintf(w, "%s%s %v\n", f.name, k, m.fn())
+			case histSource:
 				if err := writeHistogram(w, f.name, f.labels[k], m); err != nil {
 					return err
 				}
@@ -273,11 +436,8 @@ func (r *Registry) WriteText(w io.Writer) error {
 }
 
 // writeHistogram renders cumulative le buckets plus _sum and _count.
-func writeHistogram(w io.Writer, name string, l Labels, h *Histogram) error {
-	h.mu.Lock()
-	counts := append([]uint64(nil), h.counts...)
-	sum, total, bounds := h.sum, h.total, h.bounds
-	h.mu.Unlock()
+func writeHistogram(w io.Writer, name string, l Labels, h histSource) error {
+	bounds, counts, sum, total := h.snapshot()
 
 	withLe := func(le string) string {
 		ll := Labels{"le": le}

@@ -7,6 +7,16 @@
 // saturation decisions with a logical OR (§4) plus k-of-n debouncing so
 // an autoscaler consuming the decisions does not flap on single-tick
 // prediction noise.
+//
+// The service is built for fleet-sized deployments: per-instance state is
+// sharded by an FNV-1a hash of the instance ID across a power-of-two
+// number of independently locked shards, each tick's samples are scored
+// through the forest's batch tree-outer walk over a reusable per-shard
+// scratch frame (bit-identical to per-sample PredictVector), and the hot
+// counters live in per-shard padded cells aggregated only at /metrics
+// scrape time. Per-application aggregation keeps per-shard (instances,
+// saturated) counts that are merged at read time, so ingesting a sample
+// is O(1) in the fleet size.
 package serving
 
 import (
@@ -14,16 +24,24 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"monitorless/internal/core"
 	"monitorless/internal/features"
+	"monitorless/internal/frame"
 	"monitorless/internal/pcp"
 )
 
 // ErrSchemaMismatch reports a wire observation whose schema hash does not
 // match the model's raw-metric schema.
 var ErrSchemaMismatch = errors.New("serving: schema hash mismatch")
+
+// DefaultShards is the shard count used when Config.Shards is zero.
+const DefaultShards = 8
+
+// maxShards bounds the shard count (a power of two at most this large).
+const maxShards = 1 << 10
 
 // Config parameterizes a Service.
 type Config struct {
@@ -36,6 +54,10 @@ type Config struct {
 	// ClearBelow: the alarm clears when fewer than this many of the last
 	// N raw decisions were saturated (default 1 — a fully quiet window).
 	ClearBelow int
+	// Shards is the number of instance-state shards, rounded up to a
+	// power of two (0 selects DefaultShards). Instance→shard routing is a
+	// pure function of the instance ID, invariant across restarts.
+	Shards int
 }
 
 // Prediction is one instance's latest inference.
@@ -59,7 +81,9 @@ type AppStatus struct {
 	Saturated bool `json:"saturated"`
 	// Raw is the instantaneous OR over instance predictions (§4).
 	Raw bool `json:"raw_saturated"`
-	// SaturatedInstances lists the instances driving Raw, sorted.
+	// SaturatedInstances lists the instances driving Raw, sorted. It is
+	// only materialized by Apps() reads — ingest responses report the
+	// decision without enumerating the fleet.
 	SaturatedInstances []string `json:"saturated_instances,omitempty"`
 	// Instances counts the application's tracked instances.
 	Instances int `json:"instances"`
@@ -68,18 +92,25 @@ type AppStatus struct {
 }
 
 // IngestResponse reports the predictions refreshed by one observation.
+// Responses are pooled: HTTP handlers and throughput-sensitive in-process
+// callers return them with Service.PutResponse after use.
 type IngestResponse struct {
 	T int `json:"t"`
-	// Predictions covers the instances present in the observation.
-	Predictions map[string]Prediction `json:"predictions"`
-	// Apps covers the applications those instances belong to.
-	Apps map[string]AppStatus `json:"apps"`
+	// Samples counts the vectors folded by this observation.
+	Samples int `json:"samples"`
+	// Predictions covers the instances present in the observation
+	// (omitted in quiet mode).
+	Predictions map[string]Prediction `json:"predictions,omitempty"`
+	// Apps covers the applications those instances belong to (omitted in
+	// quiet mode).
+	Apps map[string]AppStatus `json:"apps,omitempty"`
 }
 
 // Stats summarizes the service for health reporting.
 type Stats struct {
 	Instances    int     `json:"instances"`
 	Apps         int     `json:"apps"`
+	Shards       int     `json:"shards"`
 	SamplesTotal float64 `json:"samples_total"`
 	SchemaHash   string  `json:"schema_hash"`
 	ModelTrees   int     `json:"model_trees"`
@@ -87,31 +118,128 @@ type Stats struct {
 }
 
 // instanceState is one instance's streaming feature state plus its
-// latest prediction.
+// latest prediction. gen stamps the last observation that touched the
+// instance (per-shard duplicate detection without a scratch set).
 type instanceState struct {
 	st   *features.StreamState
 	pred Prediction
+	gen  uint64
 }
 
-// Service holds the model, per-instance streaming state, and per-app
-// debouncers behind a single mutex. Handlers and the in-process API share
-// it; all methods are safe for concurrent use.
+// shardApp is one application's aggregate within a single shard: how many
+// tracked instances name the app, and how many of those are currently
+// predicted saturated. App-level status merges these counts across
+// shards at read time.
+type shardApp struct {
+	instances int
+	saturated int
+}
+
+// pendSample carries one routed sample between the feature phase and the
+// prediction phase of a shard batch.
+type pendSample struct {
+	inst  *instanceState
+	id    string
+	app   string
+	svc   string
+	isNew bool
+}
+
+// shard is one lock domain of per-instance state. The scratch frame and
+// probs slab are reused across ticks, so a steady-state shard batch
+// allocates nothing beyond the streamer's per-sample vectors.
+type shard struct {
+	mu        sync.Mutex
+	instances map[string]*instanceState
+	apps      map[string]*shardApp
+	scratch   *frame.Scratch
+	step      features.StepScratch
+	probs     []float64
+	pend      []pendSample
+	gen       uint64
+}
+
+// paddedInt is a cache-line-padded atomic instance counter (one per
+// shard), readable by the /metrics gauge without taking shard locks.
+type paddedInt struct {
+	v atomic.Int64
+	_ [7]uint64
+}
+
+// appEntry is one application's cross-shard state: the debouncer plus the
+// cached gauge series (resolved once, so ingest never takes the registry
+// lock).
+type appEntry struct {
+	deb  *Debouncer
+	gSat *Gauge
+	gRaw *Gauge
+}
+
+// routeScratch is the pooled per-request routing state: per-shard sample
+// index lists plus the touched-app set.
+type routeScratch struct {
+	perShard [][]int32
+	touched  map[string]struct{}
+}
+
+// Service holds the model, sharded per-instance streaming state, and
+// cross-shard per-app debouncers. All methods are safe for concurrent
+// use; lock order is appsMu before shard.mu.
 type Service struct {
-	mu         sync.Mutex
 	model      *core.Model
 	streamer   *features.Streamer
 	schemaHash string
 	cfg        Config
-	instances  map[string]*instanceState
-	apps       map[string]*Debouncer
+	threshold  float64
 
-	reg            *Registry
-	mSamples       *Counter
+	shards []shard
+	mask   uint64
+	nInst  []paddedInt
+
+	appsMu sync.Mutex
+	apps   map[string]*appEntry
+
+	reg       *Registry
+	respPool  sync.Pool
+	routePool sync.Pool
+
+	cSamples       *ShardedCounter
+	hPredict       *ShardedHistogram
 	mObservations  *Counter
-	mPredictSec    *Histogram
-	mInstances     *Gauge
 	mSchemaRejects *Counter
 	mBadRequests   *Counter
+}
+
+// shardCount rounds the configured count up to a bounded power of two.
+func shardCount(n int) int {
+	if n <= 0 {
+		n = DefaultShards
+	}
+	if n > maxShards {
+		n = maxShards
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// shardIndex routes an instance ID to a shard: FNV-1a 64 masked to the
+// power-of-two shard count. It is a pure function of the ID bytes —
+// stable across restarts, processes and architectures — so external
+// systems may pre-partition traffic by the same hash.
+func shardIndex(id string, mask uint64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= prime64
+	}
+	return h & mask
 }
 
 // New builds a service around a trained model. It fails if the model's
@@ -124,28 +252,46 @@ func New(cfg Config) (*Service, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serving: %w", err)
 	}
+	n := shardCount(cfg.Shards)
 	reg := NewRegistry()
 	s := &Service{
 		model:      cfg.Model,
 		streamer:   streamer,
 		schemaHash: cfg.Model.RawSchema.Hash(),
 		cfg:        cfg,
-		instances:  make(map[string]*instanceState),
-		apps:       make(map[string]*Debouncer),
+		threshold:  cfg.Model.Threshold,
+		shards:     make([]shard, n),
+		mask:       uint64(n - 1),
+		nInst:      make([]paddedInt, n),
+		apps:       make(map[string]*appEntry),
 		reg:        reg,
-		mSamples: reg.Counter("monitorless_ingest_samples_total",
-			"Per-instance metric vectors folded into streaming feature state.", nil),
+		cSamples:   NewShardedCounter(n),
+		hPredict:   NewShardedHistogram(n, nil),
 		mObservations: reg.Counter("monitorless_ingest_observations_total",
 			"Observation batches ingested.", nil),
-		mPredictSec: reg.Histogram("monitorless_predict_seconds",
-			"Per-sample inference latency (feature step + forest vote).", nil, nil),
-		mInstances: reg.Gauge("monitorless_instances",
-			"Instances with live streaming feature state.", nil),
 		mSchemaRejects: reg.Counter("monitorless_ingest_rejects_total",
 			"Observations rejected before inference.", Labels{"reason": "schema"}),
 		mBadRequests: reg.Counter("monitorless_ingest_rejects_total",
 			"Observations rejected before inference.", Labels{"reason": "malformed"}),
 	}
+	engineered := cfg.Model.EngineeredSchema()
+	for i := range s.shards {
+		s.shards[i].instances = make(map[string]*instanceState)
+		s.shards[i].apps = make(map[string]*shardApp)
+		s.shards[i].scratch = frame.NewScratch(engineered, 0)
+	}
+	reg.CounterFunc("monitorless_ingest_samples_total",
+		"Per-instance metric vectors folded into streaming feature state.", nil, s.cSamples.Value)
+	reg.HistogramSource("monitorless_predict_seconds",
+		"Per-sample inference latency (feature step + batched forest vote).", nil, s.hPredict)
+	reg.GaugeFunc("monitorless_instances",
+		"Instances with live streaming feature state.", nil, func() float64 {
+			var t int64
+			for i := range s.nInst {
+				t += s.nInst[i].v.Load()
+			}
+			return float64(t)
+		})
 	return s, nil
 }
 
@@ -162,10 +308,72 @@ func (s *Service) RawNames() []string {
 	return s.model.RawNames()
 }
 
+// NumShards returns the effective (power-of-two) shard count.
+func (s *Service) NumShards() int { return len(s.shards) }
+
+// ShardOf returns the shard index an instance ID routes to — a pure
+// function of the ID, invariant across restarts.
+func (s *Service) ShardOf(id string) int { return int(shardIndex(id, s.mask)) }
+
+// getResponse takes a pooled response (maps pre-sized and cleared).
+func (s *Service) getResponse() *IngestResponse {
+	if r, ok := s.respPool.Get().(*IngestResponse); ok {
+		return r
+	}
+	return &IngestResponse{
+		Predictions: make(map[string]Prediction, 64),
+		Apps:        make(map[string]AppStatus, 8),
+	}
+}
+
+// PutResponse returns an ingest response to the service's reuse pool.
+// Callers that retain the response (or pass it on) simply never return
+// it; returning it twice, or using it after return, is a caller bug.
+func (s *Service) PutResponse(r *IngestResponse) {
+	if r == nil {
+		return
+	}
+	r.T = 0
+	r.Samples = 0
+	clear(r.Predictions)
+	clear(r.Apps)
+	s.respPool.Put(r)
+}
+
+// getRoute takes pooled routing scratch sized to the shard count.
+func (s *Service) getRoute() *routeScratch {
+	rs, ok := s.routePool.Get().(*routeScratch)
+	if !ok {
+		rs = &routeScratch{
+			perShard: make([][]int32, len(s.shards)),
+			touched:  make(map[string]struct{}, 8),
+		}
+	}
+	for i := range rs.perShard {
+		rs.perShard[i] = rs.perShard[i][:0]
+	}
+	clear(rs.touched)
+	return rs
+}
+
 // Ingest folds one tick's observation into the per-instance streaming
-// states, refreshes predictions, and advances the per-app debouncers of
-// every application that contributed a sample.
+// states, refreshes predictions through the batch forest path, and
+// advances the per-app debouncers of every application that contributed
+// a sample.
 func (s *Service) Ingest(w pcp.WireObservation) (*IngestResponse, error) {
+	return s.ingest(w, false)
+}
+
+// IngestQuiet is Ingest without materializing the per-instance
+// prediction echo and per-app status maps in the response — the
+// high-throughput agent path, where senders do not consume the echo.
+// All state (streaming features, predictions, debouncers, metrics)
+// advances exactly as with Ingest.
+func (s *Service) IngestQuiet(w pcp.WireObservation) (*IngestResponse, error) {
+	return s.ingest(w, true)
+}
+
+func (s *Service) ingest(w pcp.WireObservation, quiet bool) (*IngestResponse, error) {
 	if w.SchemaHash != "" && w.SchemaHash != s.schemaHash {
 		s.mSchemaRejects.Inc()
 		return nil, fmt.Errorf("%w: got %.12s…, want %.12s…", ErrSchemaMismatch, w.SchemaHash, s.schemaHash)
@@ -175,83 +383,176 @@ func (s *Service) Ingest(w pcp.WireObservation) (*IngestResponse, error) {
 		return nil, fmt.Errorf("serving: observation with no samples")
 	}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-
-	resp := &IngestResponse{
-		T:           w.T,
-		Predictions: make(map[string]Prediction, len(w.Samples)),
-		Apps:        make(map[string]AppStatus),
-	}
-	seen := make(map[string]bool, len(w.Samples))
-	touchedApps := make(map[string]bool)
+	rs := s.getRoute()
+	defer s.routePool.Put(rs)
 	for i := range w.Samples {
-		smp := &w.Samples[i]
-		if smp.Instance == "" {
+		id := w.Samples[i].Instance
+		if id == "" {
 			s.mBadRequests.Inc()
 			return nil, fmt.Errorf("serving: sample %d has empty instance ID", i)
 		}
-		if seen[smp.Instance] {
-			s.mBadRequests.Inc()
-			return nil, fmt.Errorf("serving: duplicate sample for %q", smp.Instance)
-		}
-		seen[smp.Instance] = true
+		si := shardIndex(id, s.mask)
+		rs.perShard[si] = append(rs.perShard[si], int32(i))
+	}
 
-		inst, known := s.instances[smp.Instance]
+	resp := s.getResponse()
+	resp.T = w.T
+	resp.Samples = len(w.Samples)
+	for si := range s.shards {
+		if len(rs.perShard[si]) == 0 {
+			continue
+		}
+		if err := s.ingestShard(si, &w, rs.perShard[si], resp, quiet, rs.touched); err != nil {
+			s.PutResponse(resp)
+			s.mBadRequests.Inc()
+			return nil, err
+		}
+	}
+	s.mObservations.Inc()
+
+	// One debounce tick per app per observation: an app's raw OR spans all
+	// of its tracked instances (merged across shards), but its window only
+	// advances on ticks where it contributed at least one sample, so
+	// sparse senders are not force-cleared by other apps' traffic.
+	s.appsMu.Lock()
+	for app := range rs.touched {
+		e := s.apps[app]
+		if e == nil {
+			e = &appEntry{
+				deb: NewDebouncer(s.cfg.DebounceK, s.cfg.DebounceN, s.cfg.ClearBelow),
+				gSat: s.reg.Gauge("monitorless_app_saturated",
+					"Debounced per-application saturation decision.", Labels{"app": app}),
+				gRaw: s.reg.Gauge("monitorless_app_raw_saturated",
+					"Instantaneous OR over instance predictions.", Labels{"app": app}),
+			}
+			s.apps[app] = e
+		}
+		st := s.appStatus(app)
+		st.Saturated = e.deb.Observe(st.Raw)
+		st.WindowCount = e.deb.Count()
+		e.gSat.Set(boolGauge(st.Saturated))
+		e.gRaw.Set(boolGauge(st.Raw))
+		if !quiet {
+			resp.Apps[app] = st
+		}
+	}
+	s.appsMu.Unlock()
+	return resp, nil
+}
+
+// ingestShard processes one shard's slice of the observation under the
+// shard lock: streaming feature steps into the scratch frame, one batch
+// tree-outer forest walk, then prediction and per-app aggregate updates.
+func (s *Service) ingestShard(si int, w *pcp.WireObservation, idxs []int32, resp *IngestResponse, quiet bool, touched map[string]struct{}) error {
+	sh := &s.shards[si]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.gen++
+	start := time.Now()
+
+	n := len(idxs)
+	fr := sh.scratch.Frame(n)
+	sh.pend = sh.pend[:0]
+	for k, i := range idxs {
+		smp := &w.Samples[i]
+		inst, known := sh.instances[smp.Instance]
+		if known && inst.gen == sh.gen {
+			return fmt.Errorf("serving: duplicate sample for %q", smp.Instance)
+		}
 		if !known {
 			inst = &instanceState{st: s.streamer.NewState()}
 		}
-		start := time.Now()
-		fvec, err := s.streamer.Step(inst.st, smp.Values)
+		fvec, err := s.streamer.StepInto(inst.st, smp.Values, &sh.step)
 		if err != nil {
 			// A rejected sample must not leave a phantom zero-sample
 			// instance behind (it would surface in /predict and inflate
 			// the instance gauge).
-			s.mBadRequests.Inc()
-			return nil, fmt.Errorf("serving: ingest %s: %w", smp.Instance, err)
+			return fmt.Errorf("serving: ingest %s: %w", smp.Instance, err)
 		}
-		if !known {
-			s.instances[smp.Instance] = inst
-		}
-		prob, sat := s.model.PredictVector(fvec)
-		s.mPredictSec.Observe(time.Since(start).Seconds())
-
 		app := smp.App
 		if app == "" {
 			app = appFromID(smp.Instance)
 		}
-		inst.pred = Prediction{
-			Prob: prob, Saturated: sat, T: w.T,
-			Samples: inst.st.Samples(),
-			App:     app, Service: smp.Service,
+		if !known {
+			// Insert with a provisional prediction naming the app, so the
+			// per-app aggregates stay consistent even if a later sample of
+			// this batch fails before the prediction phase.
+			inst.pred = Prediction{T: w.T, Samples: inst.st.Samples(), App: app, Service: smp.Service}
+			sh.instances[smp.Instance] = inst
+			sh.appAgg(app).instances++
+			s.nInst[si].v.Add(1)
 		}
-		resp.Predictions[smp.Instance] = inst.pred
-		touchedApps[app] = true
+		inst.gen = sh.gen
+		sh.scratch.SetRow(k, fvec)
+		sh.pend = append(sh.pend, pendSample{inst: inst, id: smp.Instance, app: app, svc: smp.Service, isNew: !known})
 	}
-	s.mSamples.Add(float64(len(w.Samples)))
-	s.mObservations.Inc()
-	s.mInstances.Set(float64(len(s.instances)))
 
-	// One debounce tick per app per observation: an app's raw OR spans all
-	// of its tracked instances, but its window only advances on ticks where
-	// it contributed at least one sample, so sparse senders are not
-	// force-cleared by other apps' traffic.
-	for app := range touchedApps {
-		deb := s.apps[app]
-		if deb == nil {
-			deb = NewDebouncer(s.cfg.DebounceK, s.cfg.DebounceN, s.cfg.ClearBelow)
-			s.apps[app] = deb
+	// One batch walk per shard batch: each tree's flattened slab visits
+	// every row before the next tree — bit-identical to per-row
+	// PredictVector, much cheaper than re-paging the ensemble per sample.
+	sh.probs = s.model.PredictProbaRowsInto(fr, sh.probs)
+
+	for k := range sh.pend {
+		p := &sh.pend[k]
+		prob := sh.probs[k]
+		sat := prob >= s.threshold
+		old := p.inst.pred
+		p.inst.pred = Prediction{
+			Prob: prob, Saturated: sat, T: w.T,
+			Samples: p.inst.st.Samples(),
+			App:     p.app, Service: p.svc,
 		}
-		st := s.appStatusLocked(app)
-		st.Saturated = deb.Observe(st.Raw)
-		st.WindowCount = deb.Count()
-		resp.Apps[app] = st
-		s.reg.Gauge("monitorless_app_saturated",
-			"Debounced per-application saturation decision.", Labels{"app": app}).Set(boolGauge(st.Saturated))
-		s.reg.Gauge("monitorless_app_raw_saturated",
-			"Instantaneous OR over instance predictions.", Labels{"app": app}).Set(boolGauge(st.Raw))
+		sh.updateAgg(p, old, sat)
+		if !quiet {
+			resp.Predictions[p.id] = p.inst.pred
+		}
+		touched[p.app] = struct{}{}
 	}
-	return resp, nil
+
+	elapsed := time.Since(start).Seconds()
+	s.hPredict.Shard(si).ObserveN(elapsed/float64(n), uint64(n))
+	s.cSamples.Add(si, float64(n))
+	return nil
+}
+
+// appAgg returns (creating if needed) the shard's aggregate for app.
+// Callers hold the shard lock.
+func (sh *shard) appAgg(app string) *shardApp {
+	agg := sh.apps[app]
+	if agg == nil {
+		agg = &shardApp{}
+		sh.apps[app] = agg
+	}
+	return agg
+}
+
+// updateAgg folds one prediction transition into the shard's per-app
+// counts. Callers hold the shard lock. New instances were counted into
+// their app at insertion (provisional, unsaturated), so here only the
+// saturation flip and app moves remain.
+func (sh *shard) updateAgg(p *pendSample, old Prediction, sat bool) {
+	if !p.isNew && old.App != p.app {
+		if agg := sh.apps[old.App]; agg != nil {
+			agg.instances--
+			if old.Saturated {
+				agg.saturated--
+			}
+			if agg.instances == 0 {
+				delete(sh.apps, old.App)
+			}
+		}
+		sh.appAgg(p.app).instances++
+		old.Saturated = false
+	}
+	if sat == old.Saturated && !p.isNew {
+		return
+	}
+	agg := sh.appAgg(p.app)
+	if sat && !old.Saturated {
+		agg.saturated++
+	} else if !sat && old.Saturated {
+		agg.saturated--
+	}
 }
 
 func boolGauge(b bool) float64 {
@@ -261,39 +562,56 @@ func boolGauge(b bool) float64 {
 	return 0
 }
 
-// appStatusLocked computes one app's raw OR status; callers hold s.mu.
-func (s *Service) appStatusLocked(app string) AppStatus {
-	st := AppStatus{}
-	for id, inst := range s.instances {
-		if inst.pred.App != app {
-			continue
+// appStatus merges one app's per-shard aggregates into its instantaneous
+// status (Raw OR + instance count). It takes each shard lock briefly;
+// callers may hold appsMu (lock order: appsMu before shard.mu).
+func (s *Service) appStatus(app string) AppStatus {
+	var st AppStatus
+	for si := range s.shards {
+		sh := &s.shards[si]
+		sh.mu.Lock()
+		if agg, ok := sh.apps[app]; ok {
+			st.Instances += agg.instances
+			if agg.saturated > 0 {
+				st.Raw = true
+			}
 		}
-		st.Instances++
-		if inst.pred.Saturated {
-			st.Raw = true
-			st.SaturatedInstances = append(st.SaturatedInstances, id)
-		}
+		sh.mu.Unlock()
 	}
-	sort.Strings(st.SaturatedInstances)
 	return st
 }
 
 // Forget drops an instance's streaming state and prediction (scale-in).
 // It reports whether the instance was known.
 func (s *Service) Forget(id string) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	_, ok := s.instances[id]
-	delete(s.instances, id)
-	s.mInstances.Set(float64(len(s.instances)))
-	return ok
+	si := shardIndex(id, s.mask)
+	sh := &s.shards[si]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	inst, ok := sh.instances[id]
+	if !ok {
+		return false
+	}
+	delete(sh.instances, id)
+	s.nInst[si].v.Add(-1)
+	if agg := sh.apps[inst.pred.App]; agg != nil {
+		agg.instances--
+		if inst.pred.Saturated {
+			agg.saturated--
+		}
+		if agg.instances == 0 {
+			delete(sh.apps, inst.pred.App)
+		}
+	}
+	return true
 }
 
 // InstancePrediction returns the latest prediction for one instance.
 func (s *Service) InstancePrediction(id string) (Prediction, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	inst, ok := s.instances[id]
+	sh := &s.shards[shardIndex(id, s.mask)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	inst, ok := sh.instances[id]
 	if !ok {
 		return Prediction{}, false
 	}
@@ -302,40 +620,72 @@ func (s *Service) InstancePrediction(id string) (Prediction, bool) {
 
 // Predictions snapshots every tracked instance's latest prediction.
 func (s *Service) Predictions() map[string]Prediction {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make(map[string]Prediction, len(s.instances))
-	for id, inst := range s.instances {
-		out[id] = inst.pred
+	out := make(map[string]Prediction)
+	for si := range s.shards {
+		sh := &s.shards[si]
+		sh.mu.Lock()
+		for id, inst := range sh.instances {
+			out[id] = inst.pred
+		}
+		sh.mu.Unlock()
 	}
 	return out
 }
 
-// Apps snapshots every tracked application's aggregated status.
+// Apps snapshots every tracked application's aggregated status,
+// including the sorted saturated-instance enumeration (computed here, on
+// the read path, rather than per ingest).
 func (s *Service) Apps() map[string]AppStatus {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make(map[string]AppStatus)
-	for app, deb := range s.apps {
-		st := s.appStatusLocked(app)
-		st.Saturated = deb.State()
-		st.WindowCount = deb.Count()
+	s.appsMu.Lock()
+	defer s.appsMu.Unlock()
+	out := make(map[string]AppStatus, len(s.apps))
+	for app, e := range s.apps {
+		st := s.appStatus(app)
+		st.Saturated = e.deb.State()
+		st.WindowCount = e.deb.Count()
 		out[app] = st
+	}
+	// One pass over the fleet gathers every app's saturated instances.
+	for si := range s.shards {
+		sh := &s.shards[si]
+		sh.mu.Lock()
+		for id, inst := range sh.instances {
+			if !inst.pred.Saturated {
+				continue
+			}
+			if st, ok := out[inst.pred.App]; ok {
+				st.SaturatedInstances = append(st.SaturatedInstances, id)
+				out[inst.pred.App] = st
+			}
+		}
+		sh.mu.Unlock()
+	}
+	for app, st := range out {
+		if len(st.SaturatedInstances) > 1 {
+			sort.Strings(st.SaturatedInstances)
+			out[app] = st
+		}
 	}
 	return out
 }
 
 // Stats summarizes the service for health reporting.
 func (s *Service) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	var instances int64
+	for i := range s.nInst {
+		instances += s.nInst[i].v.Load()
+	}
+	s.appsMu.Lock()
+	apps := len(s.apps)
+	s.appsMu.Unlock()
 	return Stats{
-		Instances:    len(s.instances),
-		Apps:         len(s.apps),
-		SamplesTotal: s.mSamples.Value(),
+		Instances:    int(instances),
+		Apps:         apps,
+		Shards:       len(s.shards),
+		SamplesTotal: s.cSamples.Value(),
 		SchemaHash:   s.schemaHash,
 		ModelTrees:   s.model.Forest.NumTrees(),
-		Threshold:    s.model.Threshold,
+		Threshold:    s.threshold,
 	}
 }
 

@@ -21,6 +21,12 @@
 # The smoke lane launches the real cmd/serve binary on a loopback port,
 # streams observations over HTTP, asserts predictions plus non-zero
 # /metrics counters, and requires a clean SIGTERM drain.
+# The serving-scale lanes added with the sharded plane: the sharded
+# ingest/scrape race tests under -race, the steady-state ingest
+# allocation budget, a short FuzzWireDecode run over the checked-in
+# corpus plus fresh mutations, and a loadgen smoke that drives 1k
+# simulated instances for 10 ticks of binary batch frames against the
+# real serve binary and requires non-zero throughput plus a clean drain.
 #
 # Usage: scripts/verify.sh [-short]
 set -euo pipefail
@@ -66,7 +72,19 @@ go test -run '^$' -bench 'BenchmarkForest' -benchtime=1x ./internal/ml/forest/
 go test -run '^$' -bench 'BenchmarkEngineTick' -benchtime=1x ./internal/apps/
 go test -run '^$' -bench 'BenchmarkAgentObserveTick' -benchtime=1x ./internal/pcp/
 
+echo "==> go test -race -count=1 -run 'TestShardedIngestRace|TestScrapeDuringIngestRace' ./internal/serving/ (sharded serving race lane)"
+go test -race -count=1 -run 'TestShardedIngestRace|TestScrapeDuringIngestRace' -v ./internal/serving/
+
+echo "==> go test -run TestIngestAllocations -count=1 ./internal/serving/ (ingest allocation lane)"
+go test -run TestIngestAllocations -count=1 -v ./internal/serving/
+
+echo "==> go test -fuzz FuzzWireDecode -fuzztime=5s ./internal/serving/ (wire decoder fuzz smoke)"
+go test -run '^FuzzWireDecode$' -fuzz '^FuzzWireDecode$' -fuzztime=5s ./internal/serving/
+
 echo "==> go run ./scripts/smoke (HTTP serving smoke lane)"
 go run ./scripts/smoke
+
+echo "==> go run ./cmd/loadgen (serving-scale smoke: 1k instances × 10 ticks of binary frames)"
+go run ./cmd/loadgen -instances 1000 -ticks 10 -warmup 1 -batch 500 -out /tmp/monitorless-loadgen-smoke.json
 
 echo "verify: all lanes green"

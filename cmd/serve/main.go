@@ -12,7 +12,13 @@
 //	serve -model model.gob -replay [-duration 1100] [-target http://host:port]
 //
 // Endpoints: POST /ingest, GET /predict, GET /apps, DELETE /instances?id=,
-// GET /schema, GET /healthz, GET /metrics (Prometheus text).
+// GET /schema, GET /healthz, GET /metrics (Prometheus text), GET/POST /model
+// (model identity, drift scores, swap history; POST hot-swaps a bundle).
+//
+// The model lifecycle plane is controlled by -drift-window (per-app drift
+// scoring against the bundle's training fingerprint), -swap-policy
+// (off|shadow|auto shadow retraining from labeled ingest samples) and
+// -retrain-interval (how often the challenger is refit and compared).
 package main
 
 import (
@@ -33,6 +39,7 @@ import (
 	"monitorless/internal/autoscale"
 	"monitorless/internal/core"
 	"monitorless/internal/experiments"
+	"monitorless/internal/lifecycle"
 	"monitorless/internal/serving"
 )
 
@@ -52,6 +59,11 @@ func main() {
 		target     = flag.String("target", "", "replay: existing serve instance to drive (default: self-host on a loopback port)")
 		duration   = flag.Int("duration", 1100, "replay: simulated seconds")
 		seed       = flag.Int64("seed", 54, "replay: simulation seed")
+
+		driftWindow = flag.Int("drift-window", 0, "per-app drift window in samples (0 = default 2048, -1 = disable drift scoring)")
+		swapPolicy  = flag.String("swap-policy", "off", "shadow-retrain policy: off | shadow (train+compare only) | auto (promote winning challengers)")
+		retrainIvl  = flag.Duration("retrain-interval", 10*time.Minute, "how often the shadow challenger is refit and compared")
+		reservoir   = flag.Int("reservoir", 0, "labeled-sample reservoir capacity for shadow retraining (0 = default 8192)")
 	)
 	flag.Parse()
 
@@ -63,16 +75,26 @@ func main() {
 		b.Version, b.Model.Forest.NumTrees(), b.Model.Threshold, len(b.Model.RawNames()), b.SchemaHash)
 
 	svc, err := serving.New(serving.Config{
-		Model:      b.Model,
-		DebounceK:  *debounceK,
-		DebounceN:  *debounceN,
-		ClearBelow: *clearBelow,
-		Shards:     *shards,
+		Model:         b.Model,
+		BundleVersion: b.Version,
+		DebounceK:     *debounceK,
+		DebounceN:     *debounceN,
+		ClearBelow:    *clearBelow,
+		Shards:        *shards,
+		DriftWindow:   *driftWindow,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("instance state sharded %d ways\n", svc.NumShards())
+	if *driftWindow >= 0 && svc.Drift() == nil {
+		fmt.Println("drift scoring disabled: bundle carries no training fingerprint (retrain with a v3 bundle)")
+	}
+
+	mg, err := buildLifecycle(svc, b.Model, *swapPolicy, *reservoir)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	if *replay {
 		if err := runReplay(svc, b.Model, *target, *duration, *seed); err != nil {
@@ -80,14 +102,55 @@ func main() {
 		}
 		return
 	}
-	if err := runServe(svc, *addr, *drain); err != nil {
+	if err := runServe(svc, mg, *retrainIvl, *addr, *drain); err != nil {
 		log.Fatal(err)
 	}
 }
 
+// buildLifecycle assembles the shadow-retrain manager around the serving
+// plane: labeled ingest samples feed its reservoir, challenger promotions
+// go through the service's atomic hot swap, and per-outcome counters land
+// on the service's metrics registry. Returns nil for policy "off".
+func buildLifecycle(svc *serving.Service, champion *core.Model, policy string, reservoirCap int) (*lifecycle.Manager, error) {
+	pol, err := lifecycle.ParsePolicy(policy)
+	if err != nil {
+		return nil, err
+	}
+	if pol == lifecycle.PolicyOff {
+		return nil, nil
+	}
+	outcomes := make(map[string]*serving.Counter, 4)
+	for _, o := range []string{"win", "loss", "skip", "error"} {
+		outcomes[o] = svc.Registry().Counter("monitorless_retrain_rounds_total",
+			"Shadow retrain rounds by outcome.", serving.Labels{"outcome": o})
+	}
+	mg, err := lifecycle.NewManager(lifecycle.Config{
+		Champion:     champion,
+		Policy:       pol,
+		ReservoirCap: reservoirCap,
+		Swap: func(m *core.Model, trainSamples int, reason string) error {
+			_, err := svc.Swap(m, 0, reason)
+			return err
+		},
+		Harvest: svc.HarvestDrift,
+		OnOutcome: func(o string) {
+			if c := outcomes[o]; c != nil {
+				c.Inc()
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	svc.SetLabelSink(mg.Reservoir)
+	fmt.Printf("shadow retraining enabled: policy %s, reservoir %d labeled samples\n", pol, mg.Reservoir.Cap())
+	return mg, nil
+}
+
 // runServe hosts the service until SIGINT/SIGTERM, then drains in-flight
-// requests before exiting.
-func runServe(svc *serving.Service, addr string, drain time.Duration) error {
+// requests before exiting. When a lifecycle manager is attached, its
+// retrain loop runs alongside the server and stops with it.
+func runServe(svc *serving.Service, mg *lifecycle.Manager, retrainIvl time.Duration, addr string, drain time.Duration) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -95,13 +158,18 @@ func runServe(svc *serving.Service, addr string, drain time.Duration) error {
 	if err != nil {
 		return err
 	}
+	handler := serving.NewServer(svc)
+	if mg != nil {
+		handler.AttachLifecycle(mg)
+		go mg.Run(ctx, retrainIvl)
+	}
 	server := &http.Server{
-		Handler:           serving.NewServer(svc),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		IdleTimeout:       60 * time.Second,
 	}
-	fmt.Printf("serving on http://%s (POST /ingest, GET /predict /apps /schema /healthz /metrics)\n", ln.Addr())
+	fmt.Printf("serving on http://%s (POST /ingest, GET /predict /apps /schema /healthz /metrics /model)\n", ln.Addr())
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- server.Serve(ln) }()

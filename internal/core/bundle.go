@@ -5,7 +5,9 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"log"
 	"os"
+	"sync"
 
 	"monitorless/internal/pcp"
 )
@@ -21,10 +23,13 @@ import (
 // hash covered only the metric names) verify against the legacy name
 // hash. Version 2 fingerprints the full frame schema — names, domains and
 // the utilization/binary/time/log flags — via frame.Schema.Hash, the same
-// function the dataset layer and the serving wire protocol use.
+// function the dataset layer and the serving wire protocol use. Version 3
+// additionally requires a training-distribution fingerprint (per-column
+// moments + quantile sketch, frame.Fingerprint) validated against the
+// schema width — the drift-detection reference the lifecycle plane needs.
 
 // BundleVersion is the current bundle format version.
-const BundleVersion = 2
+const BundleVersion = 3
 
 // bundleMagic distinguishes bundles from legacy bare-model gobs.
 const bundleMagic = "monitorless-bundle"
@@ -60,16 +65,23 @@ func modelSchemaHash(m *Model, version int) string {
 	return pcp.HashNames(m.RawNames())
 }
 
-// SaveBundle writes the current bundle format.
+// SaveBundle writes the current bundle format. Models without a training
+// fingerprint (loaded from pre-fingerprint artifacts and re-saved) are
+// written as version 2, so the stored version always tells readers
+// whether drift detection is available.
 func SaveBundle(w io.Writer, m *Model, trainSeed int64) error {
 	blob, err := m.SaveBytes()
 	if err != nil {
 		return fmt.Errorf("core: save bundle: %w", err)
 	}
+	version := BundleVersion
+	if m.Fingerprint == nil {
+		version = 2
+	}
 	wire := bundleWire{
 		Magic:      bundleMagic,
-		Version:    BundleVersion,
-		SchemaHash: modelSchemaHash(m, BundleVersion),
+		Version:    version,
+		SchemaHash: modelSchemaHash(m, version),
 		TrainSeed:  trainSeed,
 		ModelBlob:  blob,
 	}
@@ -97,6 +109,7 @@ func LoadBundle(r io.Reader) (*Bundle, error) {
 		if lerr != nil {
 			return nil, fmt.Errorf("core: load bundle: not a model bundle (%v) nor a legacy model (%w)", derr, lerr)
 		}
+		warnLegacyBundle(0)
 		return &Bundle{Version: 0, SchemaHash: modelSchemaHash(m, 0), Model: m}, nil
 	}
 	if wire.Version < 1 || wire.Version > BundleVersion {
@@ -109,8 +122,35 @@ func LoadBundle(r io.Reader) (*Bundle, error) {
 	if got := modelSchemaHash(m, wire.Version); got != wire.SchemaHash {
 		return nil, fmt.Errorf("core: load bundle: stored schema hash %.12s… does not match the embedded model's schema %.12s… (corrupt or tampered bundle)", wire.SchemaHash, got)
 	}
+	if wire.Version >= 3 {
+		if m.Fingerprint == nil {
+			return nil, fmt.Errorf("core: load bundle: version %d bundle carries no training fingerprint (corrupt bundle)", wire.Version)
+		}
+		if err := m.Fingerprint.Validate(len(m.RawSchema)); err != nil {
+			return nil, fmt.Errorf("core: load bundle: %w", err)
+		}
+	} else {
+		warnLegacyBundle(wire.Version)
+	}
 	return &Bundle{Version: wire.Version, SchemaHash: wire.SchemaHash, TrainSeed: wire.TrainSeed, Model: m}, nil
 }
+
+// legacyWarnOnce gates the one-time legacy-bundle warning; the serving
+// plane additionally surfaces a model_bundle_legacy gauge so operators
+// see the condition on /metrics rather than only in startup logs.
+var legacyWarnOnce sync.Once
+
+// warnLegacyBundle logs once that a pre-fingerprint bundle skips drift
+// validation.
+func warnLegacyBundle(version int) {
+	legacyWarnOnce.Do(func() {
+		log.Printf("core: legacy model bundle (version %d): no training fingerprint — drift detection disabled and fingerprint validation skipped; retrain with this build to upgrade to v%d", version, BundleVersion)
+	})
+}
+
+// Legacy reports whether the bundle predates training fingerprints —
+// drift detection has no reference distribution for it.
+func (b *Bundle) Legacy() bool { return b.Version < 3 || b.Model.Fingerprint == nil }
 
 // SaveBundleFile writes a bundle to path.
 func SaveBundleFile(path string, m *Model, trainSeed int64) error {

@@ -2,10 +2,12 @@ package core
 
 import (
 	"bytes"
+	"encoding/gob"
 	"strings"
 	"testing"
 
 	"monitorless/internal/features"
+	"monitorless/internal/ml/forest"
 	"monitorless/internal/pcp"
 )
 
@@ -71,6 +73,125 @@ func TestBundleLegacyFallback(t *testing.T) {
 	}
 	if b.Model.TrainSamples != m.TrainSamples {
 		t.Errorf("legacy model fields lost")
+	}
+}
+
+// TestBundleV3RoundTripFingerprintAndCalibration pins the v3 format: the
+// bundle carries the training fingerprint through gob encode/decode, and
+// a calibrated threshold survives the round trip.
+func TestBundleV3RoundTripFingerprintAndCalibration(t *testing.T) {
+	shared, ds := sharedModel(t)
+	m := *shared // shallow copy so SetThreshold does not disturb other tests
+	fr := forest.New(m.Forest.Config())
+	*fr = *m.Forest
+	m.Forest = fr
+
+	// Calibrate against an unlabeled target run and apply the result.
+	tab := features.FromDataset(ds.FilterRuns(1))
+	thr, err := m.CalibrateThreshold(tab, 0.10, 0.25, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetThreshold(thr)
+
+	var buf bytes.Buffer
+	if err := SaveBundle(&buf, &m, 9); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBundle(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Version != 3 {
+		t.Fatalf("Version = %d, want 3", b.Version)
+	}
+	if b.Legacy() {
+		t.Fatal("v3 bundle reported as legacy")
+	}
+	if b.Model.Threshold != thr || b.Model.Forest.Threshold() != thr {
+		t.Fatalf("calibrated threshold lost: model %v forest %v, want %v",
+			b.Model.Threshold, b.Model.Forest.Threshold(), thr)
+	}
+	fp := b.Model.Fingerprint
+	if fp == nil {
+		t.Fatal("v3 bundle lost the training fingerprint")
+	}
+	if err := fp.Validate(len(b.Model.RawSchema)); err != nil {
+		t.Fatal(err)
+	}
+	orig := m.Fingerprint
+	if fp.Rows != orig.Rows || len(fp.Cols) != len(orig.Cols) {
+		t.Fatalf("fingerprint shape changed: rows %d→%d cols %d→%d",
+			orig.Rows, fp.Rows, len(orig.Cols), len(fp.Cols))
+	}
+	for j := range fp.Cols {
+		a, bcol := orig.Cols[j], fp.Cols[j]
+		if a.Name != bcol.Name || a.Mean != bcol.Mean || a.Std != bcol.Std ||
+			a.Min != bcol.Min || a.Max != bcol.Max ||
+			len(a.Edges) != len(bcol.Edges) || len(a.Props) != len(bcol.Props) {
+			t.Fatalf("fingerprint column %d changed across round trip:\n%+v\n%+v", j, a, bcol)
+		}
+	}
+}
+
+// TestBundleCrossVersionRefusal covers the read-side guards: a bundle
+// from a future format version is refused, and a v3 bundle whose stored
+// schema hash does not match the embedded model (a reader expecting a
+// different schema) is refused rather than served.
+func TestBundleCrossVersionRefusal(t *testing.T) {
+	m, _ := sharedModel(t)
+	blob, err := m.SaveBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	encode := func(w bundleWire) []byte {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	future := encode(bundleWire{
+		Magic: bundleMagic, Version: BundleVersion + 1,
+		SchemaHash: m.RawSchema.Hash(), ModelBlob: blob,
+	})
+	if _, err := LoadBundle(bytes.NewReader(future)); err == nil ||
+		!strings.Contains(err.Error(), "not supported") {
+		t.Fatalf("future version: got %v, want version refusal", err)
+	}
+
+	mismatched := encode(bundleWire{
+		Magic: bundleMagic, Version: BundleVersion,
+		SchemaHash: strings.Repeat("ab", 32), ModelBlob: blob,
+	})
+	if _, err := LoadBundle(bytes.NewReader(mismatched)); err == nil ||
+		!strings.Contains(err.Error(), "does not match") {
+		t.Fatalf("mismatched schema hash: got %v, want hash refusal", err)
+	}
+}
+
+// TestBundleLegacyNoFingerprint pins the downgrade path: a model without
+// a fingerprint is written as version 2, loads cleanly, and reports
+// itself legacy so serving can raise the model_bundle_legacy gauge.
+func TestBundleLegacyNoFingerprint(t *testing.T) {
+	shared, _ := sharedModel(t)
+	m := *shared
+	m.Fingerprint = nil
+	var buf bytes.Buffer
+	if err := SaveBundle(&buf, &m, 5); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBundle(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Version != 2 {
+		t.Fatalf("fingerprint-less bundle Version = %d, want 2", b.Version)
+	}
+	if !b.Legacy() {
+		t.Fatal("fingerprint-less bundle not reported legacy")
 	}
 }
 

@@ -55,6 +55,11 @@ type Model struct {
 	// single fingerprintable schema representation (frame.Schema.Hash)
 	// shared with the dataset layer and the model bundle.
 	RawSchema frame.Schema
+	// Fingerprint is the training-distribution sketch of the raw frame
+	// (per-column moments + quantile occupancies), the drift-detection
+	// reference the lifecycle plane scores serving traffic against. Nil
+	// for models loaded from pre-fingerprint bundles.
+	Fingerprint *frame.Fingerprint
 	// TrainSamples and TrainSaturatedFrac document the training set.
 	TrainSamples       int
 	TrainSaturatedFrac float64
@@ -94,6 +99,7 @@ func Train(ds *dataset.Dataset, cfg TrainConfig) (*Model, error) {
 		Forest:             fr,
 		Threshold:          cfg.Threshold,
 		RawSchema:          raw.Schema(),
+		Fingerprint:        frame.FingerprintFrame(raw, 0),
 		TrainSamples:       len(ds.Samples),
 		TrainSaturatedFrac: ds.SaturatedFraction(),
 	}, nil
@@ -222,6 +228,7 @@ type modelWire struct {
 	Threshold          float64
 	RawNames           []string
 	RawSchema          frame.Schema
+	Fingerprint        *frame.Fingerprint
 	TrainSamples       int
 	TrainSaturatedFrac float64
 }
@@ -238,6 +245,7 @@ func (m *Model) Save(w io.Writer) error {
 		Threshold:          m.Threshold,
 		RawNames:           m.RawSchema.Names(),
 		RawSchema:          m.RawSchema,
+		Fingerprint:        m.Fingerprint,
 		TrainSamples:       m.TrainSamples,
 		TrainSaturatedFrac: m.TrainSaturatedFrac,
 	}
@@ -276,6 +284,7 @@ func Load(r io.Reader) (*Model, error) {
 		Forest:             wire.Forest,
 		Threshold:          wire.Threshold,
 		RawSchema:          schema,
+		Fingerprint:        wire.Fingerprint,
 		TrainSamples:       wire.TrainSamples,
 		TrainSaturatedFrac: wire.TrainSaturatedFrac,
 	}, nil

@@ -1,0 +1,311 @@
+// Package lifecycle is the model-lifecycle plane of the serving system:
+// feature-distribution drift detection against the training fingerprint
+// stored in v3 model bundles, a bounded frame-native reservoir of recent
+// labeled windows, and a shadow-retrain loop that fits challenger
+// forests on the fast histogram path and promotes them through an atomic
+// hot swap when they beat the champion on held-out data. It turns the
+// paper's train-once artifact into a self-healing service: the networkdeg
+// exemplar's adaptive-baseline idea (rolling statistics instead of frozen
+// cutoffs) applied to the model itself.
+//
+// The package is serving-agnostic: serving owns the per-shard Cells and
+// the swap mechanics; lifecycle owns the statistics and the policy.
+// Lock ordering: a Cell is guarded by its owning shard's lock; Monitor
+// and Reservoir have internal locks that are only ever acquired *inside*
+// a shard lock (Absorb) or with no shard lock held, never the reverse.
+package lifecycle
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"monitorless/internal/frame"
+)
+
+// psiEps floors bin proportions so empty bins cannot drive PSI to ±Inf.
+const psiEps = 1e-4
+
+// maxTopOffenders bounds the per-app worst-feature list in drift scores.
+const maxTopOffenders = 8
+
+// accum is one application's rolling drift state: streaming moments plus
+// a flat per-feature sketch-bin occupancy slab (offsets owned by the
+// Cell/Monitor that allocated it).
+type accum struct {
+	mom    *frame.Moments
+	counts []uint32
+}
+
+func newAccum(cols, totalBins int) *accum {
+	return &accum{mom: frame.NewMoments(cols), counts: make([]uint32, totalBins)}
+}
+
+func (a *accum) reset() {
+	a.mom.Reset()
+	for i := range a.counts {
+		a.counts[i] = 0
+	}
+}
+
+// Cell is one serving shard's drift accumulator set: per-app rolling
+// moments and sketch-bin occupancies against a training fingerprint.
+// All methods are called under the owning shard's lock; Observe is on
+// the ingest hot path and allocates nothing at steady state (per-app
+// accumulators are created on first sight and reused forever after).
+type Cell struct {
+	fp   *frame.Fingerprint
+	offs []int32
+	apps map[string]*accum
+}
+
+// NewCell returns an empty cell; it binds to a fingerprint lazily on the
+// first Observe so swaps that change the fingerprint reset cells without
+// cross-shard coordination.
+func NewCell() *Cell { return &Cell{apps: make(map[string]*accum, 4)} }
+
+// binOffsets computes the flat occupancy-slab offset of each column.
+func binOffsets(fp *frame.Fingerprint) []int32 {
+	offs := make([]int32, fp.NumCols())
+	var t int32
+	for j := range offs {
+		offs[j] = t
+		t += int32(fp.NumBins(j))
+	}
+	return offs
+}
+
+func (c *Cell) rebind(fp *frame.Fingerprint) {
+	c.fp = fp
+	c.offs = binOffsets(fp)
+	// Accumulated counts were laid out for the old sketch; drop them.
+	for k := range c.apps {
+		delete(c.apps, k)
+	}
+}
+
+// Observe folds one raw metric vector for app into the cell. A
+// fingerprint change (hot swap to a differently-trained bundle) rebinds
+// the cell and discards the stale partial window.
+func (c *Cell) Observe(fp *frame.Fingerprint, app string, vals []float64) {
+	if fp != c.fp {
+		c.rebind(fp)
+	}
+	if len(vals) != fp.NumCols() {
+		return // schema-validated upstream; never mix widths into the slab
+	}
+	a := c.apps[app]
+	if a == nil {
+		a = newAccum(fp.NumCols(), fp.TotalBins())
+		c.apps[app] = a
+	}
+	a.mom.Observe(vals)
+	for j, v := range vals {
+		a.counts[a.countsIndex(c.offs[j], fp.Bin(j, v))]++
+	}
+}
+
+// countsIndex exists so the hot loop's index arithmetic is explicit.
+func (a *accum) countsIndex(off int32, bin int) int32 { return off + int32(bin) }
+
+// FeatureDrift is one feature's drift score within a window.
+type FeatureDrift struct {
+	// Name is the raw metric name.
+	Name string `json:"name"`
+	// PSI is the population stability index of the window's sketch-bin
+	// occupancy against the training proportions (smoothed; ≥ 0).
+	// Conventional reading: < 0.1 stable, 0.1–0.25 moderate, > 0.25 major.
+	PSI float64 `json:"psi"`
+	// Shift is the standardized mean shift |mean_obs − mean_train| / std_train.
+	Shift float64 `json:"shift"`
+}
+
+// AppDrift is one application's drift summary over its last completed
+// window.
+type AppDrift struct {
+	App     string `json:"app"`
+	Samples int    `json:"samples"`
+	// Window is the monotone sequence number of the completed window.
+	Window uint64 `json:"window"`
+	// MaxPSI / MaxShift are the worst per-feature scores, with the
+	// offending feature named.
+	MaxPSI          float64 `json:"max_psi"`
+	MaxPSIFeature   string  `json:"max_psi_feature"`
+	MaxShift        float64 `json:"max_shift"`
+	MaxShiftFeature string  `json:"max_shift_feature"`
+	// Top lists the worst offenders by PSI (bounded).
+	Top []FeatureDrift `json:"top,omitempty"`
+}
+
+// Monitor aggregates shard cells into per-app drift windows and scores
+// each completed window against the training fingerprint. The window is
+// counted in samples per app (the serving -drift-window flag), so busy
+// and quiet applications each complete windows at their own traffic rate.
+type Monitor struct {
+	mu      sync.Mutex
+	fp      *frame.Fingerprint
+	offs    []int32
+	window  int
+	apps    map[string]*accum
+	scores  map[string]AppDrift
+	windows uint64
+}
+
+// DefaultDriftWindow is the per-app window size (in samples) used when a
+// caller passes 0.
+const DefaultDriftWindow = 2048
+
+// NewMonitor builds a monitor scoring against fp with the given per-app
+// window size in samples (0 selects DefaultDriftWindow).
+func NewMonitor(fp *frame.Fingerprint, windowSamples int) *Monitor {
+	if windowSamples <= 0 {
+		windowSamples = DefaultDriftWindow
+	}
+	return &Monitor{
+		fp:     fp,
+		offs:   binOffsets(fp),
+		window: windowSamples,
+		apps:   make(map[string]*accum),
+		scores: make(map[string]AppDrift),
+	}
+}
+
+// Fingerprint returns the training reference the monitor scores against.
+func (m *Monitor) Fingerprint() *frame.Fingerprint {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.fp
+}
+
+// Reset rebinds the monitor to a new fingerprint (a swap to a
+// differently-trained bundle), dropping all partial windows and scores.
+func (m *Monitor) Reset(fp *frame.Fingerprint) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.fp = fp
+	m.offs = binOffsets(fp)
+	m.apps = make(map[string]*accum)
+	m.scores = make(map[string]AppDrift)
+}
+
+// Absorb merges one shard cell into the monitor's in-progress windows
+// and resets the cell in place (its storage is kept for the next
+// window). The caller holds the cell's shard lock; the monitor lock
+// nests inside it. Any app whose accumulated sample count crosses the
+// window size has its window finalized into a drift score.
+func (m *Monitor) Absorb(c *Cell) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c.fp != m.fp {
+		// Cell bound to another model generation (or not yet bound):
+		// discard rather than mix sketches.
+		if c.fp != nil {
+			c.rebind(c.fp)
+		}
+		return
+	}
+	for app, ca := range c.apps {
+		if ca.mom.Count() == 0 {
+			continue
+		}
+		ma := m.apps[app]
+		if ma == nil {
+			ma = newAccum(m.fp.NumCols(), m.fp.TotalBins())
+			m.apps[app] = ma
+		}
+		ma.mom.Merge(ca.mom)
+		for i, n := range ca.counts {
+			ma.counts[i] += n
+		}
+		ca.reset()
+		if int(ma.mom.Count()) >= m.window {
+			m.windows++
+			m.scores[app] = scoreWindow(m.fp, m.offs, app, ma, m.windows)
+			ma.reset()
+		}
+	}
+}
+
+// Windows returns how many per-app windows have been completed and
+// scored since the monitor was built (the drift_windows_total counter).
+func (m *Monitor) Windows() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.windows
+}
+
+// Scores snapshots the latest completed-window drift score of every app,
+// sorted by app name.
+func (m *Monitor) Scores() []AppDrift {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]AppDrift, 0, len(m.scores))
+	for _, d := range m.scores {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].App < out[j].App })
+	return out
+}
+
+// MaxPSI returns the worst current per-app MaxPSI across all scored
+// apps (0 when no window has completed) — the scalar the swap policy and
+// the drift gauges key on.
+func (m *Monitor) MaxPSI() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	worst := 0.0
+	for _, d := range m.scores {
+		if d.MaxPSI > worst {
+			worst = d.MaxPSI
+		}
+	}
+	return worst
+}
+
+// scoreWindow computes one app's drift score from a completed window.
+// Callers hold m.mu.
+func scoreWindow(fp *frame.Fingerprint, offs []int32, app string, a *accum, window uint64) AppDrift {
+	d := AppDrift{App: app, Samples: int(a.mom.Count()), Window: window}
+	n := a.mom.Count()
+	if n == 0 {
+		return d
+	}
+	feats := make([]FeatureDrift, 0, fp.NumCols())
+	for j := 0; j < fp.NumCols(); j++ {
+		ref := &fp.Cols[j]
+		fd := FeatureDrift{Name: ref.Name}
+		if ref.Std > 0 {
+			fd.Shift = math.Abs(a.mom.Mean(j)-ref.Mean) / ref.Std
+		}
+		bins := len(ref.Props)
+		for b := 0; b < bins; b++ {
+			po := float64(a.counts[int(offs[j])+b]) / n
+			pe := ref.Props[b]
+			if po < psiEps {
+				po = psiEps
+			}
+			if pe < psiEps {
+				pe = psiEps
+			}
+			fd.PSI += (po - pe) * math.Log(po/pe)
+		}
+		if fd.PSI > d.MaxPSI {
+			d.MaxPSI, d.MaxPSIFeature = fd.PSI, fd.Name
+		}
+		if fd.Shift > d.MaxShift {
+			d.MaxShift, d.MaxShiftFeature = fd.Shift, fd.Name
+		}
+		feats = append(feats, fd)
+	}
+	sort.Slice(feats, func(i, j int) bool {
+		if feats[i].PSI != feats[j].PSI {
+			return feats[i].PSI > feats[j].PSI
+		}
+		return feats[i].Name < feats[j].Name
+	})
+	if len(feats) > maxTopOffenders {
+		feats = feats[:maxTopOffenders]
+	}
+	d.Top = feats
+	return d
+}

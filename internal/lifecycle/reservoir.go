@@ -1,0 +1,115 @@
+package lifecycle
+
+import (
+	"sync"
+
+	"monitorless/internal/frame"
+)
+
+// DefaultReservoirCap is the ring capacity (rows) used when a caller
+// passes 0.
+const DefaultReservoirCap = 8192
+
+// Reservoir is a bounded ring of recent labeled engineered-feature rows —
+// the shadow-retrain training set. The serving plane appends a row
+// whenever an ingested sample carries a ground-truth label; the retrain
+// loop snapshots it into a compact frame. Storage is a frame-native ring:
+// one column-major slab allocated up front, rows overwritten in arrival
+// order, so steady-state Add allocates nothing.
+type Reservoir struct {
+	mu     sync.Mutex
+	fr     *frame.Frame
+	labels []int
+	cap    int
+	total  uint64
+}
+
+// NewReservoir builds a ring over the engineered feature schema with
+// capacity capRows (0 selects DefaultReservoirCap).
+func NewReservoir(schema frame.Schema, capRows int) *Reservoir {
+	if capRows <= 0 {
+		capRows = DefaultReservoirCap
+	}
+	return &Reservoir{
+		fr:     frame.NewDense(schema, capRows, nil, nil),
+		labels: make([]int, capRows),
+		cap:    capRows,
+	}
+}
+
+// Add appends one labeled engineered row, overwriting the oldest slot
+// once the ring is full. vec must match the reservoir schema width;
+// mismatched rows are dropped (the serving plane validates upstream).
+// Safe for concurrent use; allocation-free at steady state.
+func (r *Reservoir) Add(vec []float64, label int) {
+	if len(vec) != r.fr.NumCols() {
+		return
+	}
+	r.mu.Lock()
+	slot := int(r.total % uint64(r.cap))
+	for j, v := range vec {
+		r.fr.Set(slot, j, v)
+	}
+	r.labels[slot] = label
+	r.total++
+	r.mu.Unlock()
+}
+
+// Len returns the number of occupied rows (≤ capacity).
+func (r *Reservoir) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.occupied()
+}
+
+// Total returns how many labeled rows have ever been added (including
+// rows since overwritten).
+func (r *Reservoir) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Cap returns the ring capacity in rows.
+func (r *Reservoir) Cap() int { return r.cap }
+
+func (r *Reservoir) occupied() int {
+	if r.total < uint64(r.cap) {
+		return int(r.total)
+	}
+	return r.cap
+}
+
+// Snapshot compacts the occupied rows into a fresh labeled frame and
+// splits them into train and holdout index sets: every holdoutEvery-th
+// slot (by ring position) is held out, the rest train. The split is a
+// pure function of slot index, so repeated snapshots of the same
+// contents produce the same split — retraining stays deterministic. A
+// holdoutEvery ≤ 1 selects the default of 5 (20% holdout).
+func (r *Reservoir) Snapshot(holdoutEvery int) (fit *frame.Frame, trainRows, holdRows []int) {
+	if holdoutEvery <= 1 {
+		holdoutEvery = 5
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.occupied()
+	if n == 0 {
+		return nil, nil, nil
+	}
+	// Copy the occupied prefix into a fresh labeled frame so the snapshot
+	// is fully decoupled from the live ring.
+	snap := frame.NewDense(r.fr.Schema(), n, []frame.Span{{ID: 0, Start: 0, End: n}}, append([]int(nil), r.labels[:n]...))
+	for j := 0; j < r.fr.NumCols(); j++ {
+		copy(snap.Col(j), r.fr.Col(j)[:n])
+	}
+	trainRows = make([]int, 0, n-n/holdoutEvery)
+	holdRows = make([]int, 0, n/holdoutEvery+1)
+	for i := 0; i < n; i++ {
+		if i%holdoutEvery == 0 {
+			holdRows = append(holdRows, i)
+		} else {
+			trainRows = append(trainRows, i)
+		}
+	}
+	return snap, trainRows, holdRows
+}

@@ -308,3 +308,28 @@ func (f *Forest) FeatureImportances() []float64 {
 
 // NumTrees returns the ensemble size.
 func (f *Forest) NumTrees() int { return len(f.trees) }
+
+// Config returns a copy of the forest's hyper-parameters — the
+// champion's recipe a lifecycle retrain reuses for its challenger.
+func (f *Forest) Config() Config { return f.cfg }
+
+// Retrain is the model-lifecycle retrain entry point: it fits a fresh
+// challenger forest with base's hyper-parameters on the listed frame
+// rows (nil = all; y nil = fr.Labels()), forcing the histogram splitter —
+// the fast path, since a shadow retrain competes with serving for the
+// box — and the given seed so repeated retrains are deterministic
+// functions of (reservoir contents, seed). The base forest is not
+// modified.
+func Retrain(base *Forest, fr *frame.Frame, y []int, rows []int, seed int64) (*Forest, error) {
+	if base == nil {
+		return nil, fmt.Errorf("forest: retrain: nil base forest")
+	}
+	cfg := base.Config()
+	cfg.Splitter = tree.Hist
+	cfg.Seed = seed
+	nf := New(cfg)
+	if err := nf.FitFrame(fr, y, rows); err != nil {
+		return nil, fmt.Errorf("forest: retrain: %w", err)
+	}
+	return nf, nil
+}

@@ -10,6 +10,9 @@ import (
 	"sync"
 	"time"
 
+	"monitorless/internal/core"
+	"monitorless/internal/frame"
+	"monitorless/internal/lifecycle"
 	"monitorless/internal/pcp"
 )
 
@@ -59,11 +62,17 @@ func readFrameBody(r *http.Request) (body []byte, release func(), err error) {
 //	GET    /apps              per-application OR + debounced decisions
 //	DELETE /instances?id=     drop an instance's state (scale-in)
 //	GET    /schema            raw metric names + schema hash
+//	GET    /model             active model: generation, fingerprint, drift
+//	                          scores, swap history, lifecycle status
+//	POST   /model             hot-swap a model bundle (body = bundle bytes)
 //	GET    /healthz           liveness + service stats
 //	GET    /metrics           Prometheus text exposition
 type Server struct {
 	svc *Service
 	mux *http.ServeMux
+
+	lcMu sync.Mutex
+	lc   *lifecycle.Manager
 }
 
 // NewServer wraps a service with its HTTP API.
@@ -74,9 +83,25 @@ func NewServer(svc *Service) *Server {
 	s.mux.HandleFunc("/apps", s.handleApps)
 	s.mux.HandleFunc("/instances", s.handleInstances)
 	s.mux.HandleFunc("/schema", s.handleSchema)
+	s.mux.HandleFunc("/model", s.handleModel)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
+}
+
+// AttachLifecycle surfaces a lifecycle manager's retrain status on
+// /model. Safe to call at any point (cmd/serve attaches it after wiring
+// the swap callback).
+func (s *Server) AttachLifecycle(mg *lifecycle.Manager) {
+	s.lcMu.Lock()
+	s.lc = mg
+	s.lcMu.Unlock()
+}
+
+func (s *Server) lifecycleManager() *lifecycle.Manager {
+	s.lcMu.Lock()
+	defer s.lcMu.Unlock()
+	return s.lc
 }
 
 // statusWriter captures the response code for request metrics.
@@ -252,6 +277,81 @@ func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// ModelInfo is the GET /model response: the active model's identity and
+// the lifecycle plane's view of it.
+type ModelInfo struct {
+	Gen           uint64  `json:"gen"`
+	BundleVersion int     `json:"bundle_version"`
+	SchemaHash    string  `json:"schema_hash"`
+	Threshold     float64 `json:"threshold"`
+	Trees         int     `json:"trees"`
+	TrainSamples  int     `json:"train_samples"`
+	Legacy        bool    `json:"legacy"`
+	// Fingerprint summarizes the training distribution (per-column
+	// moments; quantile internals are not serialized). Nil for legacy
+	// models.
+	Fingerprint *frame.Fingerprint `json:"fingerprint,omitempty"`
+	// Drift lists the latest completed-window drift scores per app.
+	Drift []lifecycle.AppDrift `json:"drift,omitempty"`
+	// Swaps is the retained hot-swap history, oldest first.
+	Swaps []SwapEvent `json:"swaps,omitempty"`
+	// Lifecycle is the shadow-retrain status when a manager is attached.
+	Lifecycle *lifecycle.Status `json:"lifecycle,omitempty"`
+}
+
+// maxBundleBytes bounds one POST /model body (a 250-tree bundle with
+// calibration is well under this).
+const maxBundleBytes = 256 << 20
+
+// handleModel serves the model identity (GET) and the operator hot-swap
+// entry (POST: body = model bundle bytes as written by cmd/train).
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		s.svc.HarvestDrift() // scores reflect traffic up to this request
+		m := s.svc.Model()
+		st := s.svc.Stats()
+		info := ModelInfo{
+			Gen:           st.ModelGen,
+			BundleVersion: st.BundleVersion,
+			SchemaHash:    st.SchemaHash,
+			Threshold:     st.Threshold,
+			Trees:         st.ModelTrees,
+			TrainSamples:  m.TrainSamples,
+			Legacy:        st.LegacyBundle,
+			Fingerprint:   m.Fingerprint,
+			Swaps:         s.svc.SwapHistory(),
+		}
+		if d := s.svc.Drift(); d != nil {
+			info.Drift = d.Scores()
+		}
+		if mg := s.lifecycleManager(); mg != nil {
+			lst := mg.Status()
+			info.Lifecycle = &lst
+		}
+		writeJSON(w, http.StatusOK, info)
+	case http.MethodPost:
+		r.Body = http.MaxBytesReader(w, r.Body, maxBundleBytes)
+		b, err := core.LoadBundle(r.Body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		ev, err := s.svc.Swap(b.Model, b.Version, "operator")
+		if err != nil {
+			code := http.StatusBadRequest
+			if errors.Is(err, ErrSchemaMismatch) {
+				code = http.StatusConflict
+			}
+			writeError(w, code, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, ev)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "GET or POST required")
+	}
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "GET required")
@@ -268,6 +368,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
+	// Drain shard drift cells first, so the drift gauges and window
+	// counter reflect traffic up to this scrape.
+	s.svc.HarvestDrift()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	_ = s.svc.Registry().WriteText(w)
 }

@@ -20,6 +20,7 @@
 package serving
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sort"
@@ -30,6 +31,7 @@ import (
 	"monitorless/internal/core"
 	"monitorless/internal/features"
 	"monitorless/internal/frame"
+	"monitorless/internal/lifecycle"
 	"monitorless/internal/pcp"
 )
 
@@ -58,6 +60,13 @@ type Config struct {
 	// power of two (0 selects DefaultShards). Instance→shard routing is a
 	// pure function of the instance ID, invariant across restarts.
 	Shards int
+	// DriftWindow is the per-app drift window in samples (0 selects
+	// lifecycle.DefaultDriftWindow; negative disables drift monitoring).
+	// Monitoring also requires the model to carry a training fingerprint.
+	DriftWindow int
+	// BundleVersion records the bundle format version the model came from
+	// (0 when the model was constructed in-process rather than loaded).
+	BundleVersion int
 }
 
 // Prediction is one instance's latest inference.
@@ -73,6 +82,10 @@ type Prediction struct {
 	// App and Service group the instance for aggregation.
 	App     string `json:"app"`
 	Service string `json:"service,omitempty"`
+	// ModelGen is the model generation that produced this prediction. A
+	// shard batch loads the active model once, so every prediction in a
+	// batch carries the same generation even if a swap lands mid-batch.
+	ModelGen uint64 `json:"model_gen"`
 }
 
 // AppStatus is one application's aggregated decision.
@@ -115,7 +128,67 @@ type Stats struct {
 	SchemaHash   string  `json:"schema_hash"`
 	ModelTrees   int     `json:"model_trees"`
 	Threshold    float64 `json:"threshold"`
+	// ModelGen is the active model generation (1 at startup, +1 per swap).
+	ModelGen uint64 `json:"model_gen"`
+	// BundleVersion is the active model's bundle format version (0 when
+	// built in-process).
+	BundleVersion int `json:"bundle_version"`
+	// LegacyBundle reports a model without a training fingerprint — drift
+	// detection is disabled for it.
+	LegacyBundle bool `json:"legacy_bundle"`
+	// Swaps counts completed hot swaps since startup.
+	Swaps uint64 `json:"swaps"`
 }
+
+// modelVersion is one immutable generation of the serving model. The
+// service publishes the active version through an atomic pointer; a
+// shard batch loads it exactly once, so in-flight batches finish on the
+// model they started with while a swap lands.
+type modelVersion struct {
+	model     *core.Model
+	streamer  *features.Streamer
+	threshold float64
+	fp        *frame.Fingerprint
+	gen       uint64
+	// pipeGob is the pipeline's gob image, the warm/cold swap
+	// discriminator: byte-identical pipelines engineer features
+	// identically, so per-instance stream state carries over.
+	pipeGob   []byte
+	bundleVer int
+}
+
+// SwapEvent records one completed hot swap.
+type SwapEvent struct {
+	// Gen is the generation the swap installed.
+	Gen uint64 `json:"gen"`
+	// At is the wall-clock swap time.
+	At time.Time `json:"at"`
+	// Reason is the caller-supplied provenance ("operator", "challenger
+	// round 3: F1 …").
+	Reason string `json:"reason"`
+	// Cold reports that the pipeline changed, so per-instance streaming
+	// state was reset (warm swaps keep it and stay bit-identical).
+	Cold bool `json:"cold"`
+	// Trees and TrainSamples describe the installed model.
+	Trees        int `json:"trees"`
+	TrainSamples int `json:"train_samples"`
+	// BundleVersion is the installed bundle's format version (0 for
+	// in-process models, e.g. lifecycle challengers).
+	BundleVersion int `json:"bundle_version,omitempty"`
+}
+
+// maxSwapHistory bounds the retained swap event log.
+const maxSwapHistory = 64
+
+// LabelSink receives labeled engineered feature rows from the ingest
+// path (the lifecycle reservoir implements it). Add must copy vec before
+// returning: the slice aliases per-shard scratch.
+type LabelSink interface {
+	Add(vec []float64, label int)
+}
+
+// labelSinkBox wraps the interface so it fits an atomic.Pointer.
+type labelSinkBox struct{ sink LabelSink }
 
 // instanceState is one instance's streaming feature state plus its
 // latest prediction. gen stamps the last observation that touched the
@@ -157,6 +230,9 @@ type shard struct {
 	probs     []float64
 	pend      []pendSample
 	gen       uint64
+	// drift accumulates per-app raw-feature statistics under the shard
+	// lock; HarvestDrift drains it into the service-level monitor.
+	drift *lifecycle.Cell
 }
 
 // paddedInt is a cache-line-padded atomic instance counter (one per
@@ -184,13 +260,15 @@ type routeScratch struct {
 
 // Service holds the model, sharded per-instance streaming state, and
 // cross-shard per-app debouncers. All methods are safe for concurrent
-// use; lock order is appsMu before shard.mu.
+// use; lock order is appsMu before shard.mu; the lifecycle monitor and
+// label-sink locks nest inside shard.mu and are never held around either.
 type Service struct {
-	model      *core.Model
-	streamer   *features.Streamer
+	// active is the serving model generation; swapped atomically, loaded
+	// once per shard batch.
+	active     atomic.Pointer[modelVersion]
 	schemaHash string
+	engNames   []string // engineered column layout every generation must match
 	cfg        Config
-	threshold  float64
 
 	shards []shard
 	mask   uint64
@@ -198,6 +276,16 @@ type Service struct {
 
 	appsMu sync.Mutex
 	apps   map[string]*appEntry
+
+	// swapMu serializes Swap calls and guards the swap history.
+	swapMu  sync.Mutex
+	history []SwapEvent
+	nSwaps  atomic.Uint64
+
+	// drift is nil when the model has no fingerprint or DriftWindow < 0.
+	drift *lifecycle.Monitor
+	// labelSink receives labeled engineered rows (nil box = disabled).
+	labelSink atomic.Pointer[labelSinkBox]
 
 	reg       *Registry
 	respPool  sync.Pool
@@ -208,6 +296,8 @@ type Service struct {
 	mObservations  *Counter
 	mSchemaRejects *Counter
 	mBadRequests   *Counter
+	mSwaps         *Counter
+	mSwapRejects   *Counter
 }
 
 // shardCount rounds the configured count up to a bounded power of two.
@@ -252,14 +342,16 @@ func New(cfg Config) (*Service, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serving: %w", err)
 	}
+	pipeGob, err := cfg.Model.Pipeline.EncodeGob()
+	if err != nil {
+		return nil, fmt.Errorf("serving: %w", err)
+	}
 	n := shardCount(cfg.Shards)
 	reg := NewRegistry()
 	s := &Service{
-		model:      cfg.Model,
-		streamer:   streamer,
 		schemaHash: cfg.Model.RawSchema.Hash(),
+		engNames:   cfg.Model.Pipeline.OutputNames(),
 		cfg:        cfg,
-		threshold:  cfg.Model.Threshold,
 		shards:     make([]shard, n),
 		mask:       uint64(n - 1),
 		nInst:      make([]paddedInt, n),
@@ -273,12 +365,29 @@ func New(cfg Config) (*Service, error) {
 			"Observations rejected before inference.", Labels{"reason": "schema"}),
 		mBadRequests: reg.Counter("monitorless_ingest_rejects_total",
 			"Observations rejected before inference.", Labels{"reason": "malformed"}),
+		mSwaps: reg.Counter("monitorless_model_swaps_total",
+			"Completed hot model swaps.", nil),
+		mSwapRejects: reg.Counter("monitorless_model_swap_rejects_total",
+			"Hot swaps refused (schema or layout mismatch).", nil),
+	}
+	s.active.Store(&modelVersion{
+		model:     cfg.Model,
+		streamer:  streamer,
+		threshold: cfg.Model.Threshold,
+		fp:        cfg.Model.Fingerprint,
+		gen:       1,
+		pipeGob:   pipeGob,
+		bundleVer: cfg.BundleVersion,
+	})
+	if cfg.Model.Fingerprint != nil && cfg.DriftWindow >= 0 {
+		s.drift = lifecycle.NewMonitor(cfg.Model.Fingerprint, cfg.DriftWindow)
 	}
 	engineered := cfg.Model.EngineeredSchema()
 	for i := range s.shards {
 		s.shards[i].instances = make(map[string]*instanceState)
 		s.shards[i].apps = make(map[string]*shardApp)
 		s.shards[i].scratch = frame.NewScratch(engineered, 0)
+		s.shards[i].drift = lifecycle.NewCell()
 	}
 	reg.CounterFunc("monitorless_ingest_samples_total",
 		"Per-instance metric vectors folded into streaming feature state.", nil, s.cSamples.Value)
@@ -292,6 +401,24 @@ func New(cfg Config) (*Service, error) {
 			}
 			return float64(t)
 		})
+	reg.GaugeFunc("monitorless_model_generation",
+		"Active model generation (1 at startup, +1 per hot swap).", nil, func() float64 {
+			return float64(s.active.Load().gen)
+		})
+	reg.GaugeFunc("monitorless_model_bundle_legacy",
+		"1 when the active model has no training fingerprint (pre-v3 bundle): drift detection disabled.", nil, func() float64 {
+			mv := s.active.Load()
+			if mv.fp == nil || (mv.bundleVer >= 1 && mv.bundleVer < 3) {
+				return 1
+			}
+			return 0
+		})
+	if s.drift != nil {
+		reg.CounterFunc("monitorless_drift_windows_total",
+			"Completed per-app drift windows scored against the training fingerprint.", nil, func() float64 {
+				return float64(s.drift.Windows())
+			})
+	}
 	return s, nil
 }
 
@@ -305,8 +432,28 @@ func (s *Service) SchemaHash() string { return s.schemaHash }
 
 // RawNames lists the expected raw metric schema in vector order.
 func (s *Service) RawNames() []string {
-	return s.model.RawNames()
+	return s.active.Load().model.RawNames()
 }
+
+// Model returns the active model (for observability endpoints).
+func (s *Service) Model() *core.Model { return s.active.Load().model }
+
+// ModelGen returns the active model generation.
+func (s *Service) ModelGen() uint64 { return s.active.Load().gen }
+
+// SetLabelSink installs (or, with nil, removes) the sink that receives
+// labeled engineered rows from the ingest path.
+func (s *Service) SetLabelSink(sink LabelSink) {
+	if sink == nil {
+		s.labelSink.Store(nil)
+		return
+	}
+	s.labelSink.Store(&labelSinkBox{sink: sink})
+}
+
+// Drift returns the lifecycle drift monitor (nil when the model carries
+// no training fingerprint or monitoring is disabled).
+func (s *Service) Drift() *lifecycle.Monitor { return s.drift }
 
 // NumShards returns the effective (power-of-two) shard count.
 func (s *Service) NumShards() int { return len(s.shards) }
@@ -444,6 +591,11 @@ func (s *Service) ingest(w pcp.WireObservation, quiet bool) (*IngestResponse, er
 // shard lock: streaming feature steps into the scratch frame, one batch
 // tree-outer forest walk, then prediction and per-app aggregate updates.
 func (s *Service) ingestShard(si int, w *pcp.WireObservation, idxs []int32, resp *IngestResponse, quiet bool, touched map[string]struct{}) error {
+	// The active model is loaded exactly once per shard batch: a swap
+	// landing mid-batch does not mix generations within the batch, and
+	// every prediction below is stamped with the generation it used.
+	mv := s.active.Load()
+	sink := s.labelSink.Load()
 	sh := &s.shards[si]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -460,9 +612,9 @@ func (s *Service) ingestShard(si int, w *pcp.WireObservation, idxs []int32, resp
 			return fmt.Errorf("serving: duplicate sample for %q", smp.Instance)
 		}
 		if !known {
-			inst = &instanceState{st: s.streamer.NewState()}
+			inst = &instanceState{st: mv.streamer.NewState()}
 		}
-		fvec, err := s.streamer.StepInto(inst.st, smp.Values, &sh.step)
+		fvec, err := mv.streamer.StepInto(inst.st, smp.Values, &sh.step)
 		if err != nil {
 			// A rejected sample must not leave a phantom zero-sample
 			// instance behind (it would surface in /predict and inflate
@@ -473,11 +625,18 @@ func (s *Service) ingestShard(si int, w *pcp.WireObservation, idxs []int32, resp
 		if app == "" {
 			app = appFromID(smp.Instance)
 		}
+		if s.drift != nil && mv.fp != nil {
+			sh.drift.Observe(mv.fp, app, smp.Values)
+		}
+		if sink != nil && smp.Label != nil {
+			// The sink copies fvec before returning (it aliases sh.step).
+			sink.sink.Add(fvec, *smp.Label)
+		}
 		if !known {
 			// Insert with a provisional prediction naming the app, so the
 			// per-app aggregates stay consistent even if a later sample of
 			// this batch fails before the prediction phase.
-			inst.pred = Prediction{T: w.T, Samples: inst.st.Samples(), App: app, Service: smp.Service}
+			inst.pred = Prediction{T: w.T, Samples: inst.st.Samples(), App: app, Service: smp.Service, ModelGen: mv.gen}
 			sh.instances[smp.Instance] = inst
 			sh.appAgg(app).instances++
 			s.nInst[si].v.Add(1)
@@ -490,17 +649,18 @@ func (s *Service) ingestShard(si int, w *pcp.WireObservation, idxs []int32, resp
 	// One batch walk per shard batch: each tree's flattened slab visits
 	// every row before the next tree — bit-identical to per-row
 	// PredictVector, much cheaper than re-paging the ensemble per sample.
-	sh.probs = s.model.PredictProbaRowsInto(fr, sh.probs)
+	sh.probs = mv.model.PredictProbaRowsInto(fr, sh.probs)
 
 	for k := range sh.pend {
 		p := &sh.pend[k]
 		prob := sh.probs[k]
-		sat := prob >= s.threshold
+		sat := prob >= mv.threshold
 		old := p.inst.pred
 		p.inst.pred = Prediction{
 			Prob: prob, Saturated: sat, T: w.T,
 			Samples: p.inst.st.Samples(),
 			App:     p.app, Service: p.svc,
+			ModelGen: mv.gen,
 		}
 		sh.updateAgg(p, old, sat)
 		if !quiet {
@@ -678,14 +838,160 @@ func (s *Service) Stats() Stats {
 	s.appsMu.Lock()
 	apps := len(s.apps)
 	s.appsMu.Unlock()
+	mv := s.active.Load()
 	return Stats{
-		Instances:    int(instances),
-		Apps:         apps,
-		Shards:       len(s.shards),
-		SamplesTotal: s.cSamples.Value(),
-		SchemaHash:   s.schemaHash,
-		ModelTrees:   s.model.Forest.NumTrees(),
-		Threshold:    s.threshold,
+		Instances:     int(instances),
+		Apps:          apps,
+		Shards:        len(s.shards),
+		SamplesTotal:  s.cSamples.Value(),
+		SchemaHash:    s.schemaHash,
+		ModelTrees:    mv.model.Forest.NumTrees(),
+		Threshold:     mv.threshold,
+		ModelGen:      mv.gen,
+		BundleVersion: mv.bundleVer,
+		LegacyBundle:  mv.fp == nil,
+		Swaps:         s.nSwaps.Load(),
+	}
+}
+
+// Swap atomically replaces the serving model with m (loaded from a
+// bundle of the given format version; 0 for in-process models). The new
+// model must be trained against the same raw metric schema and produce
+// the same engineered column layout — per-shard scratch frames and the
+// instance hash are sized to them. When the new pipeline is
+// byte-identical to the active one (same pointer or equal gob image) the
+// swap is warm: per-instance streaming state carries over untouched, so
+// a swap to a byte-identical bundle is bit-invisible to predictions.
+// Otherwise the swap is cold: all instance state is reset and rebuilt
+// from subsequent traffic. In-flight shard batches finish on the
+// generation they loaded; there is no pause.
+func (s *Service) Swap(m *core.Model, bundleVersion int, reason string) (SwapEvent, error) {
+	if m == nil || m.Forest == nil || m.Pipeline == nil {
+		s.mSwapRejects.Inc()
+		return SwapEvent{}, fmt.Errorf("serving: swap: incomplete model")
+	}
+	if h := m.RawSchema.Hash(); h != s.schemaHash {
+		s.mSwapRejects.Inc()
+		return SwapEvent{}, fmt.Errorf("%w: swap candidate trained on schema %.12s…, serving %.12s…", ErrSchemaMismatch, h, s.schemaHash)
+	}
+	names := m.Pipeline.OutputNames()
+	if len(names) != len(s.engNames) {
+		s.mSwapRejects.Inc()
+		return SwapEvent{}, fmt.Errorf("serving: swap: engineered layout has %d columns, serving %d", len(names), len(s.engNames))
+	}
+	for i := range names {
+		if names[i] != s.engNames[i] {
+			s.mSwapRejects.Inc()
+			return SwapEvent{}, fmt.Errorf("serving: swap: engineered column %d is %q, serving %q", i, names[i], s.engNames[i])
+		}
+	}
+
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	cur := s.active.Load()
+
+	warm := m.Pipeline == cur.model.Pipeline
+	streamer := cur.streamer
+	pipeGob := cur.pipeGob
+	if !warm {
+		gobImg, err := m.Pipeline.EncodeGob()
+		if err != nil {
+			s.mSwapRejects.Inc()
+			return SwapEvent{}, fmt.Errorf("serving: swap: %w", err)
+		}
+		if bytes.Equal(gobImg, cur.pipeGob) {
+			// Equal pipelines engineer identically: existing stream
+			// states remain valid and predictions stay bit-identical for
+			// an identical forest.
+			warm = true
+		} else {
+			streamer, err = m.Streamer()
+			if err != nil {
+				s.mSwapRejects.Inc()
+				return SwapEvent{}, fmt.Errorf("serving: swap: %w", err)
+			}
+			pipeGob = gobImg
+		}
+	}
+
+	nv := &modelVersion{
+		model:     m,
+		streamer:  streamer,
+		threshold: m.Threshold,
+		fp:        m.Fingerprint,
+		gen:       cur.gen + 1,
+		pipeGob:   pipeGob,
+		bundleVer: bundleVersion,
+	}
+	s.active.Store(nv)
+	if !warm {
+		s.resetInstances()
+	}
+	if s.drift != nil && nv.fp != cur.fp && nv.fp != nil {
+		// A different training distribution invalidates partial windows;
+		// cells rebind lazily on their next Observe.
+		s.drift.Reset(nv.fp)
+	}
+
+	ev := SwapEvent{
+		Gen:           nv.gen,
+		At:            time.Now().UTC(),
+		Reason:        reason,
+		Cold:          !warm,
+		Trees:         m.Forest.NumTrees(),
+		TrainSamples:  m.TrainSamples,
+		BundleVersion: bundleVersion,
+	}
+	s.history = append(s.history, ev)
+	if len(s.history) > maxSwapHistory {
+		s.history = s.history[len(s.history)-maxSwapHistory:]
+	}
+	s.nSwaps.Add(1)
+	s.mSwaps.Inc()
+	return ev, nil
+}
+
+// SwapHistory returns the retained swap event log, oldest first.
+func (s *Service) SwapHistory() []SwapEvent {
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	return append([]SwapEvent(nil), s.history...)
+}
+
+// resetInstances drops all per-instance streaming state and per-shard
+// app aggregates (a cold swap: the new pipeline cannot continue old
+// rings). App debouncers survive — their k-of-n windows refill from the
+// new model's decisions on subsequent ticks.
+func (s *Service) resetInstances() {
+	for si := range s.shards {
+		sh := &s.shards[si]
+		sh.mu.Lock()
+		clear(sh.instances)
+		clear(sh.apps)
+		s.nInst[si].v.Store(0)
+		sh.mu.Unlock()
+	}
+}
+
+// HarvestDrift drains every shard's drift cell into the monitor and
+// refreshes the per-app drift gauges. The /metrics handler calls it
+// before rendering, so scrapes see current scores; the lifecycle
+// manager calls it before each retrain round. No-op without a monitor.
+func (s *Service) HarvestDrift() {
+	if s.drift == nil {
+		return
+	}
+	for si := range s.shards {
+		sh := &s.shards[si]
+		sh.mu.Lock()
+		s.drift.Absorb(sh.drift)
+		sh.mu.Unlock()
+	}
+	for _, d := range s.drift.Scores() {
+		s.reg.Gauge("monitorless_drift_psi_max",
+			"Worst per-feature PSI of the app's last completed drift window.", Labels{"app": d.App}).Set(d.MaxPSI)
+		s.reg.Gauge("monitorless_drift_mean_shift_max",
+			"Worst standardized mean shift of the app's last completed drift window.", Labels{"app": d.App}).Set(d.MaxShift)
 	}
 }
 

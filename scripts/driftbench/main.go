@@ -1,0 +1,259 @@
+// Command driftbench measures the model lifecycle plane and writes
+// BENCH_drift.json: shadow-retrain round latency (reservoir snapshot +
+// challenger fit + champion/challenger holdout comparison) and the cost
+// a hot swap imposes on the serving path — both the swap call itself and
+// the p99 of ingest batch latency while warm swaps land continuously,
+// compared against a quiet baseline. The numbers back the DESIGN §5i
+// claim that promotion is pause-free: a swap is one atomic pointer store,
+// so ingest latency under swap churn should be indistinguishable from
+// the quiet run.
+//
+// Usage: go run ./scripts/driftbench [-out BENCH_drift.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	"monitorless/internal/core"
+	"monitorless/internal/dataset"
+	"monitorless/internal/features"
+	"monitorless/internal/lifecycle"
+	"monitorless/internal/ml/forest"
+	"monitorless/internal/ml/tree"
+	"monitorless/internal/pcp"
+	"monitorless/internal/serving"
+)
+
+type report struct {
+	RetrainRounds   int     `json:"retrain_rounds"`
+	ReservoirRows   int     `json:"reservoir_rows"`
+	TrainRows       int     `json:"train_rows"`
+	HoldoutRows     int     `json:"holdout_rows"`
+	RetrainP50Ms    float64 `json:"retrain_p50_ms"`
+	RetrainP99Ms    float64 `json:"retrain_p99_ms"`
+	ChallengerWins  int     `json:"challenger_wins"`
+	ChallengerLoss  int     `json:"challenger_losses"`
+	Swaps           int     `json:"swaps"`
+	WarmSwapP50Us   float64 `json:"warm_swap_p50_us"`
+	WarmSwapP99Us   float64 `json:"warm_swap_p99_us"`
+	IngestBatch     int     `json:"ingest_batch"`
+	QuietIngestP50U float64 `json:"ingest_quiet_p50_us"`
+	QuietIngestP99U float64 `json:"ingest_quiet_p99_us"`
+	ChurnIngestP50U float64 `json:"ingest_churn_p50_us"`
+	ChurnIngestP99U float64 `json:"ingest_churn_p99_us"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("driftbench: ")
+	out := flag.String("out", "BENCH_drift.json", "JSON report path")
+	rounds := flag.Int("rounds", 10, "shadow retrain rounds to time")
+	flag.Parse()
+	if err := run(*out, *rounds); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(out string, rounds int) error {
+	m, ds, err := trainModel()
+	if err != nil {
+		return err
+	}
+	rep := report{RetrainRounds: rounds}
+
+	// --- Retrain latency: fill the reservoir with the engineered training
+	// rows and time full shadow rounds (snapshot + champion holdout F1 +
+	// challenger fit + challenger holdout F1).
+	mg, err := lifecycle.NewManager(lifecycle.Config{
+		Champion: m,
+		Policy:   lifecycle.PolicyShadow,
+		Seed:     7,
+	})
+	if err != nil {
+		return err
+	}
+	eng, err := m.Pipeline.TransformFrame(ds.Frame())
+	if err != nil {
+		return err
+	}
+	vec := make([]float64, eng.NumCols())
+	for i, y := range eng.Labels() {
+		mg.Reservoir.Add(eng.Row(i, vec), y)
+	}
+	rep.ReservoirRows = mg.Reservoir.Len()
+
+	retrain := make([]time.Duration, 0, rounds)
+	for i := 0; i < rounds; i++ {
+		start := time.Now()
+		r := mg.RetrainOnce()
+		retrain = append(retrain, time.Since(start))
+		if r.Skipped != "" || r.Err != "" {
+			return fmt.Errorf("retrain round %d did not complete: %+v", i, r)
+		}
+		rep.TrainRows, rep.HoldoutRows = r.TrainRows, r.HoldoutRows
+		if r.Win {
+			rep.ChallengerWins++
+		} else {
+			rep.ChallengerLoss++
+		}
+	}
+	rep.RetrainP50Ms = percentile(retrain, 0.50).Seconds() * 1e3
+	rep.RetrainP99Ms = percentile(retrain, 0.99).Seconds() * 1e3
+
+	// --- Swap pause: per-batch ingest latency on a quiet service vs one
+	// taking continuous warm swaps, plus the swap call latency itself.
+	svc, err := serving.New(serving.Config{Model: m, Shards: 8, DriftWindow: 4096})
+	if err != nil {
+		return err
+	}
+	const batch = 256
+	rep.IngestBatch = batch
+	raw := ds.Frame()
+	obs := pcp.WireObservation{}
+	row := make([]float64, raw.NumCols())
+	for i := 0; i < batch; i++ {
+		obs.Samples = append(obs.Samples, pcp.WireSample{
+			Instance: fmt.Sprintf("bench%d/s/%d", i%16, i),
+			Values:   append([]float64(nil), raw.Row(i%raw.Rows(), row)...),
+		})
+	}
+	ingestOnce := func(t int) (time.Duration, error) {
+		obs.T = t
+		start := time.Now()
+		resp, err := svc.IngestQuiet(obs)
+		if err != nil {
+			return 0, err
+		}
+		el := time.Since(start)
+		svc.PutResponse(resp)
+		return el, nil
+	}
+	const ticks = 300
+	for t := 0; t < 20; t++ { // warm up instance state
+		if _, err := ingestOnce(t); err != nil {
+			return err
+		}
+	}
+	quiet := make([]time.Duration, 0, ticks)
+	for t := 0; t < ticks; t++ {
+		el, err := ingestOnce(100 + t)
+		if err != nil {
+			return err
+		}
+		quiet = append(quiet, el)
+	}
+
+	challenger := *m
+	swapDone := make(chan []time.Duration)
+	stop := make(chan struct{})
+	go func() {
+		var swaps []time.Duration
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				swapDone <- swaps
+				return
+			default:
+			}
+			mm := m
+			if i%2 == 0 {
+				mm = &challenger
+			}
+			start := time.Now()
+			if _, err := svc.Swap(mm, 0, "bench churn"); err != nil {
+				log.Fatalf("swap: %v", err)
+			}
+			swaps = append(swaps, time.Since(start))
+			// Aggressive but bounded churn: a swap every ~1ms, about
+			// 60k×/day more often than any real retrain policy, without
+			// turning the benchmark into a CPU-starvation contest.
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	churn := make([]time.Duration, 0, ticks)
+	for t := 0; t < ticks; t++ {
+		el, err := ingestOnce(1000 + t)
+		if err != nil {
+			return err
+		}
+		churn = append(churn, el)
+	}
+	close(stop)
+	swaps := <-swapDone
+	rep.Swaps = len(swaps)
+
+	rep.QuietIngestP50U = percentile(quiet, 0.50).Seconds() * 1e6
+	rep.QuietIngestP99U = percentile(quiet, 0.99).Seconds() * 1e6
+	rep.ChurnIngestP50U = percentile(churn, 0.50).Seconds() * 1e6
+	rep.ChurnIngestP99U = percentile(churn, 0.99).Seconds() * 1e6
+	rep.WarmSwapP50Us = percentile(swaps, 0.50).Seconds() * 1e6
+	rep.WarmSwapP99Us = percentile(swaps, 0.99).Seconds() * 1e6
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("retrain %d rounds on %d reservoir rows: p50 %.1fms p99 %.1fms (%d challenger wins)\n",
+		rounds, rep.ReservoirRows, rep.RetrainP50Ms, rep.RetrainP99Ms, rep.ChallengerWins)
+	fmt.Printf("%d warm swaps under load: swap p99 %.1fµs; ingest p99 quiet %.1fµs vs churn %.1fµs (batch %d)\n",
+		rep.Swaps, rep.WarmSwapP99Us, rep.QuietIngestP99U, rep.ChurnIngestP99U, batch)
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+func trainModel() (*core.Model, *dataset.Dataset, error) {
+	all := dataset.Table1()
+	var cfgs []dataset.RunConfig
+	for _, c := range all {
+		switch c.ID {
+		case 1, 6, 8, 10, 22, 23:
+			cfgs = append(cfgs, c)
+		}
+	}
+	rep, err := dataset.Generate(cfgs, dataset.GenOptions{Duration: 350, RampSeconds: 250, Seed: 3})
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := core.Train(rep.Dataset, core.TrainConfig{
+		Pipeline: features.Config{
+			Normalize:    true,
+			Reduce1:      features.ReduceFilter,
+			TimeFeatures: true,
+			Products:     true,
+			Reduce2:      features.ReduceFilter,
+			FilterTopK:   30,
+			FilterTrees:  20,
+			Seed:         7,
+		},
+		Forest: forest.Config{
+			NumTrees:       20,
+			MinSamplesLeaf: 10,
+			Criterion:      tree.Entropy,
+			Seed:           7,
+		},
+		Threshold: 0.4,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, rep.Dataset, nil
+}
+
+func percentile(xs []time.Duration, p float64) time.Duration {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), xs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(p * float64(len(s)-1))
+	return s[idx]
+}

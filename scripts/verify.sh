@@ -27,6 +27,11 @@
 # corpus plus fresh mutations, and a loadgen smoke that drives 1k
 # simulated instances for 10 ticks of binary batch frames against the
 # real serve binary and requires non-zero throughput plus a clean drain.
+# The lifecycle lanes added with the model lifecycle plane: concurrent
+# ingest + drift harvest + observability reads + warm hot swaps under
+# -race (the swap-locking proof), and the swap-churn allocation lane,
+# which holds the per-sample ingest budget while hot swaps land between
+# batches — a swap must never deoptimize the steady-state path.
 #
 # Usage: scripts/verify.sh [-short]
 set -euo pipefail
@@ -77,6 +82,13 @@ go test -race -count=1 -run 'TestShardedIngestRace|TestScrapeDuringIngestRace' -
 
 echo "==> go test -run TestIngestAllocations -count=1 ./internal/serving/ (ingest allocation lane)"
 go test -run TestIngestAllocations -count=1 -v ./internal/serving/
+
+echo "==> go test -race -count=1 -run 'TestLifecycleSwapRace|TestLifecycleEndToEndDriftRetrainSwap' ./internal/serving/ (lifecycle race lane)"
+go test -race -count=1 -run 'TestLifecycleSwapRace|TestLifecycleEndToEndDriftRetrainSwap' -v ./internal/serving/
+
+echo "==> go test -run 'TestSwapChurnAllocations|TestCellObserveAllocs|TestReservoirAddAllocs' -count=1 (lifecycle allocation lanes)"
+go test -run TestSwapChurnAllocations -count=1 -v ./internal/serving/
+go test -run 'TestCellObserveAllocs|TestReservoirAddAllocs' -count=1 -v ./internal/lifecycle/
 
 echo "==> go test -fuzz FuzzWireDecode -fuzztime=5s ./internal/serving/ (wire decoder fuzz smoke)"
 go test -run '^FuzzWireDecode$' -fuzz '^FuzzWireDecode$' -fuzztime=5s ./internal/serving/

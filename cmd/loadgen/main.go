@@ -138,8 +138,13 @@ func run(instances, ticks, warmup int, hz float64, batch, conns, shards int, mod
 	}
 	pw.Close()
 	defer cmd.Process.Kill()
+	// One Wait, shared by warm-up and shutdown: a serve binary that dies
+	// before printing its banner must fail the run immediately with its
+	// exit status and output, not after the 60s listen timeout.
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
 
-	base, lines, err := awaitListen(pr)
+	base, lines, err := awaitListen(pr, exited)
 	if err != nil {
 		return err
 	}
@@ -324,8 +329,6 @@ func run(instances, ticks, warmup int, hz float64, batch, conns, shards int, mod
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		return err
 	}
-	exited := make(chan error, 1)
-	go func() { exited <- cmd.Wait() }()
 	select {
 	case err := <-exited:
 		if err != nil {
@@ -480,8 +483,11 @@ func trainLeanBundle(path string) error {
 }
 
 // awaitListen scans serve's stdout for the listen banner and returns the
-// base URL plus a channel that later yields the remaining output.
-func awaitListen(stdout io.Reader) (string, chan string, error) {
+// base URL plus a channel that later yields the remaining output. A
+// process-exit arriving first (via exit) fails immediately with the exit
+// status and whatever the server printed, instead of idling out the
+// 60-second deadline on a binary that is already dead.
+func awaitListen(stdout io.Reader, exit <-chan error) (string, chan string, error) {
 	scanner := bufio.NewScanner(stdout)
 	found := make(chan string, 1)
 	rest := make(chan string, 1)
@@ -508,6 +514,14 @@ func awaitListen(stdout io.Reader) (string, chan string, error) {
 	select {
 	case addr := <-found:
 		return addr, rest, nil
+	case err := <-exit:
+		// Scanner sees EOF once the child is gone; collect its output.
+		var tail string
+		select {
+		case tail = <-rest:
+		case <-time.After(2 * time.Second):
+		}
+		return "", nil, fmt.Errorf("serve exited during warm-up (%v) before listening; output:\n%s", err, tail)
 	case <-time.After(60 * time.Second):
 		return "", nil, fmt.Errorf("serve did not print its listen address within 60s")
 	}

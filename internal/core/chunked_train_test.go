@@ -1,0 +1,71 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"monitorless/internal/frame"
+)
+
+// TestTrainFrameChunkedMatchesDense is the end-to-end half of the
+// out-of-core contract: training on a disk-spilled chunk-backed copy of
+// the raw corpus must produce a model whose fitted pipeline and forest
+// serialize to the exact bytes of the densely-trained model. Only the
+// fingerprint's Streamed provenance flag may differ; its moments and
+// quantile sketch must still agree.
+func TestTrainFrameChunkedMatchesDense(t *testing.T) {
+	m, ds := sharedModel(t)
+
+	raw := ds.Frame()
+	chunked, err := frame.Rechunk(raw, 256, t.TempDir())
+	if err != nil {
+		t.Fatalf("Rechunk: %v", err)
+	}
+	defer chunked.Close()
+
+	cm, err := TrainFrame(chunked, smallTrainConfig())
+	if err != nil {
+		t.Fatalf("TrainFrame(chunked): %v", err)
+	}
+
+	if cm.TrainSamples != m.TrainSamples {
+		t.Errorf("TrainSamples %d, want %d", cm.TrainSamples, m.TrainSamples)
+	}
+	if cm.TrainSaturatedFrac != m.TrainSaturatedFrac {
+		t.Errorf("TrainSaturatedFrac %v, want %v", cm.TrainSaturatedFrac, m.TrainSaturatedFrac)
+	}
+
+	// Fingerprint provenance: the chunked path must record Streamed.
+	if !cm.Fingerprint.Streamed {
+		t.Error("chunked fingerprint not flagged Streamed")
+	}
+	if m.Fingerprint.Streamed {
+		t.Error("dense fingerprint unexpectedly flagged Streamed")
+	}
+	if cm.Fingerprint.Rows != m.Fingerprint.Rows || len(cm.Fingerprint.Cols) != len(m.Fingerprint.Cols) {
+		t.Fatalf("fingerprint shape: %d rows/%d cols, want %d/%d",
+			cm.Fingerprint.Rows, len(cm.Fingerprint.Cols), m.Fingerprint.Rows, len(m.Fingerprint.Cols))
+	}
+	for j, dc := range m.Fingerprint.Cols {
+		cc := cm.Fingerprint.Cols[j]
+		if cc.Mean != dc.Mean || cc.Std != dc.Std || cc.Min != dc.Min || cc.Max != dc.Max {
+			t.Errorf("col %d moments differ: chunked {%v %v %v %v}, dense {%v %v %v %v}",
+				j, cc.Mean, cc.Std, cc.Min, cc.Max, dc.Mean, dc.Std, dc.Min, dc.Max)
+		}
+	}
+
+	// Pipeline and forest must be byte-identical: compare full model
+	// serializations with the fingerprints normalized away.
+	norm := func(mm *Model) []byte {
+		cp := *mm
+		cp.Fingerprint = nil
+		b, err := cp.SaveBytes()
+		if err != nil {
+			t.Fatalf("SaveBytes: %v", err)
+		}
+		return b
+	}
+	if !bytes.Equal(norm(m), norm(cm)) {
+		t.Error("chunked-trained model bytes differ from dense-trained model")
+	}
+}

@@ -75,6 +75,20 @@ func Train(ds *dataset.Dataset, cfg TrainConfig) (*Model, error) {
 	if ds == nil || len(ds.Samples) == 0 {
 		return nil, fmt.Errorf("core: empty training dataset")
 	}
+	return TrainFrame(ds.Frame(), cfg)
+}
+
+// TrainFrame fits the feature pipeline and classifier directly on a raw
+// labeled frame — dense or chunk-backed. A chunked frame streams through
+// every stage that supports it (pipeline fit/transform, histogram forest
+// binning, fingerprinting), so training memory stays bounded by the chunk
+// working set rather than the corpus; the fitted model is bit-identical
+// to training on the densified frame. Chunk-backed intermediates are
+// discarded as training advances; the caller keeps ownership of raw.
+func TrainFrame(raw *frame.Frame, cfg TrainConfig) (*Model, error) {
+	if raw == nil || raw.Rows() == 0 {
+		return nil, fmt.Errorf("core: empty training dataset")
+	}
 	if cfg.Threshold == 0 {
 		cfg.Threshold = 0.4
 	}
@@ -82,7 +96,6 @@ func Train(ds *dataset.Dataset, cfg TrainConfig) (*Model, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	raw := ds.Frame()
 	engineered, err := pipe.FitFrame(raw)
 	if err != nil {
 		return nil, fmt.Errorf("core: feature pipeline: %w", err)
@@ -91,8 +104,17 @@ func Train(ds *dataset.Dataset, cfg TrainConfig) (*Model, error) {
 	fcfg := cfg.Forest
 	fcfg.Threshold = cfg.Threshold
 	fr := forest.New(fcfg)
-	if err := fr.FitFrame(engineered, nil, nil); err != nil {
-		return nil, fmt.Errorf("core: forest: %w", err)
+	ferr := fr.FitFrame(engineered, nil, nil)
+	if engineered != raw && engineered.Chunked() {
+		engineered.Discard()
+	}
+	if ferr != nil {
+		return nil, fmt.Errorf("core: forest: %w", ferr)
+	}
+
+	saturated := 0
+	for _, l := range raw.Labels() {
+		saturated += l
 	}
 	return &Model{
 		Pipeline:           pipe,
@@ -100,8 +122,8 @@ func Train(ds *dataset.Dataset, cfg TrainConfig) (*Model, error) {
 		Threshold:          cfg.Threshold,
 		RawSchema:          raw.Schema(),
 		Fingerprint:        frame.FingerprintFrame(raw, 0),
-		TrainSamples:       len(ds.Samples),
-		TrainSaturatedFrac: ds.SaturatedFraction(),
+		TrainSamples:       raw.Rows(),
+		TrainSaturatedFrac: float64(saturated) / float64(raw.Rows()),
 	}, nil
 }
 

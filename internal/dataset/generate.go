@@ -23,6 +23,13 @@ type GenOptions struct {
 	Seed int64
 	// Catalog defaults to pcp.DefaultCatalog().
 	Catalog *pcp.Catalog
+	// SpillDir, when set, makes GenerateFrame write sealed chunks to this
+	// directory instead of keeping them on the heap (out-of-core corpus).
+	// Generate ignores it.
+	SpillDir string
+	// ChunkRows is the row count per chunk for GenerateFrame (default
+	// frame.DefaultChunkRows).
+	ChunkRows int
 }
 
 func (o GenOptions) withDefaults() GenOptions {

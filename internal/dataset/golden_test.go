@@ -61,18 +61,38 @@ func frameDigest(fr *frame.Frame) string {
 func TestGenerateGoldenFrameBytes(t *testing.T) {
 	cfgs := Table1()
 	opt := GenOptions{Duration: 200, RampSeconds: 150, Seed: 42}
+	// With MONITORLESS_FORCE_SPILL set, the same fixture must fall out of
+	// the streaming generation path with a disk-backed chunk store — the
+	// out-of-core corpus is contractually byte-identical to the in-memory
+	// one.
+	forceSpill := os.Getenv("MONITORLESS_FORCE_SPILL") != ""
 
 	digests := make(map[int]string)
 	var schemaHash string
 	var rows int
 	for _, workers := range []int{1, 4, 8} {
 		parallel.SetDefaultWorkers(workers)
-		rep, err := Generate(cfgs, opt)
-		parallel.SetDefaultWorkers(0)
-		if err != nil {
-			t.Fatalf("generate (workers=%d): %v", workers, err)
+		var fr *frame.Frame
+		if forceSpill {
+			o := opt
+			o.SpillDir = filepath.Join(t.TempDir(), fmt.Sprintf("w%d", workers))
+			o.ChunkRows = 512
+			ch, _, err := GenerateFrame(cfgs, o)
+			if err != nil {
+				parallel.SetDefaultWorkers(0)
+				t.Fatalf("generate frame (workers=%d): %v", workers, err)
+			}
+			fr = ch.Materialize()
+			ch.Close()
+		} else {
+			rep, err := Generate(cfgs, opt)
+			if err != nil {
+				parallel.SetDefaultWorkers(0)
+				t.Fatalf("generate (workers=%d): %v", workers, err)
+			}
+			fr = rep.Dataset.Frame()
 		}
-		fr := rep.Dataset.Frame()
+		parallel.SetDefaultWorkers(0)
 		digests[workers] = frameDigest(fr)
 		schemaHash = fr.Schema().Hash()
 		rows = fr.Rows()

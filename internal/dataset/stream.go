@@ -1,0 +1,95 @@
+package dataset
+
+import (
+	"monitorless/internal/frame"
+	"monitorless/internal/label"
+	"monitorless/internal/parallel"
+	"monitorless/internal/pcp"
+)
+
+// generateGroupHook, when non-nil, runs before each group's simulation.
+// Tests use it to inject mid-generation failures and prove the streaming
+// writer aborts cleanly (no orphaned chunk files in the spill dir).
+var generateGroupHook func(gi int) error
+
+// GenerateFrame executes the given Table 1 configurations and streams the
+// labeled samples straight into a chunked frame, holding at most a few
+// group-sized sample batches in memory at once instead of the whole
+// corpus. Groups simulate concurrently exactly as Generate does, but each
+// finished group's samples are appended to a frame.ChunkedWriter in group
+// index order (the MapStream contract) and sealed chunks leave the heap —
+// to disk when opt.SpillDir is set, to a compact chunk list otherwise.
+//
+// The resulting frame is byte-identical to Generate(...).Dataset.Frame():
+// the writer receives runs in the same global first-appearance order
+// (groups in index order, runs within a group in first-sample order) and
+// rows in the same within-run time order, so spans, labels and every
+// column value match the in-memory path bit for bit.
+func GenerateFrame(cfgs []RunConfig, opt GenOptions) (*frame.Frame, map[int]label.Labeler, error) {
+	opt = opt.withDefaults()
+	groups := PairGroups(cfgs)
+	schema := pcp.SchemaFromDefs(opt.Catalog.CombinedDefs())
+	chunkRows := opt.ChunkRows
+	if chunkRows <= 0 {
+		chunkRows = frame.DefaultChunkRows
+	}
+	w, err := frame.NewChunkedWriter(schema, chunkRows, opt.SpillDir)
+	if err != nil {
+		return nil, nil, err
+	}
+	thresholds := make(map[int]label.Labeler)
+	err = parallel.MapStream(len(groups),
+		func(gi int) (*groupResult, error) {
+			if generateGroupHook != nil {
+				if err := generateGroupHook(gi); err != nil {
+					return nil, err
+				}
+			}
+			return generateGroup(groups[gi], opt)
+		},
+		func(gi int, part *groupResult) error {
+			for id, lab := range part.thresholds {
+				thresholds[id] = lab
+			}
+			return appendGroupSamples(w, part.samples)
+		})
+	if err != nil {
+		w.Abort()
+		return nil, nil, err
+	}
+	fr, err := w.Finish()
+	if err != nil {
+		w.Abort()
+		return nil, nil, err
+	}
+	return fr, thresholds, nil
+}
+
+// appendGroupSamples writes one group's samples run-contiguously — the
+// same regrouping Dataset.Frame applies globally, which coincides with it
+// because run IDs never repeat across groups.
+func appendGroupSamples(w *frame.ChunkedWriter, samples []Sample) error {
+	order := map[int]int{}
+	var runs [][]int
+	var ids []int
+	for i := range samples {
+		id := samples[i].RunID
+		ri, ok := order[id]
+		if !ok {
+			ri = len(runs)
+			order[id] = ri
+			runs = append(runs, nil)
+			ids = append(ids, id)
+		}
+		runs[ri] = append(runs[ri], i)
+	}
+	for ri, idx := range runs {
+		for _, si := range idx {
+			s := &samples[si]
+			if err := w.AppendLabeledRow(ids[ri], s.Values, s.Label); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"monitorless/internal/parallel"
+)
+
+// streamTestConfigs is the small mixed corpus the determinism test uses:
+// two singleton runs plus one parallel pair — three concurrent groups.
+func streamTestConfigs(t *testing.T) []RunConfig {
+	t.Helper()
+	var cfgs []RunConfig
+	for _, c := range Table1() {
+		switch c.ID {
+		case 1, 8, 3, 18:
+			cfgs = append(cfgs, c)
+		}
+	}
+	if len(cfgs) != 4 {
+		t.Fatalf("expected 4 configs, got %d", len(cfgs))
+	}
+	return cfgs
+}
+
+// TestGenerateFrameSpillMatchesDense is the generation half of the
+// out-of-core byte-identity contract: the streaming writer — in memory
+// and spilled to disk, across worker counts — must produce exactly the
+// frame the in-memory Generate + Dataset.Frame path produces.
+func TestGenerateFrameSpillMatchesDense(t *testing.T) {
+	cfgs := streamTestConfigs(t)
+	opt := GenOptions{Duration: 200, RampSeconds: 150, Seed: 5}
+
+	rep, err := Generate(cfgs, opt)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	want := frameDigest(rep.Dataset.Frame())
+
+	for _, workers := range []int{1, 4, 8} {
+		for _, spill := range []bool{false, true} {
+			o := opt
+			o.ChunkRows = 512 // several chunks at this corpus size
+			if spill {
+				o.SpillDir = filepath.Join(t.TempDir(), fmt.Sprintf("w%d", workers))
+			}
+			parallel.SetDefaultWorkers(workers)
+			fr, th, err := GenerateFrame(cfgs, o)
+			parallel.SetDefaultWorkers(0)
+			if err != nil {
+				t.Fatalf("generate frame (workers=%d spill=%v): %v", workers, spill, err)
+			}
+			if !fr.Chunked() {
+				t.Fatalf("GenerateFrame returned a dense frame")
+			}
+			if len(th) != len(rep.Thresholds) {
+				t.Fatalf("thresholds: got %d, want %d", len(th), len(rep.Thresholds))
+			}
+			for id, lab := range rep.Thresholds {
+				if th[id] != lab {
+					t.Fatalf("threshold for run %d diverges", id)
+				}
+			}
+			if got := frameDigest(fr.Materialize()); got != want {
+				t.Fatalf("frame digest diverges from dense path (workers=%d spill=%v)", workers, spill)
+			}
+			if err := fr.Close(); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+		}
+	}
+}
+
+// TestGenerateFrameAbortNoOrphans: a failure in the middle of generation
+// must tear the spill directory back down — no orphaned chunk files, no
+// half-written manifest.
+func TestGenerateFrameAbortNoOrphans(t *testing.T) {
+	cfgs := streamTestConfigs(t)
+	dir := filepath.Join(t.TempDir(), "spill")
+	boom := errors.New("injected mid-generation failure")
+	generateGroupHook = func(gi int) error {
+		if gi == 1 {
+			return boom
+		}
+		return nil
+	}
+	defer func() { generateGroupHook = nil }()
+
+	opt := GenOptions{Duration: 60, RampSeconds: 150, Seed: 5, SpillDir: dir, ChunkRows: 64}
+	if _, _, err := GenerateFrame(cfgs, opt); !errors.Is(err, boom) {
+		t.Fatalf("expected injected error, got %v", err)
+	}
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		ents, _ := os.ReadDir(dir)
+		names := make([]string, 0, len(ents))
+		for _, e := range ents {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("abort left %d entries in %s: %v", len(ents), dir, names)
+	}
+}

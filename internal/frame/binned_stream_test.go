@@ -1,0 +1,102 @@
+package frame
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// pathological column shapes the binner must agree on between the dense
+// sort and the streaming merge: constants, near-binary, heavy ties,
+// more distinct values than bins, exact bin-count boundaries.
+func binTestFrame(t *testing.T, rows int, seed int64) *Frame {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	schema := testSchema(6)
+	fr := New(schema, rows)
+	vals := make([]float64, len(schema))
+	for i := 0; i < rows; i++ {
+		vals[0] = 3.25                          // constant
+		vals[1] = float64(rng.Intn(2))          // two-point
+		vals[2] = float64(rng.Intn(5))          // heavy ties, few distinct
+		vals[3] = rng.NormFloat64()             // continuous
+		vals[4] = float64(rng.Intn(rows))       // many distinct
+		vals[5] = math.Floor(rng.Float64() * 9) // ties crossing chunk bounds
+		if err := fr.AppendLabeled(i%3, vals, i%2); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	return fr
+}
+
+func assertBinnedEqual(t *testing.T, want, got *Binned) {
+	t.Helper()
+	if want.Rows() != got.Rows() || want.NumCols() != got.NumCols() {
+		t.Fatalf("shape: got %dx%d want %dx%d", got.Rows(), got.NumCols(), want.Rows(), want.NumCols())
+	}
+	for j := 0; j < want.NumCols(); j++ {
+		if !reflect.DeepEqual(want.edges[j], got.edges[j]) {
+			t.Fatalf("column %d edges diverge:\n got %v\nwant %v", j, got.edges[j], want.edges[j])
+		}
+		if !reflect.DeepEqual(want.ColCodes(j), got.ColCodes(j)) {
+			t.Fatalf("column %d codes diverge", j)
+		}
+	}
+}
+
+// TestStreamingBinMatchesDense is the byte-identity contract of the
+// out-of-core binner: chunked (memory and spill, several chunk heights,
+// with and without a fitting-row subset) must reproduce the dense edges
+// and codes exactly.
+func TestStreamingBinMatchesDense(t *testing.T) {
+	fr := binTestFrame(t, 2000, 11)
+	var subset []int
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < fr.Rows(); i++ {
+		if rng.Intn(3) != 0 {
+			subset = append(subset, i)
+		}
+	}
+	for _, maxBins := range []int{4, 32, 256} {
+		for _, rows := range [][]int{nil, subset} {
+			want := BinFrame(fr, maxBins, rows)
+			for _, chunkRows := range []int{97, 512, 4096} {
+				for _, spill := range []bool{false, true} {
+					dir := ""
+					if spill {
+						dir = filepath.Join(t.TempDir(), "bins")
+					}
+					ch, err := Rechunk(fr, chunkRows, dir)
+					if err != nil {
+						t.Fatalf("rechunk: %v", err)
+					}
+					got, err := BinFrameChecked(ch, maxBins, rows)
+					if err != nil {
+						t.Fatalf("stream bin (chunkRows=%d spill=%v): %v", chunkRows, spill, err)
+					}
+					assertBinnedEqual(t, want, got)
+					ch.Close()
+				}
+			}
+		}
+	}
+}
+
+// TestStreamingBinOnView pins the view path: binning a row range of a
+// chunked frame must equal binning the same dense view.
+func TestStreamingBinOnView(t *testing.T) {
+	fr := binTestFrame(t, 1500, 13)
+	ch, err := Rechunk(fr, 128, "")
+	if err != nil {
+		t.Fatalf("rechunk: %v", err)
+	}
+	lo, hi := 201, 1219
+	want := BinFrame(fr.RowRange(lo, hi).Clone(), 64, nil)
+	got, err := BinFrameChecked(ch.RowRange(lo, hi), 64, nil)
+	if err != nil {
+		t.Fatalf("stream bin view: %v", err)
+	}
+	assertBinnedEqual(t, want, got)
+}

@@ -1,0 +1,39 @@
+//go:build linux
+
+package frame
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported routes the spill store through memory mapping on this
+// platform (subject to the MONITORLESS_NO_MMAP override).
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-only and shared. The mapping
+// outlives the file descriptor.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	if size == 0 {
+		return nil, nil
+	}
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapBytes(b []byte) error {
+	if len(b) == 0 {
+		return nil
+	}
+	return syscall.Munmap(b)
+}
+
+// madviseDontneed returns a mapped chunk's pages to the kernel without
+// invalidating the mapping: the next touch refaults them from the file.
+// This is how the LRU keeps RSS at the chunk budget while every slab
+// ever handed out stays a valid pointer.
+func madviseDontneed(b []byte) {
+	if len(b) == 0 {
+		return
+	}
+	syscall.Madvise(b, syscall.MADV_DONTNEED)
+}

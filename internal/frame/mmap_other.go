@@ -1,0 +1,20 @@
+//go:build !linux
+
+package frame
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapSupported: no memory mapping on this platform — the spill store
+// uses the pread fallback unconditionally.
+const mmapSupported = false
+
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return nil, errors.New("frame: mmap unsupported on this platform")
+}
+
+func munmapBytes(b []byte) error { return nil }
+
+func madviseDontneed(b []byte) {}

@@ -119,6 +119,12 @@ type Fingerprint struct {
 	Rows int `json:"rows"`
 	// Cols holds one sketch per schema column, in schema order.
 	Cols []ColFingerprint `json:"cols"`
+	// Streamed marks a fingerprint computed out of core: the quantile
+	// edges came from the bounded-memory streaming sketch
+	// (QuantileSketch) rather than an exact whole-column sort; moments,
+	// min and max are exact either way. The flag travels inside the model
+	// blob, so a v3 bundle records whether its fingerprint was streamed.
+	Streamed bool `json:"streamed,omitempty"`
 }
 
 // FingerprintFrame sketches every column of fr: exact moments plus
@@ -134,6 +140,9 @@ func FingerprintFrame(fr *Frame, bins int) *Fingerprint {
 		bins = MaxFingerprintBins
 	case bins < 2:
 		bins = 2
+	}
+	if fr.Chunked() {
+		return fingerprintFrameChunked(fr, bins)
 	}
 	fp := &Fingerprint{Rows: fr.Rows(), Cols: make([]ColFingerprint, fr.NumCols())}
 	_ = parallel.ForEach(fr.NumCols(), func(j int) error {

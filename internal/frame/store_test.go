@@ -1,0 +1,335 @@
+package frame
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// buildDense makes a labeled multi-run dense frame with deterministic
+// pseudo-random contents.
+func buildDense(t *testing.T, rows, cols, runs int, seed int64) *Frame {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	fr := New(testSchema(cols), rows)
+	vals := make([]float64, cols)
+	for i := 0; i < rows; i++ {
+		run := i * runs / rows
+		for j := range vals {
+			// Mix of continuous values and heavy ties.
+			if j%4 == 3 {
+				vals[j] = float64(rng.Intn(3))
+			} else {
+				vals[j] = rng.NormFloat64() * float64(j+1)
+			}
+		}
+		if err := fr.AppendLabeled(run, vals, rng.Intn(2)); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	return fr
+}
+
+// assertFramesEqual compares logical content cell by cell.
+func assertFramesEqual(t *testing.T, want, got *Frame) {
+	t.Helper()
+	if got.Rows() != want.Rows() || got.NumCols() != want.NumCols() {
+		t.Fatalf("shape: got %dx%d want %dx%d", got.Rows(), got.NumCols(), want.Rows(), want.NumCols())
+	}
+	if !want.Schema().Equal(got.Schema()) {
+		t.Fatalf("schema mismatch")
+	}
+	if !reflect.DeepEqual(want.Spans(), got.Spans()) {
+		t.Fatalf("spans: got %+v want %+v", got.Spans(), want.Spans())
+	}
+	if !reflect.DeepEqual(want.Labels(), got.Labels()) {
+		t.Fatalf("labels mismatch")
+	}
+	var buf1, buf2 []float64
+	for i := 0; i < want.Rows(); i++ {
+		buf1 = want.Row(i, buf1)
+		buf2 = got.Row(i, buf2)
+		for j := range buf1 {
+			if math.Float64bits(buf1[j]) != math.Float64bits(buf2[j]) {
+				t.Fatalf("cell (%d,%d): got %v want %v", i, j, buf2[j], buf1[j])
+			}
+		}
+	}
+}
+
+func TestChunkedRoundTripMemAndSpill(t *testing.T) {
+	dense := buildDense(t, 1000, 7, 4, 1)
+	for _, tc := range []struct {
+		name string
+		dir  bool
+	}{{"mem", false}, {"spill", true}} {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, chunkRows := range []int{1, 64, 333, 1000, 4096} {
+				dir := ""
+				if tc.dir {
+					dir = filepath.Join(t.TempDir(), "store")
+				}
+				ch, err := Rechunk(dense, chunkRows, dir)
+				if err != nil {
+					t.Fatalf("rechunk(%d): %v", chunkRows, err)
+				}
+				if !ch.Chunked() {
+					t.Fatalf("rechunk returned a dense frame")
+				}
+				assertFramesEqual(t, dense, ch)
+				// Materialize must be byte-identical to the source.
+				assertFramesEqual(t, dense, ch.Materialize())
+				if err := ch.Close(); err != nil {
+					t.Fatalf("close: %v", err)
+				}
+			}
+		})
+	}
+}
+
+func TestOpenSpillReopens(t *testing.T) {
+	dense := buildDense(t, 500, 5, 3, 2)
+	dir := filepath.Join(t.TempDir(), "store")
+	ch, err := Rechunk(dense, 128, dir)
+	if err != nil {
+		t.Fatalf("rechunk: %v", err)
+	}
+	ch.Close()
+	re, err := OpenSpill(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer re.Close()
+	assertFramesEqual(t, dense, re)
+}
+
+func TestSpillPreadMatchesMmap(t *testing.T) {
+	dense := buildDense(t, 700, 6, 2, 3)
+	dir := filepath.Join(t.TempDir(), "store")
+	ch, err := Rechunk(dense, 100, dir)
+	if err != nil {
+		t.Fatalf("rechunk: %v", err)
+	}
+	mm := ch.Materialize()
+	ch.Close()
+	t.Setenv(NoMmapEnv, "1")
+	re, err := OpenSpill(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer re.Close()
+	if s, ok := re.store.(*spillStore); ok && s.useMmap {
+		t.Fatalf("%s did not disable mmap", NoMmapEnv)
+	}
+	assertFramesEqual(t, mm, re.Materialize())
+}
+
+func TestSpillLRUEviction(t *testing.T) {
+	// More chunks than the resident budget: every chunk must stay
+	// readable after eviction churn, in both access orders.
+	dense := buildDense(t, defaultResidentChunks*3*10, 4, 2, 4)
+	dir := filepath.Join(t.TempDir(), "store")
+	ch, err := Rechunk(dense, 10, dir)
+	if err != nil {
+		t.Fatalf("rechunk: %v", err)
+	}
+	defer ch.Close()
+	st := ch.store.(*spillStore)
+	if st.NumChunks() <= st.budget {
+		t.Fatalf("test needs more chunks (%d) than budget (%d)", st.NumChunks(), st.budget)
+	}
+	for pass := 0; pass < 2; pass++ {
+		for k := 0; k < st.NumChunks(); k++ {
+			i := k
+			if pass == 1 {
+				i = st.NumChunks() - 1 - k
+			}
+			if _, err := st.ChunkData(i); err != nil {
+				t.Fatalf("pass %d chunk %d: %v", pass, i, err)
+			}
+			if len(st.resident) > st.budget {
+				t.Fatalf("resident set %d exceeds budget %d", len(st.resident), st.budget)
+			}
+		}
+	}
+	assertFramesEqual(t, dense, ch)
+}
+
+func TestChunkedViewsAndForEachChunk(t *testing.T) {
+	dense := buildDense(t, 600, 5, 3, 5)
+	ch, err := Rechunk(dense, 77, "")
+	if err != nil {
+		t.Fatalf("rechunk: %v", err)
+	}
+	// RunView / RowRange on the chunked frame must match the dense view.
+	for k := 0; k < dense.NumRuns(); k++ {
+		dv, cv := dense.RunView(k), ch.RunView(k)
+		assertFramesEqual(t, dv, cv)
+		assertFramesEqual(t, dv, cv.Materialize())
+	}
+	v := ch.RowRange(123, 457)
+	assertFramesEqual(t, dense.RowRange(123, 457), v)
+
+	// ForEachChunk over a view must tile exactly the view's rows with
+	// dense chunks.
+	next := 0
+	err = v.ForEachChunk(func(base int, sub *Frame) error {
+		if base != next {
+			t.Fatalf("chunk base %d, want %d", base, next)
+		}
+		if sub.Chunked() {
+			t.Fatalf("chunk view is itself chunked")
+		}
+		assertFramesEqual(t, v.RowRange(base, base+sub.Rows()).Materialize().Clone(), sub.Clone())
+		next = base + sub.Rows()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("foreachchunk: %v", err)
+	}
+	if next != v.Rows() {
+		t.Fatalf("chunks covered %d of %d view rows", next, v.Rows())
+	}
+}
+
+func TestChunkedSelectColumnsAndCheckFinite(t *testing.T) {
+	dense := buildDense(t, 300, 6, 2, 6)
+	ch, err := Rechunk(dense, 50, "")
+	if err != nil {
+		t.Fatalf("rechunk: %v", err)
+	}
+	keep := []int{4, 0, 2}
+	want, err := dense.SelectColumns(keep)
+	if err != nil {
+		t.Fatalf("select dense: %v", err)
+	}
+	got, err := ch.SelectColumns(keep)
+	if err != nil {
+		t.Fatalf("select chunked: %v", err)
+	}
+	assertFramesEqual(t, want, got)
+
+	if err := ch.CheckFinite(); err != nil {
+		t.Fatalf("checkfinite clean: %v", err)
+	}
+	bad := dense.Clone()
+	bad.Set(123, 3, math.NaN())
+	chBad, err := Rechunk(bad, 50, "")
+	if err != nil {
+		t.Fatalf("rechunk: %v", err)
+	}
+	if err := chBad.CheckFinite(); err == nil {
+		t.Fatalf("checkfinite missed a NaN in a chunked frame")
+	}
+}
+
+func TestChunkedWriterAbortRemovesFiles(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "spill")
+	w, err := NewChunkedWriter(testSchema(3), 8, dir)
+	if err != nil {
+		t.Fatalf("writer: %v", err)
+	}
+	vals := []float64{1, 2, 3}
+	for i := 0; i < 50; i++ { // several sealed chunks
+		if err := w.AppendLabeledRow(0, vals, 1); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	w.Abort()
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		ents, _ := os.ReadDir(dir)
+		t.Fatalf("abort left %d entries in %s", len(ents), dir)
+	}
+}
+
+func TestChunkedFrameIsReadOnly(t *testing.T) {
+	dense := buildDense(t, 40, 3, 1, 7)
+	ch, err := Rechunk(dense, 16, "")
+	if err != nil {
+		t.Fatalf("rechunk: %v", err)
+	}
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s on a chunked frame did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("Col", func() { ch.Col(0) })
+	mustPanic("Set", func() { ch.Set(0, 0, 1) })
+	if err := ch.AppendLabeled(0, []float64{1, 2, 3}, 1); err == nil {
+		t.Fatalf("append on a chunked frame did not error")
+	}
+}
+
+// TestCloneRowRangeView is the regression test for Clone/SelectColumns on
+// row-range views: the clone must copy exactly the view's rows — correct
+// values, len == cap == view rows per column — and share nothing with
+// the parent outside the view.
+func TestCloneRowRangeView(t *testing.T) {
+	parent := buildDense(t, 200, 4, 2, 8)
+	lo, hi := 37, 141
+	v := parent.RowRange(lo, hi)
+	c := v.Clone()
+
+	if c.Rows() != hi-lo {
+		t.Fatalf("clone rows %d, want %d", c.Rows(), hi-lo)
+	}
+	for j := 0; j < c.NumCols(); j++ {
+		col := c.Col(j)
+		if len(col) != hi-lo || cap(col) != hi-lo {
+			t.Fatalf("clone column %d: len %d cap %d, want both %d", j, len(col), cap(col), hi-lo)
+		}
+		for i := range col {
+			if col[i] != parent.At(lo+i, j) {
+				t.Fatalf("clone cell (%d,%d) = %v, want parent(%d,%d) = %v", i, j, col[i], lo+i, j, parent.At(lo+i, j))
+			}
+		}
+	}
+	if got, want := len(c.Labels()), hi-lo; got != want {
+		t.Fatalf("clone labels %d, want %d", got, want)
+	}
+	for i, l := range c.Labels() {
+		if l != parent.Labels()[lo+i] {
+			t.Fatalf("clone label %d = %d, want %d", i, l, parent.Labels()[lo+i])
+		}
+	}
+	// Mutating the clone must not touch the parent.
+	before := parent.At(lo, 0)
+	c.Set(0, 0, before+1)
+	if parent.At(lo, 0) != before {
+		t.Fatalf("clone aliases the parent backing")
+	}
+	// Span bookkeeping must be view-relative and tile the clone.
+	if err := c.Validate(); err != nil {
+		t.Fatalf("clone validate: %v", err)
+	}
+
+	// SelectColumns on the same view: values restricted to view rows,
+	// exact-size columns.
+	sel, err := v.SelectColumns([]int{3, 1})
+	if err != nil {
+		t.Fatalf("select: %v", err)
+	}
+	if sel.Rows() != hi-lo {
+		t.Fatalf("select rows %d, want %d", sel.Rows(), hi-lo)
+	}
+	for p, src := range []int{3, 1} {
+		col := sel.Col(p)
+		if len(col) != hi-lo || cap(col) != hi-lo {
+			t.Fatalf("select column %d: len %d cap %d, want both %d", p, len(col), cap(col), hi-lo)
+		}
+		for i := range col {
+			if col[i] != parent.At(lo+i, src) {
+				t.Fatalf("select cell (%d,%d) = %v, want %v", i, p, col[i], parent.At(lo+i, src))
+			}
+		}
+	}
+	if err := sel.Validate(); err != nil {
+		t.Fatalf("select validate: %v", err)
+	}
+}

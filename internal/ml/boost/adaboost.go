@@ -120,9 +120,14 @@ func (a *AdaBoost) fitFrame(fr *frame.Frame, y []int, rows []int) error {
 
 	// Histogram base trees: quantize the training rows once; every stage
 	// refits over the shared read-only code slab with fresh weights.
+	// BinFrame streams chunk-backed frames through the merge binner, so
+	// the hist path trains out of core; the exact splitter needs whole
+	// columns and densifies a chunked frame up front.
 	var bn *frame.Binned
 	if a.cfg.TreeSplitter == tree.Hist {
 		bn = frame.BinFrame(fr, a.cfg.TreeBins, rows)
+	} else if fr.Chunked() {
+		fr = fr.Materialize()
 	}
 
 	// Each stage's prediction pass over the n samples is embarrassingly

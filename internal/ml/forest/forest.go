@@ -130,10 +130,21 @@ func (f *Forest) fitFrame(fr *frame.Frame, y []int, rows []int) error {
 
 	// Histogram path: quantize the frame exactly once (edges from the
 	// training rows, codes for all rows) and share the read-only code
-	// slab across every bootstrap resample.
+	// slab across every bootstrap resample. Chunk-backed frames stream
+	// through the two-pass merge binner — same edges, same codes, never a
+	// materialized column — so a hist forest trains on a corpus that
+	// never fits in memory (the codes slab is 8× smaller than the data).
 	var bn *frame.Binned
 	if f.cfg.Splitter == tree.Hist {
-		bn = frame.BinFrame(fr, f.cfg.Bins, rows)
+		var berr error
+		bn, berr = frame.BinFrameChecked(fr, f.cfg.Bins, rows)
+		if berr != nil {
+			return fmt.Errorf("forest: %w", berr)
+		}
+	} else if fr.Chunked() {
+		// The exact splitter sorts whole columns per node; it has no
+		// out-of-core path, so a chunked frame densifies here.
+		fr = fr.Materialize()
 	}
 
 	// Each tree's bootstrap RNG and tree seed are pure functions of the
@@ -270,8 +281,25 @@ func (f *Forest) PredictProbaFrameRowsInto(fr *frame.Frame, rows []int, dst []fl
 	for i := range out {
 		out[i] = 0
 	}
-	for _, t := range f.trees {
-		t.AccumProbaFrameRows(fr, rows, out)
+	if rows == nil && fr.Chunked() {
+		// Chunk-backed batch predict: walk each resident chunk through
+		// every tree before touching the next chunk, accumulating into the
+		// chunk's slice of out. Each row still receives its tree
+		// contributions in tree order, so the result is bit-identical to
+		// the dense tree-outer walk.
+		if err := fr.ForEachChunk(func(base int, ch *frame.Frame) error {
+			sub := out[base : base+ch.Rows()]
+			for _, t := range f.trees {
+				t.AccumProbaFrameRows(ch, nil, sub)
+			}
+			return nil
+		}); err != nil {
+			panic(fmt.Sprintf("forest: chunked predict: %v", err))
+		}
+	} else {
+		for _, t := range f.trees {
+			t.AccumProbaFrameRows(fr, rows, out)
+		}
 	}
 	nt := float64(len(f.trees))
 	for i := range out {

@@ -94,7 +94,7 @@ type histBuilder struct {
 	fullFeat    bool
 	part        []int // in-place partition scratch, shared across nodes
 
-	cnt1 []int     // single-feature scratch (subsampled mode)
+	cnt1 []int // single-feature scratch (subsampled mode)
 	w1   []float64
 	pos1 []float64
 

@@ -308,6 +308,11 @@ func (t *Tree) FitFrameSamples(fr *frame.Frame, smp []int, y []int, w []float64)
 	if t.cfg.Splitter == Hist {
 		return t.FitBinnedSamples(frame.BinFrame(fr, t.cfg.Bins, smp), smp, y, w)
 	}
+	if fr.Chunked() {
+		// The exact splitter needs whole columns; only the hist path above
+		// streams chunk-backed frames.
+		fr = fr.Materialize()
+	}
 	smp, w, totalWeight, err := prepSamples(fr.Rows(), smp, y, w)
 	if err != nil {
 		return err

@@ -1,0 +1,222 @@
+// Command ooc_bench is the out-of-core data plane benchmark lane: it caps
+// the Go heap with debug.SetMemoryLimit, streams a Table 1 corpus several
+// times larger than that cap to disk chunks (datagen's -spill-dir path),
+// trains the histogram-forest model directly on the spilled corpus, and
+// records the process's peak RSS into BENCH_ooc.json. The lane fails if
+// the corpus missed its target size or if peak RSS climbed past half the
+// corpus — the signal that some stage materialized the data it was
+// supposed to stream.
+//
+// Usage:
+//
+//	go run ./scripts/ooc_bench                      # 10x corpus, BENCH_ooc.json
+//	go run ./scripts/ooc_bench -ratio 4 -memlimit-mb 48 -out /tmp/ooc.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"time"
+
+	"monitorless/internal/core"
+	"monitorless/internal/dataset"
+	"monitorless/internal/features"
+	"monitorless/internal/ml/forest"
+	"monitorless/internal/ml/tree"
+	"monitorless/internal/pcp"
+)
+
+// report is the BENCH_ooc.json shape.
+type report struct {
+	MemLimitBytes   int64   `json:"memlimit_bytes"`
+	TargetRatio     float64 `json:"target_ratio"`
+	CorpusRows      int     `json:"corpus_rows"`
+	CorpusCols      int     `json:"corpus_cols"`
+	CorpusBytes     int64   `json:"corpus_bytes"`
+	ChunkRows       int     `json:"chunk_rows"`
+	NumChunks       int     `json:"num_chunks"`
+	RunDuration     int     `json:"run_duration_s"`
+	GenSeconds      float64 `json:"gen_seconds"`
+	GenPeakRSSBytes int64   `json:"gen_peak_rss_bytes"`
+	TrainSeconds    float64 `json:"train_seconds"`
+	PeakRSSBytes    int64   `json:"peak_rss_bytes"`
+	CorpusOverLimit float64 `json:"corpus_over_limit"`
+	PeakOverLimit   float64 `json:"peak_rss_over_limit"`
+	PeakOverCorpus  float64 `json:"peak_rss_over_corpus"`
+	TrainSamples    int     `json:"train_samples"`
+	EngineeredCols  int     `json:"engineered_cols"`
+	ForestTrees     int     `json:"forest_trees"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ooc_bench: ")
+
+	var (
+		memlimitMB = flag.Int("memlimit-mb", 48, "GOMEMLIMIT cap in MiB")
+		ratio      = flag.Float64("ratio", 10, "target corpus size as a multiple of the memory limit")
+		chunkRows  = flag.Int("chunk-rows", 1024, "rows per spilled chunk")
+		outPath    = flag.String("out", "BENCH_ooc.json", "JSON report path")
+		dir        = flag.String("dir", "", "spill directory (default: a fresh temp dir, removed afterwards)")
+	)
+	flag.Parse()
+	if err := run(*memlimitMB, *ratio, *chunkRows, *outPath, *dir); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(memlimitMB int, ratio float64, chunkRows int, outPath, dir string) error {
+	if memlimitMB < 16 || ratio < 1 || chunkRows < 1 {
+		return fmt.Errorf("memlimit-mb must be >= 16, ratio >= 1, chunk-rows >= 1")
+	}
+	limit := int64(memlimitMB) << 20
+	debug.SetMemoryLimit(limit)
+
+	if dir == "" {
+		d, err := os.MkdirTemp("", "monitorless-ooc-")
+		if err != nil {
+			return err
+		}
+		dir = d
+		defer os.RemoveAll(d)
+	}
+
+	// Size the corpus from the target ratio: Table 1's 25 runs sampled at
+	// 1 Hz yield duration-5 rows each over the default 267-column catalog.
+	cfgs := dataset.Table1()
+	cols := len(pcp.DefaultCatalog().CombinedDefs())
+	wantRows := int(ratio*float64(limit))/(cols*8) + 1
+	duration := wantRows/len(cfgs) + 6
+
+	fmt.Printf("memlimit %d MiB, target %.0fx -> %d rows x %d cols (%d s per run), chunks of %d rows\n",
+		memlimitMB, ratio, wantRows, cols, duration, chunkRows)
+
+	genStart := time.Now()
+	fr, _, err := dataset.GenerateFrame(cfgs, dataset.GenOptions{
+		Duration:    duration,
+		RampSeconds: 250,
+		Seed:        42,
+		SpillDir:    dir,
+		ChunkRows:   chunkRows,
+	})
+	if err != nil {
+		return fmt.Errorf("generate: %w", err)
+	}
+	defer fr.Close()
+	genSecs := time.Since(genStart).Seconds()
+	genPeak := peakRSS()
+	corpusBytes := int64(fr.Rows()) * int64(fr.NumCols()) * 8
+	fmt.Printf("generated %d rows (%.1f MiB, %d chunks) in %.1fs, peak RSS %.1f MiB\n",
+		fr.Rows(), float64(corpusBytes)/(1<<20), fr.NumChunks(), genSecs, mib(genPeak))
+
+	// Lean out-of-core layout: normalize + one importance filter, then the
+	// histogram forest — every stage that can stream, streaming. Time
+	// features and products are orthogonal to the storage seam and would
+	// only slow the lane down.
+	cfg := core.TrainConfig{
+		Pipeline: features.Config{
+			Normalize:   true,
+			Reduce1:     features.ReduceFilter,
+			FilterTopK:  30,
+			FilterTrees: 10,
+			Seed:        42,
+		},
+		Forest: forest.Config{
+			NumTrees:       40,
+			MinSamplesLeaf: 20,
+			Criterion:      tree.Entropy,
+			Splitter:       tree.Hist,
+			Seed:           42,
+		},
+		Threshold: 0.4,
+	}
+	trainStart := time.Now()
+	m, err := core.TrainFrame(fr, cfg)
+	if err != nil {
+		return fmt.Errorf("train: %w", err)
+	}
+	trainSecs := time.Since(trainStart).Seconds()
+	peak := peakRSS()
+	fmt.Printf("trained %d hist trees on %d samples in %.1fs, peak RSS %.1f MiB\n",
+		cfg.Forest.NumTrees, m.TrainSamples, trainSecs, mib(peak))
+
+	rep := report{
+		MemLimitBytes:   limit,
+		TargetRatio:     ratio,
+		CorpusRows:      fr.Rows(),
+		CorpusCols:      fr.NumCols(),
+		CorpusBytes:     corpusBytes,
+		ChunkRows:       chunkRows,
+		NumChunks:       fr.NumChunks(),
+		RunDuration:     duration,
+		GenSeconds:      genSecs,
+		GenPeakRSSBytes: genPeak,
+		TrainSeconds:    trainSecs,
+		PeakRSSBytes:    peak,
+		CorpusOverLimit: float64(corpusBytes) / float64(limit),
+		TrainSamples:    m.TrainSamples,
+		EngineeredCols:  m.Pipeline.NumOutputs(),
+		ForestTrees:     cfg.Forest.NumTrees,
+	}
+	if peak > 0 {
+		rep.PeakOverLimit = float64(peak) / float64(limit)
+		rep.PeakOverCorpus = float64(peak) / float64(corpusBytes)
+	}
+	blob, _ := json.MarshalIndent(rep, "", "  ")
+	blob = append(blob, '\n')
+	if err := os.WriteFile(outPath, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("report written to %s\n", outPath)
+
+	if rep.CorpusOverLimit < ratio {
+		return fmt.Errorf("corpus only %.1fx the memory limit, want >= %.0fx", rep.CorpusOverLimit, ratio)
+	}
+	// Flatness gate: the whole point of the chunked plane is that neither
+	// generation nor training ever holds the corpus. Peak RSS past half
+	// the corpus means some stage densified it.
+	if peak > 0 && peak > corpusBytes/2 {
+		return fmt.Errorf("peak RSS %.1f MiB exceeds half the %.1f MiB corpus — a stage materialized the data",
+			mib(peak), float64(corpusBytes)/(1<<20))
+	}
+	if peak == 0 {
+		fmt.Println("note: /proc/self/status unavailable; RSS flatness not asserted")
+	}
+	return nil
+}
+
+func mib(b int64) float64 { return float64(b) / (1 << 20) }
+
+// peakRSS reads the process high-water RSS (VmHWM) from /proc/self/status,
+// 0 where /proc does not exist.
+func peakRSS() int64 {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
+}

@@ -69,8 +69,13 @@ func run() error {
 	}
 	pw.Close()
 	defer cmd.Process.Kill()
+	// One Wait, shared by warm-up and shutdown: a serve binary that dies
+	// before printing its banner must fail the lane immediately with its
+	// exit status and output, not after the 30s listen timeout.
+	exit := make(chan error, 1)
+	go func() { exit <- cmd.Wait() }()
 
-	base, lines, err := awaitListen(pr)
+	base, lines, err := awaitListen(pr, exit)
 	if err != nil {
 		return err
 	}
@@ -142,10 +147,8 @@ func run() error {
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		return err
 	}
-	done := make(chan error, 1)
-	go func() { done <- cmd.Wait() }()
 	select {
-	case err := <-done:
+	case err := <-exit:
 		if err != nil {
 			return fmt.Errorf("serve exited uncleanly after SIGTERM: %w", err)
 		}
@@ -199,8 +202,11 @@ func trainBundle(path string) error {
 }
 
 // awaitListen scans serve's stdout for the listen banner and returns the
-// base URL plus a channel that later yields the remaining output.
-func awaitListen(stdout interface{ Read([]byte) (int, error) }) (string, chan string, error) {
+// base URL plus a channel that later yields the remaining output. A
+// process-exit arriving first (via exit) fails immediately with the exit
+// status and whatever the server printed, instead of idling out the
+// 30-second deadline on a binary that is already dead.
+func awaitListen(stdout interface{ Read([]byte) (int, error) }, exit <-chan error) (string, chan string, error) {
 	scanner := bufio.NewScanner(stdout)
 	deadline := time.After(30 * time.Second)
 	found := make(chan string, 1)
@@ -228,6 +234,14 @@ func awaitListen(stdout interface{ Read([]byte) (int, error) }) (string, chan st
 	select {
 	case addr := <-found:
 		return addr, rest, nil
+	case err := <-exit:
+		// Scanner sees EOF once the child is gone; collect its output.
+		var tail string
+		select {
+		case tail = <-rest:
+		case <-time.After(2 * time.Second):
+		}
+		return "", nil, fmt.Errorf("serve exited during warm-up (%v) before listening; output:\n%s", err, tail)
 	case <-deadline:
 		return "", nil, fmt.Errorf("serve did not print its listen address within 30s")
 	}

@@ -32,6 +32,13 @@
 # -race (the swap-locking proof), and the swap-churn allocation lane,
 # which holds the per-sample ingest budget while hot swaps land between
 # batches — a swap must never deoptimize the steady-state path.
+# The out-of-core lanes added with the chunked data plane: the spill lane
+# re-runs the byte-identity goldens (dataset frame bytes, Table 2 parity)
+# with MONITORLESS_FORCE_SPILL routing generation and training through
+# disk-backed chunks; the no-mmap lane re-runs the frame store tests with
+# the pread fallback forced; and the ooc_bench lane generates + trains on
+# a corpus 4x a capped GOMEMLIMIT and fails if peak RSS shows any stage
+# materialized the corpus.
 #
 # Usage: scripts/verify.sh [-short]
 set -euo pipefail
@@ -92,6 +99,15 @@ go test -run 'TestCellObserveAllocs|TestReservoirAddAllocs' -count=1 -v ./intern
 
 echo "==> go test -fuzz FuzzWireDecode -fuzztime=5s ./internal/serving/ (wire decoder fuzz smoke)"
 go test -run '^FuzzWireDecode$' -fuzz '^FuzzWireDecode$' -fuzztime=5s ./internal/serving/
+
+echo "==> MONITORLESS_FORCE_SPILL=1 golden + parity (out-of-core byte-identity lane)"
+MONITORLESS_FORCE_SPILL=1 go test -count=1 -run 'Golden|Parity' ./internal/frame/ ./internal/dataset/ ./internal/experiments/
+
+echo "==> MONITORLESS_NO_MMAP=1 frame store tests (pread fallback lane)"
+MONITORLESS_NO_MMAP=1 go test -count=1 ./internal/frame/
+
+echo "==> go run ./scripts/ooc_bench -ratio 4 (out-of-core memory-flatness lane)"
+go run ./scripts/ooc_bench -ratio 4 -memlimit-mb 48 -out /tmp/monitorless-ooc-bench.json
 
 echo "==> go run ./scripts/smoke (HTTP serving smoke lane)"
 go run ./scripts/smoke

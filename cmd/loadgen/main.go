@@ -32,6 +32,7 @@ import (
 	"path/filepath"
 	"runtime/debug"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -89,6 +90,48 @@ type report struct {
 	TickP50Ms     float64 `json:"tick_p50_ms"`
 	TickMaxMs     float64 `json:"tick_max_ms"`
 	OnTimeTicks   int     `json:"on_time_ticks"`
+	// Predict-stage attribution, scraped from the server's /metrics
+	// histograms at the end of the run: the forest's quantize+walk time
+	// per sample versus the whole per-batch predict pipeline (feature
+	// step + vote), so a batch-predict speedup is visible separately
+	// from wire decode and ingest bookkeeping.
+	QuantPredict       bool    `json:"quant_predict"`
+	PredictStageUsPerS float64 `json:"predict_stage_us_per_sample"`
+	PredictTotalUsPerS float64 `json:"predict_total_us_per_sample"`
+}
+
+// scrapeHistogramMean fetches /metrics and returns sum/count of the
+// named histogram in microseconds per observation.
+func scrapeHistogramMean(base, name string) (float64, error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<22))
+	if err != nil {
+		return 0, err
+	}
+	var sum, count float64
+	var haveSum, haveCount bool
+	for _, line := range strings.Split(string(body), "\n") {
+		if v, ok := strings.CutPrefix(line, name+"_sum "); ok {
+			if sum, err = strconv.ParseFloat(strings.TrimSpace(v), 64); err == nil {
+				haveSum = true
+			}
+		} else if v, ok := strings.CutPrefix(line, name+"_count "); ok {
+			if count, err = strconv.ParseFloat(strings.TrimSpace(v), 64); err == nil {
+				haveCount = true
+			}
+		}
+	}
+	if !haveSum || !haveCount {
+		return 0, fmt.Errorf("histogram %s not found on /metrics", name)
+	}
+	if count == 0 {
+		return 0, fmt.Errorf("histogram %s has zero observations", name)
+	}
+	return sum / count * 1e6, nil
 }
 
 func run(instances, ticks, warmup int, hz float64, batch, conns, shards int, modelPath, out string) error {
@@ -287,6 +330,18 @@ func run(instances, ticks, warmup int, hz float64, batch, conns, shards int, mod
 		return fmt.Errorf("server aggregates %d apps, want %d", len(apps), numApps)
 	}
 
+	// Predict-stage attribution from the server's own histograms, while
+	// the server is still up. Counts cover warm-up ticks too, which is
+	// fine: these are steady-state per-sample means.
+	stageUs, err := scrapeHistogramMean(base, "monitorless_predict_stage_seconds")
+	if err != nil {
+		return fmt.Errorf("scrape predict stage: %w", err)
+	}
+	totalUs, err := scrapeHistogramMean(base, "monitorless_predict_seconds")
+	if err != nil {
+		return fmt.Errorf("scrape predict total: %w", err)
+	}
+
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	sort.Slice(tickWall, func(i, j int) bool { return tickWall[i] < tickWall[j] })
 	frameBytes := 0
@@ -312,6 +367,10 @@ func run(instances, ticks, warmup int, hz float64, batch, conns, shards int, mod
 		TickP50Ms:     ms(quantile(tickWall, 0.50)),
 		TickMaxMs:     ms(tickWall[len(tickWall)-1]),
 		OnTimeTicks:   onTime,
+
+		QuantPredict:       stats.QuantPredict,
+		PredictStageUsPerS: stageUs,
+		PredictTotalUsPerS: totalUs,
 	}
 	if rep.SamplesPerSec <= 0 {
 		return fmt.Errorf("measured zero throughput")
@@ -323,6 +382,8 @@ func run(instances, ticks, warmup int, hz float64, batch, conns, shards int, mod
 	}
 	fmt.Printf("%d instances × %d ticks: %.0f samples/s, ingest p50 %.1fms p99 %.1fms, tick p50 %.0fms max %.0fms, %d/%d ticks on time\n",
 		instances, ticks, rep.SamplesPerSec, rep.IngestP50Ms, rep.IngestP99Ms, rep.TickP50Ms, rep.TickMaxMs, onTime, ticks)
+	fmt.Printf("predict stage %.2fµs/sample of %.2fµs/sample total (quant_predict=%v)\n",
+		stageUs, totalUs, stats.QuantPredict)
 	fmt.Printf("report written to %s\n", out)
 
 	// 6. Clean SIGTERM drain.

@@ -60,6 +60,8 @@ func main() {
 		duration   = flag.Int("duration", 1100, "replay: simulated seconds")
 		seed       = flag.Int64("seed", 54, "replay: simulation seed")
 
+		quantPred = flag.Bool("quant-predict", true, "route batch prediction through the bundle's compiled quantized predictor when present (false forces the float path)")
+
 		driftWindow = flag.Int("drift-window", 0, "per-app drift window in samples (0 = default 2048, -1 = disable drift scoring)")
 		swapPolicy  = flag.String("swap-policy", "off", "shadow-retrain policy: off | shadow (train+compare only) | auto (promote winning challengers)")
 		retrainIvl  = flag.Duration("retrain-interval", 10*time.Minute, "how often the shadow challenger is refit and compared")
@@ -73,6 +75,16 @@ func main() {
 	}
 	fmt.Printf("loaded model bundle v%d: %d trees, threshold %.2f, %d raw metrics, schema %.12s…\n",
 		b.Version, b.Model.Forest.NumTrees(), b.Model.Threshold, len(b.Model.RawNames()), b.SchemaHash)
+	if !*quantPred {
+		b.Model.Forest.SetQuantPredict(false)
+	}
+	if b.Model.Forest.QuantActive() {
+		q := b.Model.Forest.Quant()
+		fmt.Printf("quantized batch predict: on (%d/%d nodes on uint8 codes)\n",
+			q.QuantNodes(), q.QuantNodes()+q.FloatNodes())
+	} else {
+		fmt.Println("quantized batch predict: off (float tree walk)")
+	}
 
 	svc, err := serving.New(serving.Config{
 		Model:         b.Model,

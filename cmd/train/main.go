@@ -39,6 +39,7 @@ func main() {
 		splitter  = flag.String("splitter", "exact", "forest split search: exact (sorted scans, the parity reference) or hist (histogram-binned, fast retraining)")
 		bins      = flag.Int("bins", 256, "max quantile bins per column for -splitter hist (2..256)")
 		spillDir  = flag.String("spill-dir", "", "train out of core from a chunked corpus written by datagen -spill-dir (pairs best with -splitter hist)")
+		quantPred = flag.Bool("quant-predict", true, "keep the compiled quantized predictor in the bundle (v4; hist-trained forests only); false drops it and writes a v3 bundle")
 	)
 	flag.Parse()
 	parallel.SetDefaultWorkers(*workers)
@@ -106,10 +107,17 @@ func main() {
 			ctx.Model.TrainSamples, time.Since(start).Round(time.Millisecond), ctx.Model.Pipeline.NumOutputs())
 	}
 
+	if !*quantPred {
+		ctx.Model.Forest.DropQuant()
+	}
 	if err := core.SaveBundleFile(*out, ctx.Model, scale.Seed); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("model bundle (v%d) saved to %s\n", core.BundleVersion, *out)
+	if q := ctx.Model.Forest.Quant(); q != nil {
+		fmt.Printf("compiled quantized predictor: %d/%d nodes on uint8 codes over %d columns\n",
+			q.QuantNodes(), q.QuantNodes()+q.FloatNodes(), q.NumSlots())
+	}
+	fmt.Printf("model bundle (v%d) saved to %s\n", core.BundleVersionFor(ctx.Model), *out)
 
 	if *table4 {
 		experiments.PrintTable4(os.Stdout, experiments.Table4(ctx, 30))

@@ -27,9 +27,14 @@ import (
 // additionally requires a training-distribution fingerprint (per-column
 // moments + quantile sketch, frame.Fingerprint) validated against the
 // schema width — the drift-detection reference the lifecycle plane needs.
+// Version 4 carries the forest's compiled quantized predictor (per-feature
+// bin edges + per-node uint8 code thresholds, forest.Compile) inside the
+// forest gob, so a loaded model batch-predicts through the quantized path
+// immediately; models without a compiled form (exact-splitter training,
+// explicit DropQuant) are written as version 3.
 
 // BundleVersion is the current bundle format version.
-const BundleVersion = 3
+const BundleVersion = 4
 
 // bundleMagic distinguishes bundles from legacy bare-model gobs.
 const bundleMagic = "monitorless-bundle"
@@ -65,19 +70,31 @@ func modelSchemaHash(m *Model, version int) string {
 	return pcp.HashNames(m.RawNames())
 }
 
-// SaveBundle writes the current bundle format. Models without a training
-// fingerprint (loaded from pre-fingerprint artifacts and re-saved) are
-// written as version 2, so the stored version always tells readers
-// whether drift detection is available.
+// BundleVersionFor reports the format version SaveBundle will write for
+// a model: 4 when the forest carries a compiled quantized predictor, 3
+// for fingerprinted models without one, 2 for models without a training
+// fingerprint (loaded from pre-fingerprint artifacts and re-saved) — so
+// the stored version always tells readers which capabilities the bundle
+// carries.
+func BundleVersionFor(m *Model) int {
+	switch {
+	case m.Fingerprint == nil:
+		return 2
+	case m.Forest == nil || m.Forest.Quant() == nil:
+		return 3
+	default:
+		return BundleVersion
+	}
+}
+
+// SaveBundle writes the bundle, downgrading the stored version to match
+// the model's actual capabilities (see BundleVersionFor).
 func SaveBundle(w io.Writer, m *Model, trainSeed int64) error {
 	blob, err := m.SaveBytes()
 	if err != nil {
 		return fmt.Errorf("core: save bundle: %w", err)
 	}
-	version := BundleVersion
-	if m.Fingerprint == nil {
-		version = 2
-	}
+	version := BundleVersionFor(m)
 	wire := bundleWire{
 		Magic:      bundleMagic,
 		Version:    version,
@@ -131,6 +148,11 @@ func LoadBundle(r io.Reader) (*Bundle, error) {
 		}
 	} else {
 		warnLegacyBundle(wire.Version)
+	}
+	if wire.Version >= 4 && (m.Forest == nil || m.Forest.Quant() == nil) {
+		// The forest gob already verified the compiled thresholds against a
+		// recompile; here only presence remains to check.
+		return nil, fmt.Errorf("core: load bundle: version %d bundle carries no compiled quantized predictor (corrupt bundle)", wire.Version)
 	}
 	return &Bundle{Version: wire.Version, SchemaHash: wire.SchemaHash, TrainSeed: wire.TrainSeed, Model: m}, nil
 }

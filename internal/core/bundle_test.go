@@ -8,6 +8,7 @@ import (
 
 	"monitorless/internal/features"
 	"monitorless/internal/ml/forest"
+	"monitorless/internal/ml/tree"
 	"monitorless/internal/pcp"
 )
 
@@ -22,8 +23,10 @@ func TestBundleRoundTripIdenticalPredictions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if b.Version != BundleVersion {
-		t.Errorf("Version = %d, want %d", b.Version, BundleVersion)
+	// sharedModel trains with the exact splitter, so the saved bundle has
+	// no compiled quantized predictor and downgrades to version 3.
+	if want := BundleVersionFor(m); b.Version != want {
+		t.Errorf("Version = %d, want %d", b.Version, want)
 	}
 	if b.TrainSeed != 42 {
 		t.Errorf("TrainSeed = %d, want 42", b.TrainSeed)
@@ -269,5 +272,80 @@ func TestBundleFileRoundTrip(t *testing.T) {
 	}
 	if _, err := LoadBundleFile(path + ".missing"); err == nil {
 		t.Fatal("expected error for missing file")
+	}
+}
+
+// TestBundleV4QuantRoundTrip pins the v4 format: a histogram-trained
+// model saves with its compiled quantized predictor (version 4), the
+// loaded model routes batch prediction through the quantized path, its
+// predictions are bit-identical to the original's, and dropping the
+// compiled form downgrades the next save to v3.
+func TestBundleV4QuantRoundTrip(t *testing.T) {
+	_, ds := trainSubset(t)
+	cfg := smallTrainConfig()
+	cfg.Forest.Splitter = tree.Hist
+	cfg.Forest.NumTrees = 15
+	m, err := Train(ds.FilterRuns(1, 8, 22), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Forest.Quant() == nil || !m.Forest.QuantActive() {
+		t.Fatal("hist training did not install an active compiled quantized predictor")
+	}
+	if v := BundleVersionFor(m); v != BundleVersion {
+		t.Fatalf("BundleVersionFor(hist model) = %d, want %d", v, BundleVersion)
+	}
+
+	var buf bytes.Buffer
+	if err := SaveBundle(&buf, m, 7); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBundle(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Version != BundleVersion {
+		t.Fatalf("loaded Version = %d, want %d", b.Version, BundleVersion)
+	}
+	lf := b.Model.Forest
+	if lf.Quant() == nil || !lf.QuantActive() {
+		t.Fatal("loaded v4 bundle has no active quantized predictor")
+	}
+	if !lf.Quant().FullyQuantized() {
+		t.Fatalf("loaded hist forest not fully quantized: %d float nodes", lf.Quant().FloatNodes())
+	}
+
+	tab := features.FromDataset(ds.FilterRuns(1))
+	_, origProbs, err := m.PredictTable(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, gotProbs, err := b.Model.PredictTable(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range origProbs {
+		for i := range origProbs[id] {
+			if origProbs[id][i] != gotProbs[id][i] {
+				t.Fatalf("run %d tick %d: loaded %v vs original %v", id, i, gotProbs[id][i], origProbs[id][i])
+			}
+		}
+	}
+
+	// Dropping the compiled form downgrades the written version to 3.
+	b.Model.Forest.DropQuant()
+	if v := BundleVersionFor(b.Model); v != 3 {
+		t.Fatalf("BundleVersionFor after DropQuant = %d, want 3", v)
+	}
+	var buf3 bytes.Buffer
+	if err := SaveBundle(&buf3, b.Model, 7); err != nil {
+		t.Fatal(err)
+	}
+	b3, err := LoadBundle(bytes.NewReader(buf3.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b3.Version != 3 || b3.Model.Forest.Quant() != nil {
+		t.Fatalf("downgraded bundle: version %d, quant %v", b3.Version, b3.Model.Forest.Quant() != nil)
 	}
 }

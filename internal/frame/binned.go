@@ -148,7 +148,32 @@ func binEdges(col []float64, rows []int, maxBins int) []float64 {
 // code maps a value to its bin: the first bin whose upper edge is ≥ v,
 // or the last bin when v exceeds every edge.
 func code(edges []float64, v float64) uint8 {
-	return uint8(sort.SearchFloat64s(edges, v))
+	return Quantize(edges, v)
+}
+
+// Quantize maps a value to its bin code under the given ascending edges:
+// the first bin whose upper edge is ≥ v, or len(edges) (the last bin)
+// when v exceeds every edge. It is the single quantization function of
+// the repo — training codes (BinFrame) and quantized inference
+// (forest.Compile) both use it, which is what makes the invariant
+// Quantize(edges, v) ≤ b ⟺ v ≤ edges[b] hold for *every* float64 v:
+// −Inf codes to 0 and goes left everywhere, while +Inf and NaN code to
+// len(edges) (the predicate edges[m] ≥ v is false for both) and go right
+// everywhere — exactly what a float compare v ≤ edges[b] decides.
+func Quantize(edges []float64, v float64) uint8 {
+	lo, hi := 0, len(edges)
+	for lo < hi {
+		m := int(uint(lo+hi) >> 1)
+		// The branch must be on edges[m] >= v (not its negation) so NaN
+		// falls through to lo = m+1 and codes past the last edge, matching
+		// sort.SearchFloat64s.
+		if edges[m] >= v {
+			hi = m
+		} else {
+			lo = m + 1
+		}
+	}
+	return uint8(lo)
 }
 
 // Rows returns the number of coded rows.
@@ -178,6 +203,12 @@ func (b *Binned) ColCodes(j int) []uint8 {
 
 // Code returns the bin of row i under column j.
 func (b *Binned) Code(i, j int) uint8 { return b.codes[j*b.rows+i] }
+
+// Edges returns the per-column bin edge sets (edges[j][b] = inclusive
+// upper value of bin b under column j). The returned slices alias the
+// Binned's internal state and must not be mutated; forest.Compile
+// retains them as the quantized predictor's code map.
+func (b *Binned) Edges() [][]float64 { return b.edges }
 
 // Edge returns the real-valued inclusive upper edge of bin bin in column
 // j — the threshold a "bin ≤ bin" split records. It panics for the last

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"monitorless/internal/frame"
 	"monitorless/internal/ml"
 	"monitorless/internal/ml/tree"
 )
@@ -51,18 +52,81 @@ func BenchmarkForestPredict(b *testing.B) {
 	}
 }
 
-// BenchmarkForestPredictBatch measures the SoA batch path over a whole
-// frame; ns/row is the number to compare against BenchmarkForestPredict.
+// benchPredictBatch drives the batch path over the whole frame through
+// the caller-owned-buffer entry point, so steady state allocates nothing
+// and ns/row measures traversal, not make([]float64, n) churn.
+func benchPredictBatch(b *testing.B, f *Forest, fr *frame.Frame) {
+	b.Helper()
+	dst := make([]float64, fr.Rows())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.PredictProbaFrameRowsInto(fr, nil, dst)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(fr.Rows()), "ns/row")
+}
+
+// BenchmarkForestPredictBatch measures the float SoA batch path over a
+// whole frame; ns/row is the number to compare against
+// BenchmarkForestPredict (per-row) and the Quant variants below.
 func BenchmarkForestPredictBatch(b *testing.B) {
 	x, y := benchData(2000, 50)
 	f := New(Config{NumTrees: 30, MinSamplesLeaf: 10, Seed: 1})
 	if err := f.Fit(x, y); err != nil {
 		b.Fatal(err)
 	}
-	fr := ml.FrameOf(x)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		f.PredictProbaFrameRows(fr, nil)
+	benchPredictBatch(b, f, ml.FrameOf(x))
+}
+
+// benchHistForest fits the histogram-splitter twin of the forest above:
+// same data, same ensemble shape, compiled quantized predictor installed
+// by the fit itself.
+func benchHistForest(b *testing.B) (*Forest, [][]float64) {
+	b.Helper()
+	x, y := benchData(2000, 50)
+	f := New(Config{NumTrees: 30, MinSamplesLeaf: 10, Splitter: tree.Hist, Seed: 1})
+	if err := f.Fit(x, y); err != nil {
+		b.Fatal(err)
 	}
-	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(fr.Rows()), "ns/row")
+	if f.Quant() == nil {
+		b.Fatal("hist fit did not compile a quantized predictor")
+	}
+	return f, x
+}
+
+// BenchmarkForestPredictBatchHistFloat is the float tree walk over a
+// hist-trained forest — the before side of the quantized comparison on
+// the exact same trees.
+func BenchmarkForestPredictBatchHistFloat(b *testing.B) {
+	f, x := benchHistForest(b)
+	f.SetQuantPredict(false)
+	benchPredictBatch(b, f, ml.FrameOf(x))
+}
+
+// BenchmarkForestPredictBatchQuant is the compiled uint8-code path over
+// the same hist-trained forest: row blocks quantized once, trees walked
+// over the resident code slab.
+func BenchmarkForestPredictBatchQuant(b *testing.B) {
+	f, x := benchHistForest(b)
+	benchPredictBatch(b, f, ml.FrameOf(x))
+}
+
+// BenchmarkForestPredictBatchQuantSerial pins the single-worker quant
+// path (the serving-shard regime, where batches are one block and the
+// walk runs inline with zero closure allocation).
+func BenchmarkForestPredictBatchQuantSerial(b *testing.B) {
+	f, x := benchHistForest(b)
+	f.Quant().SetParallelism(1)
+	benchPredictBatch(b, f, ml.FrameOf(x))
+}
+
+// BenchmarkForestPredictBatchQuantChunked scores a chunk-backed frame
+// through the quantized path: per-chunk block tiling, no densify.
+func BenchmarkForestPredictBatchQuantChunked(b *testing.B) {
+	f, x := benchHistForest(b)
+	ch, err := frame.Rechunk(ml.FrameOf(x), 512, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchPredictBatch(b, f, ch)
 }

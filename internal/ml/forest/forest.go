@@ -60,6 +60,16 @@ type Forest struct {
 	importances []float64
 	nFeatures   int
 	fitted      bool
+
+	// binEdges are the per-feature training bin edges retained by the
+	// histogram fit (nil for exact-splitter forests); quant is the
+	// compiled quantized predictor built from them, and quantOff is the
+	// -quant-predict=false routing override. Both serialize with the
+	// forest (bundle v4) so a loaded model predicts quantized without
+	// recompiling from raw data.
+	binEdges [][]float64
+	quant    *QuantForest
+	quantOff bool
 }
 
 var _ ml.Classifier = (*Forest)(nil)
@@ -224,8 +234,60 @@ func (f *Forest) fitFrame(fr *frame.Frame, y []int, rows []int) error {
 		}
 	}
 	f.fitted = true
+	if bn != nil {
+		// Histogram thresholds are exact bin-edge values, so compiling
+		// against the training edges lowers every node to a uint8 code
+		// compare — batch prediction routes through the quantized path
+		// from here on, bit-identical to the float walk. Dimensions match
+		// by construction, so a compile error is impossible; degrade to
+		// the float path rather than failing the fit if it ever happens.
+		if err := f.CompileQuant(bn.Edges()); err != nil {
+			f.binEdges, f.quant = nil, nil
+		}
+	}
 	return nil
 }
+
+// CompileQuant compiles the fitted forest against the given per-feature
+// bin edges and installs the result: subsequent batch prediction routes
+// through the quantized path (unless SetQuantPredict(false)). The
+// histogram fit calls this automatically with its training edges;
+// exact-splitter forests may be compiled explicitly against edges from
+// frame.BinFrame — nodes whose thresholds are not edge values keep the
+// float side-channel.
+func (f *Forest) CompileQuant(edges [][]float64) error {
+	q, err := Compile(f, edges)
+	if err != nil {
+		return err
+	}
+	f.binEdges = edges
+	f.quant = q
+	return nil
+}
+
+// Quant returns the compiled quantized predictor, or nil when the
+// forest has not been compiled (exact-splitter fit, legacy bundle).
+func (f *Forest) Quant() *QuantForest { return f.quant }
+
+// QuantActive reports whether batch prediction currently routes through
+// the quantized path.
+func (f *Forest) QuantActive() bool { return f.quant != nil && !f.quantOff }
+
+// SetQuantPredict toggles quantized batch-prediction routing without
+// discarding the compiled form (the cmd-level -quant-predict flags).
+func (f *Forest) SetQuantPredict(on bool) { f.quantOff = !on }
+
+// DropQuant discards the compiled quantized form and its edges; the
+// forest predicts through the float path and serializes as a pre-v4
+// bundle.
+func (f *Forest) DropQuant() {
+	f.binEdges, f.quant = nil, nil
+	f.quantOff = false
+}
+
+// BinEdges returns the per-feature edges the quantized predictor was
+// compiled against (nil when not compiled; read-only).
+func (f *Forest) BinEdges() [][]float64 { return f.binEdges }
 
 // PredictProba returns the mean leaf probability across trees.
 func (f *Forest) PredictProba(x []float64) float64 {
@@ -280,6 +342,16 @@ func (f *Forest) PredictProbaFrameRowsInto(fr *frame.Frame, rows []int, dst []fl
 	}
 	for i := range out {
 		out[i] = 0
+	}
+	// Compiled quantized path: uint8-code traversal over block-tiled row
+	// slabs, bit-identical to the float walk below (every lowered node
+	// decides exactly as its float compare would, and per-row tree
+	// accumulation order is unchanged). Row lists over chunk-backed
+	// frames stay on the float path — it reads cells through the store,
+	// while block quantization wants contiguous columns.
+	if q := f.quant; q != nil && !f.quantOff && !(fr.Chunked() && rows != nil) {
+		q.predictInto(fr, rows, out)
+		return out
 	}
 	if rows == nil && fr.Chunked() {
 		// Chunk-backed batch predict: walk each resident chunk through

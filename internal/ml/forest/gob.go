@@ -8,13 +8,21 @@ import (
 	"monitorless/internal/ml/tree"
 )
 
-// forestWire mirrors Forest for gob encoding.
+// forestWire mirrors Forest for gob encoding. BinEdges/QuantThr/
+// QuantFlags carry the compiled quantized form (bundle v4): the
+// per-feature bin edges plus each tree's node code thresholds and float
+// side-channel flags. They are nil for uncompiled forests, and gob drops
+// unknown stream fields, so pre-v4 readers and writers interoperate with
+// this shape in both directions.
 type forestWire struct {
 	Cfg         Config
 	Trees       []*tree.Tree
 	Importances []float64
 	NFeatures   int
 	Fitted      bool
+	BinEdges    [][]float64
+	QuantThr    [][]uint8
+	QuantFlags  [][]uint8
 }
 
 // GobEncode implements gob.GobEncoder.
@@ -26,6 +34,10 @@ func (f *Forest) GobEncode() ([]byte, error) {
 		NFeatures:   f.nFeatures,
 		Fitted:      f.fitted,
 	}
+	if f.quant != nil {
+		w.BinEdges = f.binEdges
+		w.QuantThr, w.QuantFlags = f.quant.wireThresholds()
+	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
 		return nil, fmt.Errorf("forest: gob encode: %w", err)
@@ -33,7 +45,10 @@ func (f *Forest) GobEncode() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// GobDecode implements gob.GobDecoder.
+// GobDecode implements gob.GobDecoder. A stream carrying bin edges is
+// recompiled into its quantized predictor and the stored code
+// thresholds are verified against the recompiled form — the compiled
+// artifact is checked, never trusted blindly.
 func (f *Forest) GobDecode(data []byte) error {
 	var w forestWire
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
@@ -44,5 +59,15 @@ func (f *Forest) GobDecode(data []byte) error {
 	f.importances = w.Importances
 	f.nFeatures = w.NFeatures
 	f.fitted = w.Fitted
+	f.binEdges, f.quant, f.quantOff = nil, nil, false
+	if w.BinEdges != nil {
+		if err := f.CompileQuant(w.BinEdges); err != nil {
+			return fmt.Errorf("forest: gob decode: %w", err)
+		}
+		if err := f.quant.checkWire(w.QuantThr, w.QuantFlags); err != nil {
+			f.binEdges, f.quant = nil, nil
+			return fmt.Errorf("forest: gob decode: %w", err)
+		}
+	}
 	return nil
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package forest
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package forest
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build. Under race, sync.Pool deliberately drops items at random
+// (poolRaceHack), so pooled-scratch allocation counts are meaningless.
+const raceEnabled = true

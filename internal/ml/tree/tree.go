@@ -718,6 +718,19 @@ func (t *Tree) FeatureImportances() []float64 {
 // NumNodes reports the size of the fitted tree.
 func (t *Tree) NumNodes() int { return len(t.feature) }
 
+// Slabs exposes the fitted tree's flattened node arrays read-only:
+// node i is (feature[i], threshold[i], left[i], right[i], prob[i]) and
+// feature[i] < 0 marks a leaf (prob[i] is its P(y=1)). The slices alias
+// the tree's compacted slabs and must not be mutated — forest.Compile
+// reads them to lower the tree into its quantized form and aliases the
+// float slabs directly.
+func (t *Tree) Slabs() (feature, left, right []int32, threshold, prob []float64) {
+	return t.feature, t.left, t.right, t.threshold, t.prob
+}
+
+// Fitted reports whether the tree has been trained.
+func (t *Tree) Fitted() bool { return t.fitted }
+
 // Depth returns the depth of the fitted tree (root = 0 for a stump leaf).
 func (t *Tree) Depth() int {
 	if len(t.feature) == 0 {

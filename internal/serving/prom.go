@@ -137,6 +137,15 @@ var DefaultLatencyBuckets = []float64{
 	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
 }
 
+// predictStageBuckets spans 100ns – 1ms: the per-sample forest predict
+// stage (quantize + tree walk, amortized over a shard batch) sits orders
+// of magnitude below request latency, so the stage histogram needs its
+// own resolution to show a batch-predict speedup at all.
+var predictStageBuckets = []float64{
+	1e-7, 2.5e-7, 5e-7, 1e-6, 2.5e-6, 5e-6,
+	1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 1e-3,
+}
+
 // Histogram is a fixed-bucket latency histogram.
 type Histogram struct {
 	mu     sync.Mutex

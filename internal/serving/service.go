@@ -136,6 +136,9 @@ type Stats struct {
 	// LegacyBundle reports a model without a training fingerprint — drift
 	// detection is disabled for it.
 	LegacyBundle bool `json:"legacy_bundle"`
+	// QuantPredict reports whether the active model's forest routes batch
+	// prediction through the compiled quantized path.
+	QuantPredict bool `json:"quant_predict"`
 	// Swaps counts completed hot swaps since startup.
 	Swaps uint64 `json:"swaps"`
 }
@@ -293,6 +296,7 @@ type Service struct {
 
 	cSamples       *ShardedCounter
 	hPredict       *ShardedHistogram
+	hPredictStage  *ShardedHistogram
 	mObservations  *Counter
 	mSchemaRejects *Counter
 	mBadRequests   *Counter
@@ -357,8 +361,9 @@ func New(cfg Config) (*Service, error) {
 		nInst:      make([]paddedInt, n),
 		apps:       make(map[string]*appEntry),
 		reg:        reg,
-		cSamples:   NewShardedCounter(n),
-		hPredict:   NewShardedHistogram(n, nil),
+		cSamples:      NewShardedCounter(n),
+		hPredict:      NewShardedHistogram(n, nil),
+		hPredictStage: NewShardedHistogram(n, predictStageBuckets),
 		mObservations: reg.Counter("monitorless_ingest_observations_total",
 			"Observation batches ingested.", nil),
 		mSchemaRejects: reg.Counter("monitorless_ingest_rejects_total",
@@ -393,6 +398,8 @@ func New(cfg Config) (*Service, error) {
 		"Per-instance metric vectors folded into streaming feature state.", nil, s.cSamples.Value)
 	reg.HistogramSource("monitorless_predict_seconds",
 		"Per-sample inference latency (feature step + batched forest vote).", nil, s.hPredict)
+	reg.HistogramSource("monitorless_predict_stage_seconds",
+		"Per-sample forest-predict stage latency (quantize + tree walk only, excluding wire decode and feature streaming) — the number that attributes a batch-predict speedup.", nil, s.hPredictStage)
 	reg.GaugeFunc("monitorless_instances",
 		"Instances with live streaming feature state.", nil, func() float64 {
 			var t int64
@@ -649,7 +656,12 @@ func (s *Service) ingestShard(si int, w *pcp.WireObservation, idxs []int32, resp
 	// One batch walk per shard batch: each tree's flattened slab visits
 	// every row before the next tree — bit-identical to per-row
 	// PredictVector, much cheaper than re-paging the ensemble per sample.
+	// Timed separately from the surrounding ingest work so /metrics can
+	// attribute the forest's share of the pipeline (predict_stage vs the
+	// whole-batch predict histogram below).
+	predictStart := time.Now()
 	sh.probs = mv.model.PredictProbaRowsInto(fr, sh.probs)
+	s.hPredictStage.Shard(si).ObserveN(time.Since(predictStart).Seconds()/float64(n), uint64(n))
 
 	for k := range sh.pend {
 		p := &sh.pend[k]
@@ -850,6 +862,7 @@ func (s *Service) Stats() Stats {
 		ModelGen:      mv.gen,
 		BundleVersion: mv.bundleVer,
 		LegacyBundle:  mv.fp == nil,
+		QuantPredict:  mv.model.Forest.QuantActive(),
 		Swaps:         s.nSwaps.Load(),
 	}
 }

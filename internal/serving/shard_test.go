@@ -6,6 +6,8 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
+	"strings"
 	"sync"
 	"testing"
 
@@ -324,5 +326,71 @@ func TestIngestAllocations(t *testing.T) {
 	perSample := allocs / batch
 	if perSample > 20 {
 		t.Fatalf("steady-state quiet ingest allocates %.1f/sample (%v/batch), want ≤ 20/sample", perSample, allocs)
+	}
+}
+
+// TestPredictStageMetric pins the /metrics attribution contract: after N
+// ingested samples the predict-stage histogram (quantize + tree walk
+// only, excluding decode and feature streaming) must report exactly N
+// observations, nest inside the whole-pipeline predict histogram, and
+// carry a positive total.
+func TestPredictStageMetric(t *testing.T) {
+	m, _ := sharedTestModel(t)
+	svc, err := New(Config{Model: m, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rawRows(t)
+	const ticks, perObs = 5, 16
+	for tick := 0; tick < ticks; tick++ {
+		obs := pcp.WireObservation{T: tick}
+		for i := 0; i < perObs; i++ {
+			obs.Samples = append(obs.Samples, pcp.WireSample{
+				Instance: fmt.Sprintf("stage/s/%d", i),
+				Values:   rows[(tick*perObs+i)%len(rows)],
+			})
+		}
+		resp, err := svc.IngestQuiet(obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc.PutResponse(resp)
+	}
+
+	rec := httptest.NewRecorder()
+	NewServer(svc).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	scrape := func(name string) float64 {
+		t.Helper()
+		for _, line := range strings.Split(body, "\n") {
+			if v, ok := strings.CutPrefix(line, name+" "); ok {
+				f, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+				if err != nil {
+					t.Fatalf("parse %s: %v", name, err)
+				}
+				return f
+			}
+		}
+		t.Fatalf("/metrics missing %s:\n%s", name, body)
+		return 0
+	}
+
+	want := float64(ticks * perObs)
+	if got := scrape("monitorless_predict_stage_seconds_count"); got != want {
+		t.Errorf("predict-stage count = %v, want %v", got, want)
+	}
+	if got := scrape("monitorless_predict_seconds_count"); got != want {
+		t.Errorf("whole-predict count = %v, want %v", got, want)
+	}
+	stageSum := scrape("monitorless_predict_stage_seconds_sum")
+	wholeSum := scrape("monitorless_predict_seconds_sum")
+	if !(stageSum > 0) {
+		t.Errorf("predict-stage sum = %v, want > 0", stageSum)
+	}
+	if stageSum > wholeSum {
+		t.Errorf("predict stage (%v s) exceeds the whole predict pipeline (%v s)", stageSum, wholeSum)
+	}
+	if !strings.Contains(body, `monitorless_predict_stage_seconds_bucket{le="+Inf"}`) {
+		t.Error("/metrics missing predict-stage +Inf bucket")
 	}
 }

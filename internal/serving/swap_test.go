@@ -75,8 +75,8 @@ func TestHotSwapByteIdenticalBitIdentical(t *testing.T) {
 			if ev.Cold {
 				t.Fatal("byte-identical bundle produced a cold swap")
 			}
-			if ev.Gen != 2 || ev.BundleVersion != core.BundleVersion {
-				t.Fatalf("swap event: %+v", ev)
+			if ev.Gen != 2 || ev.BundleVersion != ver {
+				t.Fatalf("swap event: %+v (bundle version %d)", ev, ver)
 			}
 		}
 		obs := obsFor(tick, instances, rows, tick)
@@ -550,7 +550,10 @@ func TestLifecycleEndToEndDriftRetrainSwap(t *testing.T) {
 // lifecycle status) and POST /model (operator hot swap).
 func TestModelEndpoint(t *testing.T) {
 	m, _ := sharedTestModel(t)
-	svc, err := New(Config{Model: m, BundleVersion: core.BundleVersion, DriftWindow: 64})
+	// sharedTestModel is exact-trained (no compiled quantized predictor),
+	// so its real bundle version is 3 — the literal the response
+	// expectations below pin.
+	svc, err := New(Config{Model: m, BundleVersion: core.BundleVersionFor(m), DriftWindow: 64})
 	if err != nil {
 		t.Fatal(err)
 	}

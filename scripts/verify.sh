@@ -39,6 +39,18 @@
 # the pread fallback forced; and the ooc_bench lane generates + trains on
 # a corpus 4x a capped GOMEMLIMIT and fails if peak RSS shows any stage
 # materialized the corpus.
+# The quantized-inference lanes added with the compiled predict plane:
+# the parity lane re-runs the bit-identity suite (unit columns plus the
+# engineered Table 2 corpus at parallelism 1/4/8) with -count=1; the
+# predict allocation lane holds the zero-allocs/op budget on the batch
+# path for the float, quant-serial and quant-sharded regimes; and the
+# bench-regression lane runs scripts/predbench fresh, gates the quant
+# speedup over the float walk on identical trees, then diffs against the
+# committed BENCH_predict.json with scripts/benchdiff normalized by the
+# float-walk benchmark (-ratio-of), failing any >15% relative regression
+# — the ratio gate is invariant to the host's absolute speed drifting
+# between runs; the tiny 32-row shard micro-benchmark is reported but
+# skipped from the gate as known-noisy.
 #
 # Usage: scripts/verify.sh [-short]
 set -euo pipefail
@@ -108,6 +120,18 @@ MONITORLESS_NO_MMAP=1 go test -count=1 ./internal/frame/
 
 echo "==> go run ./scripts/ooc_bench -ratio 4 (out-of-core memory-flatness lane)"
 go run ./scripts/ooc_bench -ratio 4 -memlimit-mb 48 -out /tmp/monitorless-ooc-bench.json
+
+echo "==> quantized predict parity lane (bit-identity at workers 1/4/8)"
+go test -count=1 -run 'TestQuant|TestHistForestCompilesFullyQuantized|TestExactForestPartialQuant' -v ./internal/ml/forest/
+go test -count=1 -run TestTable2QuantBitIdentity $short ./internal/experiments/
+
+echo "==> go test -run TestForestBatchPredictAllocations -count=1 ./internal/ml/forest/ (batch-predict allocation lane)"
+go test -run TestForestBatchPredictAllocations -count=1 -v ./internal/ml/forest/
+
+echo "==> predbench + benchdiff (quantized bench-regression lane, ratio-normalized)"
+go run ./scripts/predbench -out /tmp/monitorless-predbench.json -min-speedup 1.5
+go run ./scripts/benchdiff -old BENCH_predict.json -new /tmp/monitorless-predbench.json \
+    -max-regress 15 -ratio-of PredictBatchDenseFloatHist -skip PredictShardQuant
 
 echo "==> go run ./scripts/smoke (HTTP serving smoke lane)"
 go run ./scripts/smoke

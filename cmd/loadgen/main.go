@@ -98,6 +98,52 @@ type report struct {
 	QuantPredict       bool    `json:"quant_predict"`
 	PredictStageUsPerS float64 `json:"predict_stage_us_per_sample"`
 	PredictTotalUsPerS float64 `json:"predict_total_us_per_sample"`
+	// Memory accounting: the server's own SoA instance-state slab gauge
+	// divided by the tracked fleet, plus the server process's peak RSS
+	// (VmHWM) read just before shutdown.
+	InstanceStateBytes int64   `json:"instance_state_bytes"`
+	BytesPerInstance   float64 `json:"bytes_per_instance"`
+	PeakRSSMB          float64 `json:"peak_rss_mb"`
+}
+
+// scrapeGauge fetches /metrics and returns the named un-labeled series.
+func scrapeGauge(base, name string) (float64, error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<22))
+	if err != nil {
+		return 0, err
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		if v, ok := strings.CutPrefix(line, name+" "); ok {
+			return strconv.ParseFloat(strings.TrimSpace(v), 64)
+		}
+	}
+	return 0, fmt.Errorf("gauge %s not found on /metrics", name)
+}
+
+// peakRSSMB reads the process's high-water resident set (VmHWM) from
+// /proc. Returns 0 on platforms without procfs.
+func peakRSSMB(pid int) float64 {
+	body, err := os.ReadFile(fmt.Sprintf("/proc/%d/status", pid))
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		if v, ok := strings.CutPrefix(line, "VmHWM:"); ok {
+			fields := strings.Fields(v)
+			if len(fields) >= 1 {
+				kb, err := strconv.ParseFloat(fields[0], 64)
+				if err == nil {
+					return kb / 1024
+				}
+			}
+		}
+	}
+	return 0
 }
 
 // scrapeHistogramMean fetches /metrics and returns sum/count of the
@@ -341,6 +387,10 @@ func run(instances, ticks, warmup int, hz float64, batch, conns, shards int, mod
 	if err != nil {
 		return fmt.Errorf("scrape predict total: %w", err)
 	}
+	stateBytes, err := scrapeGauge(base, "monitorless_instance_state_bytes")
+	if err != nil {
+		return fmt.Errorf("scrape instance state bytes: %w", err)
+	}
 
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	sort.Slice(tickWall, func(i, j int) bool { return tickWall[i] < tickWall[j] })
@@ -371,6 +421,9 @@ func run(instances, ticks, warmup int, hz float64, batch, conns, shards int, mod
 		QuantPredict:       stats.QuantPredict,
 		PredictStageUsPerS: stageUs,
 		PredictTotalUsPerS: totalUs,
+		InstanceStateBytes: int64(stateBytes),
+		BytesPerInstance:   stateBytes / float64(instances),
+		PeakRSSMB:          peakRSSMB(cmd.Process.Pid),
 	}
 	if rep.SamplesPerSec <= 0 {
 		return fmt.Errorf("measured zero throughput")
@@ -384,6 +437,8 @@ func run(instances, ticks, warmup int, hz float64, batch, conns, shards int, mod
 		instances, ticks, rep.SamplesPerSec, rep.IngestP50Ms, rep.IngestP99Ms, rep.TickP50Ms, rep.TickMaxMs, onTime, ticks)
 	fmt.Printf("predict stage %.2fµs/sample of %.2fµs/sample total (quant_predict=%v)\n",
 		stageUs, totalUs, stats.QuantPredict)
+	fmt.Printf("instance state %.0f B/instance (%.1f MB slab, server peak RSS %.0f MB)\n",
+		rep.BytesPerInstance, stateBytes/(1<<20), rep.PeakRSSMB)
 	fmt.Printf("report written to %s\n", out)
 
 	// 6. Clean SIGTERM drain.

@@ -60,7 +60,8 @@ func main() {
 		duration   = flag.Int("duration", 1100, "replay: simulated seconds")
 		seed       = flag.Int64("seed", 54, "replay: simulation seed")
 
-		quantPred = flag.Bool("quant-predict", true, "route batch prediction through the bundle's compiled quantized predictor when present (false forces the float path)")
+		quantPred   = flag.Bool("quant-predict", true, "route batch prediction through the bundle's compiled quantized predictor when present (false forces the float path)")
+		fusedIngest = flag.Bool("fused-ingest", true, "quantize engineered ingest columns straight into the forest's code slab when the predictor is fully quantized (false forces the float scratch-frame route)")
 
 		driftWindow = flag.Int("drift-window", 0, "per-app drift window in samples (0 = default 2048, -1 = disable drift scoring)")
 		swapPolicy  = flag.String("swap-policy", "off", "shadow-retrain policy: off | shadow (train+compare only) | auto (promote winning challengers)")
@@ -82,18 +83,27 @@ func main() {
 		q := b.Model.Forest.Quant()
 		fmt.Printf("quantized batch predict: on (%d/%d nodes on uint8 codes)\n",
 			q.QuantNodes(), q.QuantNodes()+q.FloatNodes())
+		switch {
+		case !q.FullyQuantized():
+			fmt.Println("fused ingest: off (forest has float side-channel nodes)")
+		case !*fusedIngest:
+			fmt.Println("fused ingest: off (-fused-ingest=false)")
+		default:
+			fmt.Println("fused ingest: on (engineered columns quantize straight into the code slab)")
+		}
 	} else {
 		fmt.Println("quantized batch predict: off (float tree walk)")
 	}
 
 	svc, err := serving.New(serving.Config{
-		Model:         b.Model,
-		BundleVersion: b.Version,
-		DebounceK:     *debounceK,
-		DebounceN:     *debounceN,
-		ClearBelow:    *clearBelow,
-		Shards:        *shards,
-		DriftWindow:   *driftWindow,
+		Model:              b.Model,
+		BundleVersion:      b.Version,
+		DebounceK:          *debounceK,
+		DebounceN:          *debounceN,
+		ClearBelow:         *clearBelow,
+		Shards:             *shards,
+		DriftWindow:        *driftWindow,
+		DisableFusedIngest: !*fusedIngest,
 	})
 	if err != nil {
 		log.Fatal(err)

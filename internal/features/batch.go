@@ -1,0 +1,651 @@
+package features
+
+import "fmt"
+
+// This file is the columnar form of the streaming evaluator: instead of
+// stepping one sample at a time through the RowStep chain (one interface
+// dispatch per step per sample, one pointer-chased StreamState per
+// instance), a shard batch is transposed once into a column-major scratch
+// and each pipeline step runs over the whole batch column-wise — one
+// dispatch per step per batch, contiguous inner loops. Per-instance ring
+// state lives in a struct-of-arrays StateSlab (slot × stride into two flat
+// float64 slabs) so the batch time stage touches dense memory rather than
+// a heap object per instance.
+//
+// The hard contract is bit-identity with the serial path: every kernel
+// below performs, per sample, exactly the operations stepCore performs in
+// exactly the same order — only the loop nesting differs, and no sample's
+// arithmetic ever depends on another sample in the batch (each instance's
+// rings are disjoint slab slots). The serial fallbacks (duplicate slot in
+// one batch, steps without a columnar kernel) literally call stepCore, so
+// they are identical by construction rather than by reimplementation.
+
+// StateSlab holds the incremental stream state for many instances of one
+// Streamer as dense struct-of-arrays storage: sample counts plus the
+// base/prefix rings of every slot packed at a fixed per-slot stride into
+// two flat slabs. Slot lifecycle (which instance owns which slot, free
+// lists) belongs to the caller; the slab only stores state.
+type StateSlab struct {
+	s      *Streamer
+	n      []int32   // per-slot absorbed sample count
+	base   []float64 // per-slot base ring, slots × baseStride
+	prefix []float64 // per-slot prefix ring (incl. zero row), slots × prefStride
+	slots  int
+}
+
+// NewStateSlab mints an empty slab for the streamer; grow it with
+// EnsureSlots.
+func NewStateSlab(s *Streamer) *StateSlab {
+	return &StateSlab{s: s}
+}
+
+// Streamer returns the streamer whose geometry the slab was minted for.
+// Callers use pointer identity to detect that a model swap changed the
+// pipeline and the slab must be re-minted.
+func (sl *StateSlab) Streamer() *Streamer { return sl.s }
+
+// per-slot strides in floats. The prefix stride includes each slot's own
+// permanently-zero leading row (the implicit P[-1]) so one slot's ring
+// slice has exactly the layout stepCore expects.
+func (sl *StateSlab) baseStride() int {
+	if sl.s.tf == nil {
+		return 0
+	}
+	return sl.s.baseRows() * sl.s.baseCols
+}
+
+func (sl *StateSlab) prefStride() int {
+	if sl.s.tf == nil {
+		return 0
+	}
+	return (1 + sl.s.prefRows()) * sl.s.baseCols
+}
+
+// Slots returns the slab capacity in slots.
+func (sl *StateSlab) Slots() int { return sl.slots }
+
+// EnsureSlots grows the slab to hold at least k slots, preserving existing
+// slot state (strides never change, so old state copies to the front).
+// New slots arrive zeroed with n=0, ready for use.
+func (sl *StateSlab) EnsureSlots(k int) {
+	if k <= sl.slots {
+		return
+	}
+	ns := sl.slots * 2
+	if ns < k {
+		ns = k
+	}
+	if ns < 16 {
+		ns = 16
+	}
+	n := make([]int32, ns)
+	copy(n, sl.n)
+	sl.n = n
+	if bs := sl.baseStride(); bs > 0 {
+		base := make([]float64, ns*bs)
+		copy(base, sl.base)
+		sl.base = base
+		ps := sl.prefStride()
+		prefix := make([]float64, ns*ps)
+		copy(prefix, sl.prefix)
+		sl.prefix = prefix
+	}
+	sl.slots = ns
+}
+
+// ResetSlot recycles a slot for a fresh instance. Only the count resets:
+// stale ring data is unreachable at n=0 — the first step's prefix reads
+// the slot's zero row (never written; ring rows land past it), trailing
+// averages clamp to that same zero row, and lags clamp to base ring row 0,
+// which that first step writes before reading.
+func (sl *StateSlab) ResetSlot(slot int32) { sl.n[slot] = 0 }
+
+// Samples returns how many samples a slot has absorbed.
+func (sl *StateSlab) Samples(slot int32) int { return int(sl.n[slot]) }
+
+// Bytes returns the slab's allocated footprint, for memory accounting.
+func (sl *StateSlab) Bytes() int64 {
+	return int64(cap(sl.base)+cap(sl.prefix))*8 + int64(cap(sl.n))*4
+}
+
+func (sl *StateSlab) slotBase(slot int32) []float64 {
+	bs := sl.baseStride()
+	if bs == 0 {
+		return nil
+	}
+	off := int(slot) * bs
+	return sl.base[off : off+bs]
+}
+
+func (sl *StateSlab) slotPrefix(slot int32) []float64 {
+	ps := sl.prefStride()
+	if ps == 0 {
+		return nil
+	}
+	off := int(slot) * ps
+	return sl.prefix[off : off+ps]
+}
+
+// StepSlotInto is StepInto against one slab slot: identical semantics and
+// bit-identical results, including the absorbed-count advance on post-step
+// errors.
+func (sl *StateSlab) StepSlotInto(slot int32, raw []float64, sc *StepScratch) ([]float64, error) {
+	vec, absorbed, err := sl.s.stepCore(int(sl.n[slot]), sl.slotBase(slot), sl.slotPrefix(slot), raw, sc)
+	if absorbed {
+		sl.n[slot]++
+	}
+	return vec, err
+}
+
+// BatchScratch owns every reusable buffer StepBatchInto needs: a bump
+// arena for column storage, the ping-pong column-view slices, the
+// per-sample offset tables of the time stage, and the duplicate-slot
+// epoch marks. Steady state, a batch step allocates nothing. One scratch
+// serves one goroutine at a time; the columns returned by Cols alias it
+// and are valid until the next StepBatchInto call.
+type BatchScratch struct {
+	arena []float64
+	aUsed int
+
+	cur, nxt [][]float64
+	out      [][]float64
+	n        int
+
+	// time-stage per-sample tables
+	offs, prevs, pbases, baseOffs, wOffs []int
+	js                                   []int
+	spans                                []float64
+
+	// duplicate-slot detection
+	mark  []uint32
+	epoch uint32
+
+	rowBuf []float64
+	step   StepScratch
+
+	// padCol stands in for liveness-masked columns: every dead slot in a
+	// ping-pong view aliases it. Its contents are garbage by design — the
+	// plan guarantees no live computation reads a dead column.
+	padCol []float64
+}
+
+// pad returns the shared placeholder column for a dead slot.
+func (b *BatchScratch) pad(n int) []float64 {
+	if cap(b.padCol) < n {
+		b.padCol = make([]float64, n)
+	}
+	return b.padCol[:n]
+}
+
+// Cols returns the engineered batch column-major: Cols()[j][k] is feature
+// j of sample k. Valid until the next StepBatchInto with this scratch.
+func (b *BatchScratch) Cols() [][]float64 { return b.out }
+
+// Len returns the number of samples in the last batch.
+func (b *BatchScratch) Len() int { return b.n }
+
+// Row gathers sample k's engineered vector, appending onto dst.
+func (b *BatchScratch) Row(k int, dst []float64) []float64 {
+	for _, c := range b.out {
+		dst = append(dst, c[k])
+	}
+	return dst
+}
+
+// allocCol carves an n-float column out of the arena. On overflow a
+// fresh, larger arena replaces it — columns handed out earlier keep
+// pointing into the old one, which stays alive until the batch ends — so
+// growth is geometric and the steady state allocation-free. The returned
+// memory is NOT zeroed.
+func (b *BatchScratch) allocCol(n int) []float64 {
+	if b.aUsed+n > len(b.arena) {
+		size := 2 * len(b.arena)
+		if size < b.aUsed+n {
+			size = b.aUsed + n
+		}
+		if size < 4096 {
+			size = 4096
+		}
+		b.arena = make([]float64, size)
+		b.aUsed = 0
+	}
+	c := b.arena[b.aUsed : b.aUsed+n : b.aUsed+n]
+	b.aUsed += n
+	return c
+}
+
+// StepBatchInto engineers one batch of raw samples, sample k belonging to
+// slot slots[k], leaving the result column-major in b (see Cols/Row). It
+// is bit-identical to calling StepSlotInto per sample in batch order: the
+// columnar kernels run the same arithmetic in the same per-sample order,
+// and samples never interact (disjoint slots). If the same slot appears
+// twice — callers normally deduplicate upstream — the whole batch takes
+// the per-sample path, which is the serial code itself.
+//
+// Errors before the time stage leave all slot state untouched; an error
+// in a post-time step (impossible for a consistently fitted pipeline)
+// leaves the batch absorbed into the rings, exactly like StepInto.
+func (s *Streamer) StepBatchInto(sl *StateSlab, slots []int32, raws [][]float64, b *BatchScratch) error {
+	if sl.s != s {
+		return fmt.Errorf("features: stream batch: slab minted for a different streamer")
+	}
+	n := len(slots)
+	if len(raws) != n {
+		return fmt.Errorf("features: stream batch: %d slots, %d rows", n, len(raws))
+	}
+	b.n = 0
+	b.out = nil
+	if n == 0 {
+		b.out = b.cur[:0]
+		return nil
+	}
+	for _, raw := range raws {
+		if err := s.CheckWidth(raw); err != nil {
+			return err
+		}
+	}
+	for _, slot := range slots {
+		if slot < 0 || int(slot) >= sl.slots {
+			return fmt.Errorf("features: stream batch: slot %d out of range (%d slots)", slot, sl.slots)
+		}
+	}
+	b.aUsed = 0
+
+	// Duplicate-slot scan (epoch marks: no clearing per batch).
+	if len(b.mark) < sl.slots {
+		mark := make([]uint32, sl.slots)
+		copy(mark, b.mark)
+		b.mark = mark
+	}
+	if b.epoch == ^uint32(0) {
+		for i := range b.mark {
+			b.mark[i] = 0
+		}
+		b.epoch = 0
+	}
+	b.epoch++
+	dup := false
+	for _, slot := range slots {
+		if b.mark[slot] == b.epoch {
+			dup = true
+			break
+		}
+		b.mark[slot] = b.epoch
+	}
+	if dup {
+		return s.stepBatchSerial(sl, slots, raws, b)
+	}
+
+	// Transpose the raw rows into column-major arena storage: column-outer,
+	// so writes stream contiguously and only the row reads stride (the rows
+	// stay L2-resident across the w passes). Raw columns the liveness plan
+	// proves dead are not transposed at all.
+	w := s.pipe.InCols
+	rawLive := s.plan.rawLive
+	cur := b.cur[:0]
+	for j := 0; j < w; j++ {
+		if rawLive != nil && !rawLive[j] {
+			cur = append(cur, b.pad(n))
+			continue
+		}
+		dst := b.allocCol(n)
+		for k, raw := range raws {
+			dst[k] = raw[j]
+		}
+		cur = append(cur, dst)
+	}
+	b.cur = cur
+
+	var err error
+	for i, step := range s.pre {
+		if cur, err = s.batchApply(step, s.plan.pre[i], cur, n, b); err != nil {
+			return err
+		}
+	}
+	if cur, err = s.batchTime(sl, slots, cur, n, b); err != nil {
+		return err
+	}
+	for i, step := range s.post {
+		if cur, err = s.batchApply(step, s.plan.post[i], cur, n, b); err != nil {
+			return err
+		}
+	}
+	b.out = cur
+	b.n = n
+	return nil
+}
+
+// stepBatchSerial is the per-sample fallback: stepCore per sample via
+// StepSlotInto, scattered into output columns. Bit-identical to the
+// columnar path by construction (it IS the serial path).
+func (s *Streamer) stepBatchSerial(sl *StateSlab, slots []int32, raws [][]float64, b *BatchScratch) error {
+	n := len(slots)
+	var out [][]float64
+	for k, raw := range raws {
+		vec, err := sl.StepSlotInto(slots[k], raw, &b.step)
+		if err != nil {
+			return err
+		}
+		if out == nil {
+			out = b.cur[:0]
+			for j := 0; j < len(vec); j++ {
+				out = append(out, b.allocCol(n))
+			}
+			b.cur = out
+		}
+		for j, v := range vec {
+			out[j][k] = v
+		}
+	}
+	b.out = out
+	b.n = n
+	return nil
+}
+
+// batchApply runs one row step over the whole batch column-wise. Columns
+// the step passes through unchanged are aliased, not copied; only freshly
+// computed columns cost arena space, and outputs the liveness plan proves
+// dead (live[j] == false; nil live = all live) are skipped entirely — a
+// shared pad column keeps the view's indices aligned. Steps without a
+// columnar kernel (mirroring transformRowInto's append paths exactly —
+// see hasAppendPath) take a gather/TransformRow/scatter fallback, counted
+// in fallbackRows.
+func (s *Streamer) batchApply(step RowStep, live []bool, cols [][]float64, n int, b *BatchScratch) ([][]float64, error) {
+	next := b.nxt[:0]
+	switch t := step.(type) {
+	case *Expand:
+		if t.In == 0 {
+			return nil, fmt.Errorf("features: stream %s: fitted before streaming support; re-fit the pipeline", step.Name())
+		}
+		if len(cols) != t.In {
+			return nil, fmt.Errorf("features: stream %s: fitted on %d cols, got %d", step.Name(), t.In, len(cols))
+		}
+		next = append(next, cols...)
+		for _, ci := range t.LogIdx {
+			if live != nil && !live[ci] {
+				continue
+			}
+			src := cols[ci]
+			dst := b.allocCol(n)
+			for k := 0; k < n; k++ {
+				dst[k] = log10p1(src[k])
+			}
+			next[ci] = dst
+		}
+		for k, i := range t.TargetIdx {
+			src := cols[i]
+			for _, spec := range levelSpecs(t.TargetCPU[k]) {
+				if live != nil && !live[len(next)] {
+					next = append(next, b.pad(n))
+					continue
+				}
+				dst := b.allocCol(n)
+				for r := 0; r < n; r++ {
+					if spec.Test(src[r]) {
+						dst[r] = 1
+					} else {
+						dst[r] = 0
+					}
+				}
+				next = append(next, dst)
+			}
+		}
+	case *StandardScale:
+		if len(cols) != len(t.Mean) {
+			return nil, fmt.Errorf("features: stream %s: fitted on %d cols, got %d", step.Name(), len(t.Mean), len(cols))
+		}
+		for j, src := range cols {
+			if live != nil && !live[j] {
+				next = append(next, b.pad(n))
+				continue
+			}
+			dst := b.allocCol(n)
+			if t.Std[j] > 0 {
+				m, sd := t.Mean[j], t.Std[j]
+				for k := 0; k < n; k++ {
+					dst[k] = (src[k] - m) / sd
+				}
+			} else {
+				for k := 0; k < n; k++ {
+					dst[k] = 0
+				}
+			}
+			next = append(next, dst)
+		}
+	case *RFFilter:
+		var err error
+		if next, err = aliasSelect(next, cols, t.Keep, step.Name()); err != nil {
+			return nil, err
+		}
+	case *DropZeroVariance:
+		var err error
+		if next, err = aliasSelect(next, cols, t.Keep, step.Name()); err != nil {
+			return nil, err
+		}
+	case *Products:
+		if len(cols) != t.InCols {
+			return nil, fmt.Errorf("features: stream %s: fitted on %d cols, got %d", step.Name(), t.InCols, len(cols))
+		}
+		next = append(next, cols...)
+		for pi, pr := range t.Pairs {
+			if live != nil && !live[t.InCols+pi] {
+				next = append(next, b.pad(n))
+				continue
+			}
+			a, c := cols[pr[0]], cols[pr[1]]
+			dst := b.allocCol(n)
+			for k := 0; k < n; k++ {
+				dst[k] = a[k] * c[k]
+			}
+			next = append(next, dst)
+		}
+	default:
+		// No columnar kernel (e.g. PCA): gather each row, run the
+		// allocating TransformRow, scatter the result. Same arithmetic,
+		// same order, just slow — and counted, so it cannot hide.
+		s.fallbackRows.Add(uint64(n))
+		for k := 0; k < n; k++ {
+			row := b.rowBuf[:0]
+			for _, c := range cols {
+				row = append(row, c[k])
+			}
+			b.rowBuf = row
+			nr, err := step.TransformRow(row)
+			if err != nil {
+				return nil, fmt.Errorf("features: stream %s: %w", step.Name(), err)
+			}
+			if next == nil || k == 0 {
+				for j := 0; j < len(nr); j++ {
+					next = append(next, b.allocCol(n))
+				}
+			} else if len(nr) != len(next) {
+				return nil, fmt.Errorf("features: stream %s: width changed mid-batch (%d -> %d)", step.Name(), len(next), len(nr))
+			}
+			for j, v := range nr {
+				next[j][k] = v
+			}
+		}
+	}
+	b.cur, b.nxt = next, cols[:0]
+	return next, nil
+}
+
+// aliasSelect projects columns by index without copying any data.
+func aliasSelect(dst, cols [][]float64, keep []int, name string) ([][]float64, error) {
+	for _, k := range keep {
+		if k >= len(cols) {
+			return nil, fmt.Errorf("features: stream %s: column %d out of range (%d cols)", name, k, len(cols))
+		}
+		dst = append(dst, cols[k])
+	}
+	return dst, nil
+}
+
+// batchTime is timeStep over the whole batch: per-sample ring offsets are
+// tabulated once, then every loop runs column-outer over contiguous input
+// columns. Each sample touches only its own slot's rows, so the per-sample
+// arithmetic — prefix accumulation order, clamped spans, lag clamping —
+// is exactly stepCore's. The batch is absorbed here: every slot's count
+// advances, matching StepInto's absorbed-before-post-steps semantics.
+func (s *Streamer) batchTime(sl *StateSlab, slots []int32, cols [][]float64, n int, b *BatchScratch) ([][]float64, error) {
+	if s.tf == nil {
+		for _, slot := range slots {
+			sl.n[slot]++
+		}
+		return cols, nil
+	}
+	if len(cols) != s.baseCols {
+		return nil, fmt.Errorf("features: stream time-features fitted on %d cols, got %d", s.baseCols, len(cols))
+	}
+	nc := s.baseCols
+	pr := s.prefRows()
+	br := s.baseRows()
+	bStride, pStride := sl.baseStride(), sl.prefStride()
+
+	b.offs = ensureInts(b.offs, n)
+	b.prevs = ensureInts(b.prevs, n)
+	b.pbases = ensureInts(b.pbases, n)
+	b.baseOffs = ensureInts(b.baseOffs, n)
+	b.wOffs = ensureInts(b.wOffs, n)
+	b.js = ensureInts(b.js, n)
+	if cap(b.spans) < n {
+		b.spans = make([]float64, n)
+	}
+	b.spans = b.spans[:n]
+
+	for k, slot := range slots {
+		j := int(sl.n[slot])
+		pb := int(slot) * pStride // slot's zero row (the implicit P[-1])
+		b.js[k] = j
+		b.pbases[k] = pb
+		b.offs[k] = pb + (1+j%pr)*nc
+		if j > 0 {
+			b.prevs[k] = pb + (1+(j-1)%pr)*nc
+		} else {
+			b.prevs[k] = pb
+		}
+		b.baseOffs[k] = int(slot)*bStride + (j%br)*nc
+	}
+
+	// Prefix accumulation and base-ring write, sample-outer: each sample's
+	// ring rows are contiguous (and L1-hot, like the serial path), while the
+	// input columns advance one element per sample — streaming read
+	// pointers the prefetcher follows. Only columns some live window
+	// output reads (the plan's ring sets) are maintained.
+	tm := s.plan.tm
+	prefix, base := sl.prefix, sl.base
+	for k := 0; k < n; k++ {
+		off, pv := b.offs[k], b.prevs[k]
+		dst := prefix[off : off+nc : off+nc]
+		prv := prefix[pv : pv+nc : pv+nc]
+		for _, c := range tm.prefIdx {
+			dst[c] = prv[c] + cols[c][k]
+		}
+	}
+	for k := 0; k < n; k++ {
+		off := b.baseOffs[k]
+		dst := base[off : off+nc : off+nc]
+		for _, c := range tm.ringIdx {
+			dst[c] = cols[c][k]
+		}
+	}
+
+	// Window outputs land in one flat live-cols × n slab per window
+	// (consecutive allocCol carves are contiguous), so the per-sample
+	// scatter write walks a single base pointer at stride n instead of
+	// loading a slice header per column.
+	next := b.nxt[:0]
+	next = append(next, cols...) // base passthrough: pure alias
+	for wi, w := range s.tf.AvgWindows {
+		idx := tm.avgIdx[wi]
+		lc := len(idx)
+		if lc == 0 {
+			for c := 0; c < nc; c++ {
+				next = append(next, b.pad(n))
+			}
+			continue
+		}
+		for k := 0; k < n; k++ {
+			j := b.js[k]
+			lo := j - w
+			if lo < 0 {
+				lo = 0
+			}
+			b.spans[k] = float64(j - lo + 1)
+			if lo > 0 {
+				b.wOffs[k] = b.pbases[k] + (1+(lo-1)%pr)*nc
+			} else {
+				b.wOffs[k] = b.pbases[k]
+			}
+		}
+		flat := b.allocCol(lc * n)
+		li := 0
+		for c := 0; c < nc; c++ {
+			if li < lc && idx[li] == c {
+				next = append(next, flat[li*n:(li+1)*n:(li+1)*n])
+				li++
+			} else {
+				next = append(next, b.pad(n))
+			}
+		}
+		for k := 0; k < n; k++ {
+			off, wo := b.offs[k], b.wOffs[k]
+			po := prefix[off : off+nc : off+nc]
+			pw := prefix[wo : wo+nc : wo+nc]
+			span := b.spans[k]
+			p := k
+			for _, c := range idx {
+				flat[p] = (po[c] - pw[c]) / span
+				p += n
+			}
+		}
+	}
+	for wi, w := range s.tf.LagWindows {
+		idx := tm.lagIdx[wi]
+		lc := len(idx)
+		if lc == 0 {
+			for c := 0; c < nc; c++ {
+				next = append(next, b.pad(n))
+			}
+			continue
+		}
+		for k := 0; k < n; k++ {
+			src := b.js[k] - w
+			if src < 0 {
+				src = 0
+			}
+			b.wOffs[k] = int(slots[k])*bStride + (src%br)*nc
+		}
+		flat := b.allocCol(lc * n)
+		li := 0
+		for c := 0; c < nc; c++ {
+			if li < lc && idx[li] == c {
+				next = append(next, flat[li*n:(li+1)*n:(li+1)*n])
+				li++
+			} else {
+				next = append(next, b.pad(n))
+			}
+		}
+		for k := 0; k < n; k++ {
+			wo := b.wOffs[k]
+			src := base[wo : wo+nc : wo+nc]
+			p := k
+			for _, c := range idx {
+				flat[p] = src[c]
+				p += n
+			}
+		}
+	}
+	for _, slot := range slots {
+		sl.n[slot]++
+	}
+	b.cur, b.nxt = next, cols[:0]
+	return next, nil
+}
+
+func ensureInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}

@@ -1,0 +1,380 @@
+package features
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// batchHarness steps nInst interleaved instance streams through the same
+// fitted pipeline twice — per-sample StepInto against individual
+// StreamStates, and StepBatchInto against a StateSlab — and fails on the
+// first bit difference. Batches are built tick-by-tick with a seeded
+// shuffle so instances interleave in varying order and subsets.
+func batchHarness(t *testing.T, cfg Config, nInst, ticks int, seed int64) {
+	t.Helper()
+	train := synthTable(4, 80, 11)
+	held := synthTable(nInst, ticks, 23+seed)
+	pipe, err := NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pipe.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	str, err := pipe.Streamer()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: one serial StreamState per instance.
+	states := make([]*StreamState, nInst)
+	for i := range states {
+		states[i] = str.NewState()
+	}
+	var sc StepScratch
+
+	sl := NewStateSlab(str)
+	sl.EnsureSlots(nInst)
+	var b BatchScratch
+
+	rng := rand.New(rand.NewSource(seed))
+	pos := make([]int, nInst)
+	var slots []int32
+	var raws [][]float64
+	var want [][]float64
+	for tick := 0; tick < ticks; tick++ {
+		slots, raws, want = slots[:0], raws[:0], want[:0]
+		order := rng.Perm(nInst)
+		for _, i := range order {
+			if pos[i] >= len(held.Runs[i].Rows) || rng.Intn(4) == 0 {
+				continue // this instance skips the tick
+			}
+			slots = append(slots, int32(i))
+			raws = append(raws, held.Runs[i].Rows[pos[i]])
+			pos[i]++
+		}
+		for k, i := range slots {
+			vec, err := str.StepInto(states[i], raws[k], &sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want = append(want, append([]float64(nil), vec...))
+		}
+		if err := str.StepBatchInto(sl, slots, raws, &b); err != nil {
+			t.Fatal(err)
+		}
+		if b.Len() != len(slots) {
+			t.Fatalf("tick %d: batch len %d, want %d", tick, b.Len(), len(slots))
+		}
+		cols := b.Cols()
+		if len(slots) > 0 && len(cols) != str.NumOutputs() {
+			t.Fatalf("tick %d: batch width %d, want %d", tick, len(cols), str.NumOutputs())
+		}
+		var row []float64
+		for k := range slots {
+			row = b.Row(k, row[:0])
+			if len(row) != len(want[k]) {
+				t.Fatalf("tick %d sample %d: batch width %d, serial %d", tick, k, len(row), len(want[k]))
+			}
+			for c := range row {
+				if row[c] != want[k][c] {
+					t.Fatalf("tick %d sample %d col %d: batch %v, serial %v",
+						tick, k, c, row[c], want[k][c])
+				}
+			}
+		}
+		for _, i := range slots {
+			if sl.Samples(i) != states[i].Samples() {
+				t.Fatalf("tick %d: slot %d absorbed %d, serial state %d",
+					tick, i, sl.Samples(i), states[i].Samples())
+			}
+		}
+	}
+}
+
+func TestStepBatchMatchesSerialBitIdentical(t *testing.T) {
+	for name, cfg := range streamConfigs() {
+		t.Run(name, func(t *testing.T) {
+			batchHarness(t, cfg, 7, 40, 5)
+		})
+	}
+}
+
+// TestStepBatchDuplicateSlotFallsBackSerial exercises the within-batch
+// duplicate-slot path: the whole batch must drop to per-sample stepping
+// and still match the serial reference in batch order.
+func TestStepBatchDuplicateSlotFallsBackSerial(t *testing.T) {
+	train := synthTable(4, 80, 11)
+	held := synthTable(1, 30, 29)
+	pipe, err := NewPipeline(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pipe.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	str, err := pipe.Streamer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := str.NewState()
+	var sc StepScratch
+	sl := NewStateSlab(str)
+	sl.EnsureSlots(1)
+	var b BatchScratch
+	rows := held.Runs[0].Rows
+	for lo := 0; lo+3 <= len(rows); lo += 3 {
+		batch := rows[lo : lo+3]
+		var want [][]float64
+		for _, raw := range batch {
+			vec, err := str.StepInto(ref, raw, &sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want = append(want, append([]float64(nil), vec...))
+		}
+		// All three samples target slot 0 — same instance three times.
+		if err := str.StepBatchInto(sl, []int32{0, 0, 0}, batch, &b); err != nil {
+			t.Fatal(err)
+		}
+		var row []float64
+		for k := range batch {
+			row = b.Row(k, row[:0])
+			for c := range row {
+				if row[c] != want[k][c] {
+					t.Fatalf("batch at %d sample %d col %d: batch %v, serial %v", lo, k, c, row[c], want[k][c])
+				}
+			}
+		}
+	}
+	if sl.Samples(0) != ref.Samples() {
+		t.Fatalf("slot absorbed %d, serial %d", sl.Samples(0), ref.Samples())
+	}
+}
+
+// TestStateSlabSlotReuse proves ResetSlot fully recycles a slot: a fresh
+// instance stepped through a just-freed slot must match a fresh serial
+// state bit-for-bit even though the slot's rings still hold the previous
+// instance's data.
+func TestStateSlabSlotReuse(t *testing.T) {
+	train := synthTable(4, 80, 11)
+	held := synthTable(2, 40, 31)
+	pipe, err := NewPipeline(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pipe.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	str, err := pipe.Streamer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl := NewStateSlab(str)
+	sl.EnsureSlots(1)
+	var b BatchScratch
+	// First occupant dirties slot 0's rings.
+	for _, raw := range held.Runs[0].Rows {
+		if err := str.StepBatchInto(sl, []int32{0}, [][]float64{raw}, &b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sl.ResetSlot(0)
+	if sl.Samples(0) != 0 {
+		t.Fatalf("reset slot has %d samples", sl.Samples(0))
+	}
+	ref := str.NewState()
+	var sc StepScratch
+	var row []float64
+	for j, raw := range held.Runs[1].Rows {
+		want, err := str.StepInto(ref, raw, &sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := str.StepBatchInto(sl, []int32{0}, [][]float64{raw}, &b); err != nil {
+			t.Fatal(err)
+		}
+		row = b.Row(0, row[:0])
+		for c := range row {
+			if row[c] != want[c] {
+				t.Fatalf("row %d col %d: reused slot %v, fresh state %v", j, c, row[c], want[c])
+			}
+		}
+	}
+}
+
+// TestStepBatchRejectsBadInput: width and slot-range errors must be
+// detected before any slot state mutates.
+func TestStepBatchRejectsBadInput(t *testing.T) {
+	train := synthTable(4, 80, 11)
+	pipe, err := NewPipeline(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pipe.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	str, err := pipe.Streamer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl := NewStateSlab(str)
+	sl.EnsureSlots(2)
+	var b BatchScratch
+	good := train.Runs[0].Rows[0]
+	if err := str.StepBatchInto(sl, []int32{0, 1}, [][]float64{good, {1, 2}}, &b); err == nil {
+		t.Fatal("expected width error")
+	}
+	if sl.Samples(0) != 0 || sl.Samples(1) != 0 {
+		t.Fatalf("bad-width batch mutated state: %d/%d samples", sl.Samples(0), sl.Samples(1))
+	}
+	if err := str.StepBatchInto(sl, []int32{0, int32(sl.Slots())}, [][]float64{good, good}, &b); err == nil {
+		t.Fatal("expected slot-range error")
+	}
+	if err := str.StepBatchInto(sl, []int32{0}, [][]float64{good, good}, &b); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+	if sl.Samples(0) != 0 {
+		t.Fatalf("rejected batch mutated state: %d samples", sl.Samples(0))
+	}
+}
+
+// FuzzStepBatchVsSerial drives random pipeline layouts and interleaved
+// multi-instance sample orders — including repeated slots within one
+// batch — asserting StepBatchInto stays bit-identical to per-sample
+// StepInto.
+func FuzzStepBatchVsSerial(f *testing.F) {
+	f.Add(uint8(0), uint8(3), uint8(20), int64(1))
+	f.Add(uint8(1), uint8(1), uint8(40), int64(2))
+	f.Add(uint8(2), uint8(5), uint8(10), int64(3))
+	f.Add(uint8(3), uint8(4), uint8(15), int64(4))
+	cfgs := []Config{
+		DefaultConfig(),
+		{Normalize: true, Reduce1: ReducePCA, TimeFeatures: true, PCAMax: 6},
+		{Normalize: true, Reduce1: ReduceFilter, Products: true, FilterTopK: 10},
+		{TimeFeatures: true},
+	}
+	train := synthTable(4, 80, 11)
+	pipes := make([]*Pipeline, len(cfgs))
+	for i, cfg := range cfgs {
+		p, err := NewPipeline(cfg)
+		if err != nil {
+			f.Fatal(err)
+		}
+		if _, err := p.Fit(train); err != nil {
+			f.Fatal(err)
+		}
+		pipes[i] = p
+	}
+	f.Fuzz(func(t *testing.T, cfgSel, nInstRaw, ticksRaw uint8, seed int64) {
+		pipe := pipes[int(cfgSel)%len(pipes)]
+		nInst := 1 + int(nInstRaw)%6
+		ticks := 1 + int(ticksRaw)%40
+		str, err := pipe.Streamer()
+		if err != nil {
+			t.Fatal(err)
+		}
+		held := synthTable(nInst, ticks+4, seed)
+		states := make([]*StreamState, nInst)
+		for i := range states {
+			states[i] = str.NewState()
+		}
+		var sc StepScratch
+		sl := NewStateSlab(str)
+		sl.EnsureSlots(nInst)
+		var b BatchScratch
+		rng := rand.New(rand.NewSource(seed ^ 0x9e3779b9))
+		pos := make([]int, nInst)
+		var slots []int32
+		var raws [][]float64
+		for tick := 0; tick < ticks; tick++ {
+			slots, raws = slots[:0], raws[:0]
+			for _, i := range rng.Perm(nInst) {
+				if rng.Intn(3) == 0 {
+					continue
+				}
+				reps := 1
+				if rng.Intn(8) == 0 {
+					reps = 2 // duplicate slot within the batch
+				}
+				for r := 0; r < reps && pos[i] < len(held.Runs[i].Rows); r++ {
+					slots = append(slots, int32(i))
+					raws = append(raws, held.Runs[i].Rows[pos[i]])
+					pos[i]++
+				}
+			}
+			var want [][]float64
+			for k, i := range slots {
+				vec, err := str.StepInto(states[i], raws[k], &sc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want = append(want, append([]float64(nil), vec...))
+			}
+			if err := str.StepBatchInto(sl, slots, raws, &b); err != nil {
+				t.Fatal(err)
+			}
+			var row []float64
+			for k := range slots {
+				row = b.Row(k, row[:0])
+				if len(row) != len(want[k]) {
+					t.Fatalf("tick %d sample %d: width %d vs %d", tick, k, len(row), len(want[k]))
+				}
+				for c := range row {
+					if row[c] != want[k][c] {
+						t.Fatalf("tick %d sample %d col %d: batch %v serial %v", tick, k, c, row[c], want[k][c])
+					}
+				}
+			}
+		}
+	})
+}
+
+// TestStepBatchAllocations holds the steady-state batch step to zero
+// allocations for append-path pipelines (the paper's selected layout has
+// no PCA, so nothing in the chain should allocate once scratch is warm).
+func TestStepBatchAllocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are distorted under the race detector")
+	}
+	train := synthTable(4, 80, 11)
+	held := synthTable(8, 64, 37)
+	pipe, err := NewPipeline(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pipe.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	str, err := pipe.Streamer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(str.FallbackSteps()) != 0 {
+		t.Fatalf("default layout has fallback steps: %v", str.FallbackSteps())
+	}
+	sl := NewStateSlab(str)
+	sl.EnsureSlots(8)
+	var b BatchScratch
+	slots := make([]int32, 8)
+	raws := make([][]float64, 8)
+	step := func(tick int) {
+		for i := range slots {
+			slots[i] = int32(i)
+			raws[i] = held.Runs[i].Rows[tick%len(held.Runs[i].Rows)]
+		}
+		if err := str.StepBatchInto(sl, slots, raws, &b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for tick := 0; tick < 8; tick++ { // warm scratch + arena
+		step(tick)
+	}
+	tick := 8
+	if avg := testing.AllocsPerRun(20, func() { step(tick); tick++ }); avg > 0 {
+		t.Fatalf("steady-state StepBatchInto allocates %.1f per batch, want 0", avg)
+	}
+	if got := str.FallbackRows(); got != 0 {
+		t.Fatalf("append-path pipeline took %d fallback rows", got)
+	}
+}

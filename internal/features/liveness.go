@@ -1,0 +1,274 @@
+package features
+
+// Static column liveness for the batch kernels. The fitted step chain is
+// a dataflow graph with fixed column routing — every RFFilter Keep set,
+// Products pair, Expand dummy block is frozen at fit time — so one
+// backward pass from the pipeline's final outputs tells exactly which
+// intermediate columns can ever reach an engineered feature. The batch
+// kernels skip the rest: the first importance filter typically keeps a
+// few dozen of a few hundred expanded/scaled columns, and on the serial
+// path every sample pays for all of them anyway (a row vector has no
+// cheap way to skip positions without reshaping every downstream index).
+// Columnar layout makes the skip free: a dead column's slot in the
+// ping-pong view is a shared uninitialized pad column that no live
+// computation ever reads.
+//
+// Bit-identity with the serial path is untouched by construction: a
+// masked-off value is, by the backward pass, not an operand of any
+// computation whose result survives to the final vector, and every
+// surviving value is produced by exactly the serial arithmetic. The
+// equivalence and fuzz tests compare final vectors, so they hold the
+// plan to that claim.
+//
+// The ring slabs are masked the same way — prefix rows accumulate only
+// columns some live trailing average reads, the base ring stores only
+// columns some live lag (or the duplicate-slot serial fallback, which
+// computes everything and so tolerates stale values in dead columns)
+// could read. Dead ring columns hold stale garbage; that garbage only
+// ever flows into dead outputs.
+
+// batchPlan is the per-streamer liveness plan: one live-output mask per
+// row step plus the time-stage index lists. A nil mask means "all live —
+// run the kernel unmasked". Plans are immutable after Streamer build.
+type batchPlan struct {
+	rawLive []bool   // raw input columns worth transposing; nil = all
+	pre     [][]bool // live-output mask per s.pre step
+	post    [][]bool // live-output mask per s.post step
+	tm      *timePlan
+}
+
+// timePlan is the time stage's slice of the plan as index lists (the
+// kernels iterate them directly): which columns each window emits, and
+// the union sets the two rings must maintain for them.
+type timePlan struct {
+	prefIdx []int   // prefix-ring columns to accumulate
+	ringIdx []int   // base-ring columns to store
+	avgIdx  [][]int // per avg window, live output columns
+	lagIdx  [][]int // per lag window, live output columns
+}
+
+// rowStepOutWidth reports a fitted row step's output width, or -1 for
+// steps without a columnar kernel (whose routing the plan cannot see).
+func rowStepOutWidth(step RowStep, in int) int {
+	switch t := step.(type) {
+	case *Expand:
+		out := t.In
+		for _, cpu := range t.TargetCPU {
+			out += len(levelSpecs(cpu))
+		}
+		return out
+	case *StandardScale:
+		return len(t.Mean)
+	case *RFFilter:
+		return len(t.Keep)
+	case *DropZeroVariance:
+		return len(t.Keep)
+	case *Products:
+		return t.InCols + len(t.Pairs)
+	}
+	_ = in
+	return -1
+}
+
+func allTrue(mask []bool) bool {
+	for _, v := range mask {
+		if !v {
+			return false
+		}
+	}
+	return true
+}
+
+// maskOrNil collapses an all-live mask to nil so kernels take their
+// unmasked fast path.
+func maskOrNil(mask []bool) []bool {
+	if allTrue(mask) {
+		return nil
+	}
+	return mask
+}
+
+func idxOf(mask []bool) []int {
+	idx := make([]int, 0, len(mask))
+	for c, v := range mask {
+		if v {
+			idx = append(idx, c)
+		}
+	}
+	return idx
+}
+
+func fullIdx(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// fullTimePlan emits every window column and maintains both rings in
+// full — the plan when liveness cannot be traced past the time stage.
+func (s *Streamer) fullTimePlan() *timePlan {
+	if s.tf == nil {
+		return nil
+	}
+	nc := s.baseCols
+	all := fullIdx(nc)
+	tp := &timePlan{prefIdx: all, ringIdx: all}
+	for range s.tf.AvgWindows {
+		tp.avgIdx = append(tp.avgIdx, all)
+	}
+	for range s.tf.LagWindows {
+		tp.lagIdx = append(tp.lagIdx, all)
+	}
+	return tp
+}
+
+// buildBatchPlan runs the backward liveness pass over the fitted chain.
+// If any step lacks a columnar kernel (PCA and friends — the logged
+// TransformRow fallback), the plan degrades to all-live: that path
+// gathers full rows, so no column is provably dead.
+func buildBatchPlan(s *Streamer) *batchPlan {
+	plan := &batchPlan{
+		pre:  make([][]bool, len(s.pre)),
+		post: make([][]bool, len(s.post)),
+		tm:   s.fullTimePlan(),
+	}
+
+	// Forward width walk; bail to the all-live plan on any opaque step.
+	w := s.pipe.InCols
+	preIn := make([]int, len(s.pre))
+	postIn := make([]int, len(s.post))
+	opaque := false
+	for i, st := range s.pre {
+		preIn[i] = w
+		if w = rowStepOutWidth(st, w); w < 0 {
+			opaque = true
+			break
+		}
+	}
+	if !opaque && s.tf != nil {
+		w = s.baseCols * (1 + len(s.tf.AvgWindows) + len(s.tf.LagWindows))
+	}
+	if !opaque {
+		for i, st := range s.post {
+			postIn[i] = w
+			if w = rowStepOutWidth(st, w); w < 0 {
+				opaque = true
+				break
+			}
+		}
+	}
+	if opaque {
+		return plan
+	}
+
+	// Backward pass: start all-live at the engineered output, map each
+	// step's live outputs onto the inputs it actually reads.
+	live := make([]bool, w)
+	for i := range live {
+		live[i] = true
+	}
+	for i := len(s.post) - 1; i >= 0; i-- {
+		plan.post[i] = maskOrNil(live)
+		live = liveIn(s.post[i], live, postIn[i])
+	}
+	if s.tf != nil {
+		plan.tm, live = s.timePlanFrom(live)
+	}
+	for i := len(s.pre) - 1; i >= 0; i-- {
+		plan.pre[i] = maskOrNil(live)
+		live = liveIn(s.pre[i], live, preIn[i])
+	}
+	plan.rawLive = maskOrNil(live)
+	return plan
+}
+
+// liveIn maps a step's live-output mask onto its inputs.
+func liveIn(step RowStep, out []bool, inW int) []bool {
+	in := make([]bool, inW)
+	switch t := step.(type) {
+	case *Expand:
+		// Outputs: the In passthrough positions (log transforms replace
+		// in place), then one dummy block per CPU target.
+		copy(in, out[:t.In])
+		pos := t.In
+		for k, ti := range t.TargetIdx {
+			for range levelSpecs(t.TargetCPU[k]) {
+				if out[pos] {
+					in[ti] = true
+				}
+				pos++
+			}
+		}
+	case *StandardScale:
+		copy(in, out)
+	case *RFFilter:
+		for i, kidx := range t.Keep {
+			if out[i] && kidx < len(in) {
+				in[kidx] = true
+			}
+		}
+	case *DropZeroVariance:
+		for i, kidx := range t.Keep {
+			if out[i] && kidx < len(in) {
+				in[kidx] = true
+			}
+		}
+	case *Products:
+		copy(in, out[:t.InCols])
+		for pi, pr := range t.Pairs {
+			if out[t.InCols+pi] {
+				in[pr[0]] = true
+				in[pr[1]] = true
+			}
+		}
+	default:
+		for i := range in {
+			in[i] = true
+		}
+	}
+	return in
+}
+
+// timePlanFrom turns the time stage's live-output mask into window index
+// lists and the ring maintenance sets, and returns the live inputs: a
+// base column is live if the passthrough keeps it or any live window
+// reads one of its ring cells.
+func (s *Streamer) timePlanFrom(out []bool) (*timePlan, []bool) {
+	nc := s.baseCols
+	tp := &timePlan{}
+	prefNeed := make([]bool, nc)
+	ringNeed := make([]bool, nc)
+	pos := nc
+	for range s.tf.AvgWindows {
+		win := make([]int, 0, nc)
+		for c := 0; c < nc; c++ {
+			if out[pos] {
+				win = append(win, c)
+				prefNeed[c] = true
+			}
+			pos++
+		}
+		tp.avgIdx = append(tp.avgIdx, win)
+	}
+	for range s.tf.LagWindows {
+		win := make([]int, 0, nc)
+		for c := 0; c < nc; c++ {
+			if out[pos] {
+				win = append(win, c)
+				ringNeed[c] = true
+			}
+			pos++
+		}
+		tp.lagIdx = append(tp.lagIdx, win)
+	}
+	tp.prefIdx = idxOf(prefNeed)
+	tp.ringIdx = idxOf(ringNeed)
+
+	in := make([]bool, nc)
+	for c := 0; c < nc; c++ {
+		in[c] = out[c] || prefNeed[c] || ringNeed[c]
+	}
+	return tp, in
+}

@@ -1,0 +1,177 @@
+package features
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// liveTable builds a wide synthetic table (many raw metrics, a clear
+// signal in a handful of them) so an aggressive importance filter leaves
+// most expanded columns provably dead.
+func liveTable(runs, rowsPerRun, width int, seed int64) *Table {
+	r := rand.New(rand.NewSource(seed))
+	cols := []Column{{Name: "C-CPU-U", Domain: "cpu", Util: true}}
+	for i := 1; i < width; i++ {
+		c := Column{Name: fmt.Sprintf("metric.%02d", i), Domain: "other"}
+		if i%3 == 0 {
+			c.Log = true
+			c.Name = fmt.Sprintf("bytes.%02d", i)
+			c.Domain = "disk"
+		}
+		cols = append(cols, c)
+	}
+	t := &Table{Cols: cols}
+	for g := 0; g < runs; g++ {
+		run := Run{ID: g + 1}
+		for i := 0; i < rowsPerRun; i++ {
+			util := 100 * r.Float64()
+			lbl := 0
+			if util > 85 {
+				lbl = 1
+			}
+			row := make([]float64, width)
+			row[0] = util
+			for j := 1; j < width; j++ {
+				if j%4 == 0 {
+					row[j] = util * (1 + 0.1*r.NormFloat64()) // correlated
+				} else {
+					row[j] = 1e5 * r.Float64()
+				}
+			}
+			run.Rows = append(run.Rows, row)
+			run.Labels = append(run.Labels, lbl)
+		}
+		t.Runs = append(t.Runs, run)
+	}
+	return t
+}
+
+func countLive(mask []bool, width int) int {
+	if mask == nil {
+		return width
+	}
+	n := 0
+	for _, v := range mask {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// TestBatchPlanMasksDeadColumns holds the liveness pass to its point: on
+// a paper-layout pipeline whose importance filter keeps a small fraction
+// of the expanded columns, the plan must actually prune — raw transposes,
+// pre-filter kernel outputs and ring maintenance all narrower than the
+// unmasked widths. (Bit-identity under the plan is separately proven by
+// TestStepBatchMatchesSerialBitIdentical and FuzzStepBatchVsSerial.)
+func TestBatchPlanMasksDeadColumns(t *testing.T) {
+	train := liveTable(4, 120, 40, 17)
+	pipe, err := NewPipeline(Config{
+		Normalize:    true,
+		Reduce1:      ReduceFilter,
+		TimeFeatures: true,
+		Products:     true,
+		Reduce2:      ReduceFilter,
+		FilterTopK:   8,
+		FilterTrees:  10,
+		Seed:         5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pipe.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	str, err := pipe.Streamer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := str.plan
+	if plan == nil {
+		t.Fatal("streamer has no batch plan")
+	}
+	if plan.rawLive == nil {
+		t.Fatal("rawLive mask is nil: no raw column pruned despite FilterTopK 8 of 40 inputs")
+	}
+	rawLive := countLive(plan.rawLive, str.NumInputs())
+	if rawLive >= str.NumInputs() {
+		t.Fatalf("rawLive keeps all %d raw columns", rawLive)
+	}
+	t.Logf("raw: %d/%d live", rawLive, str.NumInputs())
+	masked := 0
+	for i, m := range plan.pre {
+		if m != nil {
+			masked++
+			t.Logf("pre[%d] %s: %d/%d live", i, s(str.pre[i]), countLive(m, len(m)), len(m))
+		}
+	}
+	if masked == 0 {
+		t.Fatal("no pre-time step mask engaged")
+	}
+	// Ring maintenance must be exactly the union of what the live window
+	// outputs read — no column maintained for nothing, none missing.
+	if str.tf != nil {
+		prefNeed := make([]bool, str.baseCols)
+		for _, win := range plan.tm.avgIdx {
+			for _, c := range win {
+				prefNeed[c] = true
+			}
+		}
+		ringNeed := make([]bool, str.baseCols)
+		for _, win := range plan.tm.lagIdx {
+			for _, c := range win {
+				ringNeed[c] = true
+			}
+		}
+		if got, want := plan.tm.prefIdx, idxOf(prefNeed); len(got) != len(want) {
+			t.Fatalf("prefIdx %v, want union of avg windows %v", got, want)
+		}
+		if got, want := plan.tm.ringIdx, idxOf(ringNeed); len(got) != len(want) {
+			t.Fatalf("ringIdx %v, want union of lag windows %v", got, want)
+		}
+		t.Logf("rings: %d/%d prefix, %d/%d base maintained",
+			len(plan.tm.prefIdx), str.baseCols, len(plan.tm.ringIdx), str.baseCols)
+	}
+}
+
+func s(st RowStep) string { return st.Name() }
+
+// TestBatchPlanOpaqueStepDisablesMasking: a step without a columnar
+// kernel (PCA) gathers full rows, so nothing upstream of the plan may be
+// pruned — the pass must degrade to the all-live plan.
+func TestBatchPlanOpaqueStepDisablesMasking(t *testing.T) {
+	train := liveTable(4, 120, 20, 19)
+	pipe, err := NewPipeline(Config{
+		Normalize:    true,
+		Reduce1:      ReducePCA,
+		TimeFeatures: true,
+		PCAMax:       4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pipe.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	str, err := pipe.Streamer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := str.plan
+	if plan.rawLive != nil {
+		t.Fatal("rawLive mask set despite an opaque (PCA) step in the chain")
+	}
+	for i, m := range plan.pre {
+		if m != nil {
+			t.Fatalf("pre[%d] mask set despite an opaque step", i)
+		}
+	}
+	if str.tf != nil {
+		if len(plan.tm.prefIdx) != str.baseCols || len(plan.tm.ringIdx) != str.baseCols {
+			t.Fatalf("opaque plan must maintain full rings: pref %d ring %d of %d",
+				len(plan.tm.prefIdx), len(plan.tm.ringIdx), str.baseCols)
+		}
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package features
+
+const raceEnabled = false

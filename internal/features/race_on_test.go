@@ -1,0 +1,8 @@
+//go:build race
+
+package features
+
+// raceEnabled reports that this test binary was built with -race, whose
+// instrumentation distorts allocation counts; allocation-budget tests
+// skip themselves under it.
+const raceEnabled = true

@@ -35,19 +35,24 @@ type levelSpec struct {
 	Test   func(v float64) bool
 }
 
-func levelSpecs(cpu bool) []levelSpec {
-	specs := []levelSpec{
+// The spec tables are shared package state — callers iterate, never
+// mutate — so the per-sample streaming paths stay allocation-free.
+var (
+	cpuLevelSpecs = []levelSpec{
 		{"LOW", func(v float64) bool { return v < 50 }},
 		{"MEDIUM", func(v float64) bool { return v >= 50 && v <= 80 }},
 		{"HIGH", func(v float64) bool { return v > 80 }},
+		{"VERYHIGH", func(v float64) bool { return v > 90 }},
+		{"EXTREME", func(v float64) bool { return v > 95 }},
 	}
+	memLevelSpecs = cpuLevelSpecs[:3]
+)
+
+func levelSpecs(cpu bool) []levelSpec {
 	if cpu {
-		specs = append(specs,
-			levelSpec{"VERYHIGH", func(v float64) bool { return v > 90 }},
-			levelSpec{"EXTREME", func(v float64) bool { return v > 95 }},
-		)
+		return cpuLevelSpecs
 	}
-	return specs
+	return memLevelSpecs
 }
 
 // Expand adds the hot-encoded CPU/MEM level bits for the four core

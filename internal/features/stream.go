@@ -2,6 +2,7 @@ package features
 
 import (
 	"fmt"
+	"sync/atomic"
 )
 
 // This file is the online half of the feature pipeline: an incremental
@@ -25,6 +26,13 @@ import (
 // That is what makes streaming-vs-batch equivalence bit-level rather than
 // approximate: a running windowed sum (add new, subtract evicted) would
 // drift from the batch prefix differences in the last ulps.
+//
+// Both rings are flat row-major slabs (ring row r starts at r×baseCols),
+// and the prefix ring carries one extra leading row that is permanently
+// zero — the implicit P[-1] — so a ring offset can always be computed
+// branchlessly. The same flat layout, at a per-slot stride, backs the
+// StateSlab form in batch.go, which is how the per-sample and batch step
+// paths share one arithmetic core.
 
 // RowStep is a fitted Step that can transform one row independently of its
 // run context. Every step except TimeFeatures implements it.
@@ -121,8 +129,10 @@ func (z *DropZeroVariance) TransformRow(row []float64) ([]float64, error) {
 }
 
 // Streamer evaluates a fitted pipeline incrementally, one raw sample at a
-// time. It is immutable and safe for concurrent use; all per-instance
-// mutable state lives in the StreamState values it mints.
+// time or one shard batch at a time (batch.go). It is immutable after
+// construction — safe for concurrent use; all per-instance mutable state
+// lives in the StreamState/StateSlab values it mints — except for the
+// fallback-row counter, which is atomic.
 type Streamer struct {
 	pipe      *Pipeline
 	pre, post []RowStep
@@ -130,6 +140,19 @@ type Streamer struct {
 	baseCols  int
 	maxAvg    int
 	maxLag    int
+
+	// fallback names the steps with no append-style row path: each sample
+	// through such a step costs a fresh TransformRow allocation. The set
+	// is fixed per fitted pipeline (= per model generation), so callers
+	// log it once at install time instead of discovering the hidden
+	// per-sample cost in a heap profile; fallbackRows counts the rows that
+	// actually took the slow path.
+	fallback     []string
+	fallbackRows atomic.Uint64
+
+	// plan is the static column-liveness plan the batch kernels run
+	// under (liveness.go); built once, immutable.
+	plan *batchPlan
 }
 
 // Streamer builds the incremental evaluator for a fitted pipeline.
@@ -153,6 +176,9 @@ func (p *Pipeline) Streamer() (*Streamer, error) {
 		if e, isExpand := st.(*Expand); isExpand && e.In == 0 {
 			return nil, fmt.Errorf("features: streamer: pipeline predates streaming support; re-fit and re-save the model")
 		}
+		if !hasAppendPath(rs) {
+			s.fallback = append(s.fallback, rs.Name())
+		}
 		if s.tf == nil {
 			s.pre = append(s.pre, rs)
 		} else {
@@ -172,28 +198,69 @@ func (p *Pipeline) Streamer() (*Streamer, error) {
 			}
 		}
 	}
+	s.plan = buildBatchPlan(s)
 	return s, nil
 }
+
+// hasAppendPath reports whether transformRowInto (and the batch kernels)
+// handle the step without falling back to the allocating TransformRow.
+// Must stay in sync with transformRowInto's switch.
+func hasAppendPath(step RowStep) bool {
+	switch step.(type) {
+	case *Expand, *StandardScale, *RFFilter, *DropZeroVariance, *Products:
+		return true
+	}
+	return false
+}
+
+// FallbackSteps names the fitted steps with no allocation-free row path
+// (e.g. PCA): every sample through them allocates a fresh TransformRow
+// result. Empty for the paper's selected layout. The set is a property of
+// the pipeline — log it once per model generation.
+func (s *Streamer) FallbackSteps() []string { return s.fallback }
+
+// FallbackRows counts the rows that went through an allocating
+// TransformRow fallback since the streamer was built.
+func (s *Streamer) FallbackRows() uint64 { return s.fallbackRows.Load() }
 
 // NumOutputs returns the engineered feature count, matching the batch
 // pipeline.
 func (s *Streamer) NumOutputs() int { return s.pipe.NumOutputs() }
 
+// NumInputs returns the raw-metric column count the pipeline was fitted
+// on.
+func (s *Streamer) NumInputs() int { return s.pipe.InCols }
+
+// CheckWidth validates a raw sample's width, returning exactly the error
+// StepInto would. Batch callers use it to validate before touching any
+// state.
+func (s *Streamer) CheckWidth(raw []float64) error {
+	if len(raw) != s.pipe.InCols {
+		return fmt.Errorf("features: stream: pipeline fitted on %d raw cols, got %d", s.pipe.InCols, len(raw))
+	}
+	return nil
+}
+
+// ring geometry: base ring rows and prefix ring rows (the prefix ring
+// carries one extra permanently-zero leading row standing in for P[-1]).
+func (s *Streamer) baseRows() int { return s.maxLag + 1 }
+func (s *Streamer) prefRows() int { return s.maxAvg + 2 }
+
 // StreamState is one instance's incremental feature state: the sample
-// count plus the two rings the time-feature expansion needs. Memory is
-// O(window × base columns) regardless of stream length.
+// count plus the two flat rings the time-feature expansion needs. Memory
+// is O(window × base columns) regardless of stream length.
 type StreamState struct {
 	n      int
-	base   [][]float64
-	prefix [][]float64
+	base   []float64 // baseRows × baseCols, row-major
+	prefix []float64 // (1 + prefRows) × baseCols; row 0 is the zero P[-1]
 }
 
 // NewState mints a fresh per-instance state.
 func (s *Streamer) NewState() *StreamState {
 	st := &StreamState{}
 	if s.tf != nil {
-		st.base = make([][]float64, s.maxLag+1)
-		st.prefix = make([][]float64, s.maxAvg+2)
+		st.base = make([]float64, s.baseRows()*s.baseCols)
+		st.prefix = make([]float64, (1+s.prefRows())*s.baseCols)
 	}
 	return st
 }
@@ -222,10 +289,27 @@ type StepScratch struct {
 // in the same order (so results stay bit-identical to the batch pipeline),
 // but intermediate and output rows live in sc instead of fresh slices. A
 // nil scratch behaves exactly like Step. Steps without an append-style
-// path (PCA) fall back to their allocating TransformRow.
+// path (PCA) fall back to their allocating TransformRow; the fallback is
+// counted on the streamer (FallbackRows) so the hidden per-sample cost is
+// observable.
 func (s *Streamer) StepInto(st *StreamState, raw []float64, sc *StepScratch) ([]float64, error) {
+	vec, absorbed, err := s.stepCore(st.n, st.base, st.prefix, raw, sc)
+	if absorbed {
+		st.n++
+	}
+	return vec, err
+}
+
+// stepCore runs the fitted chain for one raw sample against caller-owned
+// rings (a StreamState's, or one StateSlab slot's — both share this exact
+// code path, which is what makes the two forms bit-identical by
+// construction). j is the sample index the rings have absorbed so far.
+// absorbed reports that the time stage committed the sample into the
+// rings — the caller must advance its count even if a post step failed,
+// matching the historical StepInto semantics.
+func (s *Streamer) stepCore(j int, baseRing, prefRing, raw []float64, sc *StepScratch) (vec []float64, absorbed bool, err error) {
 	if len(raw) != s.pipe.InCols {
-		return nil, fmt.Errorf("features: stream: pipeline fitted on %d raw cols, got %d", s.pipe.InCols, len(raw))
+		return nil, false, fmt.Errorf("features: stream: pipeline fitted on %d raw cols, got %d", s.pipe.InCols, len(raw))
 	}
 	cur := raw
 	slot := 0
@@ -241,6 +325,9 @@ func (s *Streamer) StepInto(st *StreamState, raw []float64, sc *StepScratch) ([]
 			}
 		}
 		if !handled {
+			if sc != nil {
+				s.fallbackRows.Add(1)
+			}
 			next, err = step.TransformRow(cur)
 		}
 		if err != nil {
@@ -251,7 +338,7 @@ func (s *Streamer) StepInto(st *StreamState, raw []float64, sc *StepScratch) ([]
 	}
 	for _, step := range s.pre {
 		if err := apply(step); err != nil {
-			return nil, err
+			return nil, false, err
 		}
 	}
 	if s.tf != nil {
@@ -259,9 +346,9 @@ func (s *Streamer) StepInto(st *StreamState, raw []float64, sc *StepScratch) ([]
 		if sc != nil {
 			out = sc.bufs[slot][:0]
 		}
-		next, err := s.timeStep(st, cur, out)
+		next, err := s.timeStep(j, baseRing, prefRing, cur, out)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		if sc != nil {
 			sc.bufs[slot] = next
@@ -269,13 +356,13 @@ func (s *Streamer) StepInto(st *StreamState, raw []float64, sc *StepScratch) ([]
 		}
 		cur = next
 	}
-	st.n++
+	absorbed = true
 	for _, step := range s.post {
 		if err := apply(step); err != nil {
-			return nil, err
+			return nil, true, err
 		}
 	}
-	return cur, nil
+	return cur, true, nil
 }
 
 // transformRowInto is the allocation-free twin of RowStep.TransformRow:
@@ -349,36 +436,39 @@ func appendSelect(dst, row []float64, keep []int) ([]float64, error) {
 	return dst, nil
 }
 
-// timeStep appends the X-AVG/X-LAG variants for row index st.n onto out
-// (nil for a fresh slice), updating the rings. It mirrors
+// timeStep appends the X-AVG/X-LAG variants for sample index j onto out
+// (nil for a fresh slice), updating the flat rings. It mirrors
 // TimeFeatures.Transform exactly: averages divide a prefix-sum difference
 // by the clamped span, lags clamp to row 0. The rings own their row
 // storage — base is copied in, never retained — so callers may reuse the
-// slice behind base across steps.
-func (s *Streamer) timeStep(st *StreamState, base, out []float64) ([]float64, error) {
+// slice behind base across steps. prefRing row 0 is the permanent zero
+// P[-1] row; it is read when a window reaches back past the start and
+// never written (ring rows land at offsets ≥ baseCols).
+func (s *Streamer) timeStep(j int, baseRing, prefRing, base, out []float64) ([]float64, error) {
 	if len(base) != s.baseCols {
 		return nil, fmt.Errorf("features: stream time-features fitted on %d cols, got %d", s.baseCols, len(base))
 	}
-	j := st.n
+	cols := s.baseCols
+	pr := s.prefRows()
 	// P[j][c] = P[j-1][c] + base[c], accumulated in arrival order — the
 	// same additions, in the same order, as the batch prefix sums.
-	prev := zeroVec
+	prevOff := 0
 	if j > 0 {
-		prev = st.prefix[(j-1)%len(st.prefix)]
+		prevOff = (1 + (j-1)%pr) * cols
 	}
-	if len(prev) < s.baseCols {
-		prev = make([]float64, s.baseCols) // zeroVec too short for this schema
-	}
-	p := ringRow(st.prefix, j, s.baseCols)
-	for c := 0; c < s.baseCols; c++ {
+	pOff := (1 + j%pr) * cols
+	p := prefRing[pOff : pOff+cols]
+	prev := prefRing[prevOff : prevOff+cols]
+	for c := 0; c < cols; c++ {
 		p[c] = prev[c] + base[c]
 	}
-	copy(ringRow(st.base, j, s.baseCols), base)
+	bOff := (j % s.baseRows()) * cols
+	copy(baseRing[bOff:bOff+cols], base)
 
 	tf := s.tf
 	nr := out
 	if cap(nr) == 0 {
-		nr = make([]float64, 0, s.baseCols*(1+len(tf.AvgWindows)+len(tf.LagWindows)))
+		nr = make([]float64, 0, cols*(1+len(tf.AvgWindows)+len(tf.LagWindows)))
 	}
 	nr = append(nr, base...)
 	for _, w := range tf.AvgWindows {
@@ -387,14 +477,12 @@ func (s *Streamer) timeStep(st *StreamState, base, out []float64) ([]float64, er
 			lo = 0
 		}
 		span := float64(j - lo + 1)
-		plo := zeroVec
+		loOff := 0
 		if lo > 0 {
-			plo = st.prefix[(lo-1)%len(st.prefix)]
+			loOff = (1 + (lo-1)%pr) * cols
 		}
-		if len(plo) < s.baseCols {
-			plo = make([]float64, s.baseCols)
-		}
-		for c := 0; c < s.baseCols; c++ {
+		plo := prefRing[loOff : loOff+cols]
+		for c := 0; c < cols; c++ {
 			nr = append(nr, (p[c]-plo[c])/span)
 		}
 	}
@@ -403,23 +491,8 @@ func (s *Streamer) timeStep(st *StreamState, base, out []float64) ([]float64, er
 		if src < 0 {
 			src = 0
 		}
-		lagRow := st.base[src%len(st.base)]
-		nr = append(nr, lagRow[:s.baseCols]...)
+		lOff := (src % s.baseRows()) * cols
+		nr = append(nr, baseRing[lOff:lOff+cols]...)
 	}
 	return nr, nil
 }
-
-// ringRow returns ring slot j's row, (re)allocating it to cols once so
-// steady-state ring updates are copies into owned storage.
-func ringRow(ring [][]float64, j, cols int) []float64 {
-	i := j % len(ring)
-	if cap(ring[i]) < cols {
-		ring[i] = make([]float64, cols)
-	}
-	ring[i] = ring[i][:cols]
-	return ring[i]
-}
-
-// zeroVec stands in for the implicit P[-1] = 0 prefix; wide enough for any
-// realistic schema and reallocated on demand otherwise.
-var zeroVec = make([]float64, 4096)

@@ -111,8 +111,12 @@ func TestStreamerLongStreamBoundedStateMatchesBatch(t *testing.T) {
 			}
 		}
 	}
-	if len(st.base) >= 100 || len(st.prefix) >= 100 {
-		t.Fatalf("stream state is not bounded: %d base rows, %d prefixes", len(st.base), len(st.prefix))
+	// The flat rings must stay O(window × base cols), independent of the
+	// 400-sample stream length: base holds maxLag+1 rows and prefix
+	// 1+maxAvg+2 rows at baseCols floats each.
+	if bound := 64 * str.baseCols; len(st.base)+len(st.prefix) > bound {
+		t.Fatalf("stream state is not bounded: %d base + %d prefix floats, want <= %d",
+			len(st.base), len(st.prefix), bound)
 	}
 }
 

@@ -1,0 +1,370 @@
+package serving
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"monitorless/internal/core"
+	"monitorless/internal/features"
+	"monitorless/internal/ml/forest"
+	"monitorless/internal/ml/tree"
+	"monitorless/internal/pcp"
+)
+
+var (
+	histOnce  sync.Once
+	histModel *core.Model
+	histErr   error
+)
+
+// histTestModel trains (once per test binary) a histogram-splitter model
+// on the shared dataset. Hist-trained forests compile fully quantized, so
+// this is the model that exercises the fused ingest route (engineered
+// columns → uint8 code slab → tree walk); the shared exact-splitter model
+// always takes the float scratch-frame route.
+func histTestModel(tb testing.TB) *core.Model {
+	tb.Helper()
+	_, ds := sharedTestModel(tb)
+	histOnce.Do(func() {
+		histModel, histErr = core.Train(ds, core.TrainConfig{
+			Pipeline: features.Config{
+				Normalize:    true,
+				Reduce1:      features.ReduceFilter,
+				TimeFeatures: true,
+				Products:     true,
+				Reduce2:      features.ReduceFilter,
+				FilterTopK:   30,
+				FilterTrees:  20,
+				Seed:         7,
+			},
+			Forest: forest.Config{
+				NumTrees:       30,
+				MinSamplesLeaf: 10,
+				Criterion:      tree.Entropy,
+				Splitter:       tree.Hist,
+				Bins:           128,
+				Seed:           7,
+			},
+			Threshold: 0.4,
+		})
+	})
+	if histErr != nil {
+		tb.Fatalf("hist test model: %v", histErr)
+	}
+	return histModel
+}
+
+// TestFusedIngestShardWorkerInvariance is the fused-route equivalence
+// proof: a fully-quantized model served through the code-slab path must
+// produce bit-identical predictions to the float scratch-frame route
+// (DisableFusedIngest), at every shard count and forest worker count.
+// Shard count changes the batch boundaries (which rows share a code
+// slab); worker count changes how blocks fan out inside a walk. Neither
+// may move a single bit.
+func TestFusedIngestShardWorkerInvariance(t *testing.T) {
+	m := histTestModel(t)
+	_, ds := sharedTestModel(t)
+	q := m.Forest.Quant()
+	if q == nil || !m.Forest.QuantActive() || !q.FullyQuantized() {
+		t.Fatal("hist model is not fully quantized; fused-route test premise broken")
+	}
+	tab := features.FromDataset(ds.FilterRuns(1, 22, 23))
+
+	for _, par := range []int{1, 4, 0} {
+		t.Run(fmt.Sprintf("par%d", par), func(t *testing.T) {
+			q.SetParallelism(par)
+			defer q.SetParallelism(0)
+
+			ref, err := New(Config{Model: m, Shards: 4, DisableFusedIngest: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			shardCounts := []int{1, 4, 16}
+			fusedSvcs := make([]*Service, len(shardCounts))
+			for i, n := range shardCounts {
+				if fusedSvcs[i], err = New(Config{Model: m, Shards: n}); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			const ticks = 30
+			for j := 0; j < ticks; j++ {
+				obs := pcp.WireObservation{T: j}
+				for _, run := range tab.Runs {
+					if j < len(run.Rows) {
+						obs.Samples = append(obs.Samples, pcp.WireSample{
+							Instance: fmt.Sprintf("fused/run%d/0", run.ID),
+							Values:   run.Rows[j],
+						})
+					}
+				}
+				want, err := ref.Ingest(obs)
+				if err != nil {
+					t.Fatalf("float route tick %d: %v", j, err)
+				}
+				for i, svc := range fusedSvcs {
+					got, err := svc.Ingest(obs)
+					if err != nil {
+						t.Fatalf("fused shards=%d tick %d: %v", shardCounts[i], j, err)
+					}
+					for id, wp := range want.Predictions {
+						gp, ok := got.Predictions[id]
+						if !ok {
+							t.Fatalf("fused shards=%d tick %d: missing %s", shardCounts[i], j, id)
+						}
+						if gp.Prob != wp.Prob || gp.Saturated != wp.Saturated {
+							t.Fatalf("fused shards=%d tick %d %s: prob %v/%v != float route %v/%v (not bit-identical)",
+								shardCounts[i], j, id, gp.Prob, gp.Saturated, wp.Prob, wp.Saturated)
+						}
+					}
+					svc.PutResponse(got)
+				}
+				ref.PutResponse(want)
+			}
+		})
+	}
+}
+
+// checkAggConsistency recomputes per-app instance/saturation aggregates
+// from the Predictions snapshot and requires the incrementally maintained
+// shard aggregates (surfaced through Apps and Stats) to match exactly.
+func checkAggConsistency(t *testing.T, svc *Service) {
+	t.Helper()
+	preds := svc.Predictions()
+	wantInst := map[string]int{}
+	wantSat := map[string]bool{}
+	for _, p := range preds {
+		wantInst[p.App]++
+		wantSat[p.App] = wantSat[p.App] || p.Saturated
+	}
+	apps := svc.Apps()
+	if len(apps) < len(wantInst) {
+		t.Fatalf("Apps() has %d entries, predictions span %d apps", len(apps), len(wantInst))
+	}
+	for app, st := range apps {
+		if st.Instances != wantInst[app] {
+			t.Fatalf("app %q aggregate instances %d, predictions say %d", app, st.Instances, wantInst[app])
+		}
+		if st.Raw != wantSat[app] {
+			t.Fatalf("app %q aggregate raw OR %v, predictions say %v", app, st.Raw, wantSat[app])
+		}
+	}
+	if st := svc.Stats(); st.Instances != len(preds) {
+		t.Fatalf("Stats().Instances = %d, Predictions() has %d", st.Instances, len(preds))
+	}
+}
+
+// TestMidBatchRejectionConsistency pins the atomic-batch rejection
+// contract: a shard batch that fails validation mid-way (duplicate
+// instance, wrong vector width) must roll back every provisional
+// registration it made — no phantom zero-sample instances, no inflated
+// per-app aggregates, no leaked slots — and must not have absorbed any
+// sample of the failing batch into feature rings. The rolled-back slot
+// must be recycled by the next insertion.
+func TestMidBatchRejectionConsistency(t *testing.T) {
+	m, _ := sharedTestModel(t)
+	svc, err := New(Config{Model: m, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rawRows(t)
+	sh := &svc.shards[0]
+
+	ingest := func(t *testing.T, tick int, ids ...string) *IngestResponse {
+		t.Helper()
+		obs := pcp.WireObservation{T: tick}
+		for i, id := range ids {
+			obs.Samples = append(obs.Samples, pcp.WireSample{Instance: id, Values: rows[(tick+i)%len(rows)]})
+		}
+		resp, err := svc.Ingest(obs)
+		if err != nil {
+			t.Fatalf("tick %d: %v", tick, err)
+		}
+		return resp
+	}
+
+	resp := ingest(t, 0, "rej/a/0", "rej/a/1")
+	samples0 := resp.Predictions["rej/a/0"].Samples
+	svc.PutResponse(resp)
+	slotsBefore := len(sh.ids)
+
+	// Duplicate mid-batch: a0 is re-sent after the never-seen a2 was
+	// provisionally registered, so the rollback must unwind a2.
+	obs := pcp.WireObservation{T: 1, Samples: []pcp.WireSample{
+		{Instance: "rej/a/0", Values: rows[1]},
+		{Instance: "rej/a/2", Values: rows[2]},
+		{Instance: "rej/a/0", Values: rows[3]},
+	}}
+	if _, err := svc.Ingest(obs); err == nil || !strings.Contains(err.Error(), "duplicate sample") {
+		t.Fatalf("duplicate mid-batch: err = %v, want duplicate rejection", err)
+	}
+	if _, ok := svc.InstancePrediction("rej/a/2"); ok {
+		t.Fatal("rejected batch left phantom instance rej/a/2")
+	}
+	if st := svc.Stats(); st.Instances != 2 {
+		t.Fatalf("instances after rejected batch = %d, want 2", st.Instances)
+	}
+	if len(sh.free) != 1 {
+		t.Fatalf("rolled-back slot not on free list: %d free slots, want 1", len(sh.free))
+	}
+	freed := sh.free[0]
+	checkAggConsistency(t, svc)
+
+	// Width mismatch mid-batch: same rollback contract through the other
+	// validation error.
+	obs = pcp.WireObservation{T: 2, Samples: []pcp.WireSample{
+		{Instance: "rej/a/0", Values: rows[1]},
+		{Instance: "rej/a/3", Values: rows[2][:len(rows[2])-1]},
+	}}
+	if _, err := svc.Ingest(obs); err == nil || !strings.Contains(err.Error(), "raw cols") {
+		t.Fatalf("bad width mid-batch: err = %v, want width rejection", err)
+	}
+	if _, ok := svc.InstancePrediction("rej/a/3"); ok {
+		t.Fatal("rejected batch left phantom instance rej/a/3")
+	}
+	checkAggConsistency(t, svc)
+
+	// Rejected batches must not have stepped any feature ring: the next
+	// clean tick advances a0 by exactly one sample.
+	resp = ingest(t, 3, "rej/a/0", "rej/a/1")
+	if got := resp.Predictions["rej/a/0"].Samples; got != samples0+1 {
+		t.Fatalf("rej/a/0 samples = %d after 1 clean + 2 rejected ticks, want %d (rejected ticks absorbed state)", got, samples0+1)
+	}
+	svc.PutResponse(resp)
+
+	// The freed slot is recycled by the next new instance; the registry
+	// does not grow past the rejected batch's high-water mark.
+	resp = ingest(t, 4, "rej/a/4")
+	svc.PutResponse(resp)
+	if got, ok := sh.slotOf["rej/a/4"]; !ok || got != freed {
+		t.Fatalf("new instance got slot %d (ok=%v), want recycled slot %d", got, ok, freed)
+	}
+	if len(sh.ids) != slotsBefore+1 {
+		t.Fatalf("slot registry has %d slots, want %d (freed slot not reused)", len(sh.ids), slotsBefore+1)
+	}
+	checkAggConsistency(t, svc)
+}
+
+// scrapeGauge extracts one un-labeled series value from a registry dump.
+func scrapeGauge(t *testing.T, svc *Service, name string) float64 {
+	t.Helper()
+	var sb strings.Builder
+	if err := svc.Registry().WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if v, ok := strings.CutPrefix(line, name+" "); ok {
+			f, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+			if err != nil {
+				t.Fatalf("parse %s: %v", name, err)
+			}
+			return f
+		}
+	}
+	t.Fatalf("/metrics missing %s", name)
+	return 0
+}
+
+// TestInstanceStateBytesGauge pins the memory-visibility contract: the
+// instance-state gauge reports the summed allocated ring capacity of the
+// per-shard SoA slabs, grows with the tracked population, and matches the
+// slabs' own accounting exactly.
+func TestInstanceStateBytesGauge(t *testing.T) {
+	m, _ := sharedTestModel(t)
+	svc, err := New(Config{Model: m, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rawRows(t)
+
+	feed := func(tick, n int) {
+		obs := pcp.WireObservation{T: tick}
+		for i := 0; i < n; i++ {
+			obs.Samples = append(obs.Samples, pcp.WireSample{
+				Instance: fmt.Sprintf("bytes/b/%d", i),
+				Values:   rows[(tick+i)%len(rows)],
+			})
+		}
+		resp, err := svc.IngestQuiet(obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc.PutResponse(resp)
+	}
+
+	feed(0, 8)
+	small := scrapeGauge(t, svc, "monitorless_instance_state_bytes")
+	if small <= 0 {
+		t.Fatalf("instance_state_bytes = %v after ingest, want > 0", small)
+	}
+	feed(1, 256)
+	large := scrapeGauge(t, svc, "monitorless_instance_state_bytes")
+	if large <= small {
+		t.Fatalf("instance_state_bytes did not grow with the fleet: %v → %v", small, large)
+	}
+	var want float64
+	for si := range svc.shards {
+		want += float64(svc.shards[si].bytes.Load())
+	}
+	if large != want {
+		t.Fatalf("gauge %v != summed slab accounting %v", large, want)
+	}
+	perInst := large / 256
+	if perInst <= 0 {
+		t.Fatalf("bytes/instance = %v, want > 0", perInst)
+	}
+}
+
+// TestIngestFallbackCounter pins the fallback observability satellite: the
+// shared model's pipeline streams every step through a batch kernel, so
+// the fallback-rows counter must stay zero, while a PCA pipeline (no
+// streaming append path) must count every sample it engineers.
+func TestIngestFallbackCounter(t *testing.T) {
+	m, _ := sharedTestModel(t)
+	svc, err := New(Config{Model: m, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rawRows(t)
+	obs := pcp.WireObservation{T: 0}
+	for i := 0; i < 8; i++ {
+		obs.Samples = append(obs.Samples, pcp.WireSample{
+			Instance: fmt.Sprintf("fb/f/%d", i), Values: rows[i%len(rows)],
+		})
+	}
+	resp, err := svc.IngestQuiet(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.PutResponse(resp)
+	if got := scrapeGauge(t, svc, "monitorless_stream_fallback_rows_total"); got != 0 {
+		t.Fatalf("fallback rows = %v on a fully-kernelized pipeline, want 0", got)
+	}
+
+	_, ds := sharedTestModel(t)
+	pm, err := core.Train(ds, core.TrainConfig{
+		Pipeline: features.Config{Normalize: true, Reduce1: features.ReducePCA, PCAVariance: 0.95, Seed: 7},
+		Forest:   forest.Config{NumTrees: 10, MinSamplesLeaf: 10, Criterion: tree.Entropy, Seed: 7},
+	})
+	if err != nil {
+		t.Fatalf("pca train: %v", err)
+	}
+	psvc, err := New(Config{Model: pm, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps := psvc.active.Load().streamer.FallbackSteps(); len(steps) == 0 {
+		t.Fatal("PCA pipeline reports no fallback steps; test premise broken")
+	}
+	resp, err = psvc.IngestQuiet(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psvc.PutResponse(resp)
+	if got := scrapeGauge(t, psvc, "monitorless_stream_fallback_rows_total"); got != 8 {
+		t.Fatalf("fallback rows = %v after 8 PCA samples, want 8", got)
+	}
+}

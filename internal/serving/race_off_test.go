@@ -1,0 +1,7 @@
+//go:build !race
+
+package serving
+
+// raceEnabled reports that the race detector is active; allocation-count
+// tests skip under it (instrumentation allocates).
+const raceEnabled = false

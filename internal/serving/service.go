@@ -23,6 +23,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"log"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -67,6 +68,12 @@ type Config struct {
 	// BundleVersion records the bundle format version the model came from
 	// (0 when the model was constructed in-process rather than loaded).
 	BundleVersion int
+	// DisableFusedIngest forces the ingest predict phase through the float
+	// scratch-frame route even when the active forest is fully quantized.
+	// The fused route (engineered columns → uint8 code slab → tree walk)
+	// is bit-identical; this switch exists for A/B measurement and as an
+	// operational escape hatch.
+	DisableFusedIngest bool
 }
 
 // Prediction is one instance's latest inference.
@@ -193,15 +200,6 @@ type LabelSink interface {
 // labelSinkBox wraps the interface so it fits an atomic.Pointer.
 type labelSinkBox struct{ sink LabelSink }
 
-// instanceState is one instance's streaming feature state plus its
-// latest prediction. gen stamps the last observation that touched the
-// instance (per-shard duplicate detection without a scratch set).
-type instanceState struct {
-	st   *features.StreamState
-	pred Prediction
-	gen  uint64
-}
-
 // shardApp is one application's aggregate within a single shard: how many
 // tracked instances name the app, and how many of those are currently
 // predicted saturated. App-level status merges these counts across
@@ -214,28 +212,89 @@ type shardApp struct {
 // pendSample carries one routed sample between the feature phase and the
 // prediction phase of a shard batch.
 type pendSample struct {
-	inst  *instanceState
+	slot  int32
 	id    string
 	app   string
 	svc   string
 	isNew bool
 }
 
-// shard is one lock domain of per-instance state. The scratch frame and
-// probs slab are reused across ticks, so a steady-state shard batch
-// allocates nothing beyond the streamer's per-sample vectors.
+// shard is one lock domain of per-instance state, struct-of-arrays:
+// slotOf maps an instance ID to a dense slot, and the per-slot arrays
+// (ids/gens/preds) plus the features.StateSlab rings are indexed by it.
+// Freed slots recycle LIFO through free, so a shard's arrays stay as
+// dense as its live population. All batch scratch (column scratch, code
+// slab, probs, pend) is reused across ticks: a steady-state shard batch
+// allocates nothing.
 type shard struct {
-	mu        sync.Mutex
-	instances map[string]*instanceState
-	apps      map[string]*shardApp
-	scratch   *frame.Scratch
-	step      features.StepScratch
-	probs     []float64
-	pend      []pendSample
-	gen       uint64
+	mu     sync.Mutex
+	slotOf map[string]int32
+	ids    []string     // slot -> instance ID ("" when free)
+	gens   []uint64     // slot -> last observation gen (duplicate detection)
+	preds  []Prediction // slot -> latest prediction
+	free   []int32      // LIFO recycled slots
+	states *features.StateSlab
+	apps   map[string]*shardApp
+
+	batch   features.BatchScratch
+	scratch *frame.Scratch
+	slots   []int32
+	raws    [][]float64
+	codes   []uint8
+	vec     []float64
+	probs   []float64
+	pend    []pendSample
+	gen     uint64
+	// bytes mirrors states.Bytes() so the instance-state gauge reads it
+	// without taking the shard lock.
+	bytes atomic.Int64
 	// drift accumulates per-app raw-feature statistics under the shard
 	// lock; HarvestDrift drains it into the service-level monitor.
 	drift *lifecycle.Cell
+}
+
+// allocSlot takes a slot for a new instance: LIFO reuse when available
+// (ResetSlot makes the recycled rings indistinguishable from fresh ones),
+// append-growth otherwise. Callers hold the shard lock and fill ids/
+// slotOf themselves.
+func (sh *shard) allocSlot() int32 {
+	if n := len(sh.free); n > 0 {
+		slot := sh.free[n-1]
+		sh.free = sh.free[:n-1]
+		sh.states.ResetSlot(slot)
+		sh.gens[slot] = 0
+		sh.preds[slot] = Prediction{}
+		return slot
+	}
+	slot := int32(len(sh.ids))
+	sh.ids = append(sh.ids, "")
+	sh.gens = append(sh.gens, 0)
+	sh.preds = append(sh.preds, Prediction{})
+	sh.states.EnsureSlots(len(sh.ids))
+	return slot
+}
+
+// freeSlot releases a slot back to the free list. Callers hold the shard
+// lock and have already removed the slotOf entry.
+func (sh *shard) freeSlot(slot int32) {
+	sh.ids[slot] = ""
+	sh.gens[slot] = 0
+	sh.preds[slot] = Prediction{}
+	sh.free = append(sh.free, slot)
+}
+
+// remintLocked resets the shard for a new streamer geometry: registry,
+// per-app aggregates and state slab all restart empty (capacity kept
+// where the geometry allows). Callers hold the shard lock.
+func (sh *shard) remintLocked(str *features.Streamer) {
+	clear(sh.slotOf)
+	sh.ids = sh.ids[:0]
+	sh.gens = sh.gens[:0]
+	sh.preds = sh.preds[:0]
+	sh.free = sh.free[:0]
+	clear(sh.apps)
+	sh.states = features.NewStateSlab(str)
+	sh.bytes.Store(sh.states.Bytes())
 }
 
 // paddedInt is a cache-line-padded atomic instance counter (one per
@@ -284,6 +343,10 @@ type Service struct {
 	swapMu  sync.Mutex
 	history []SwapEvent
 	nSwaps  atomic.Uint64
+
+	// fallbackBase accumulates retired streamers' fallback-row counts so
+	// the exported counter stays monotonic across cold swaps.
+	fallbackBase atomic.Uint64
 
 	// drift is nil when the model has no fingerprint or DriftWindow < 0.
 	drift *lifecycle.Monitor
@@ -353,14 +416,14 @@ func New(cfg Config) (*Service, error) {
 	n := shardCount(cfg.Shards)
 	reg := NewRegistry()
 	s := &Service{
-		schemaHash: cfg.Model.RawSchema.Hash(),
-		engNames:   cfg.Model.Pipeline.OutputNames(),
-		cfg:        cfg,
-		shards:     make([]shard, n),
-		mask:       uint64(n - 1),
-		nInst:      make([]paddedInt, n),
-		apps:       make(map[string]*appEntry),
-		reg:        reg,
+		schemaHash:    cfg.Model.RawSchema.Hash(),
+		engNames:      cfg.Model.Pipeline.OutputNames(),
+		cfg:           cfg,
+		shards:        make([]shard, n),
+		mask:          uint64(n - 1),
+		nInst:         make([]paddedInt, n),
+		apps:          make(map[string]*appEntry),
+		reg:           reg,
 		cSamples:      NewShardedCounter(n),
 		hPredict:      NewShardedHistogram(n, nil),
 		hPredictStage: NewShardedHistogram(n, predictStageBuckets),
@@ -389,11 +452,13 @@ func New(cfg Config) (*Service, error) {
 	}
 	engineered := cfg.Model.EngineeredSchema()
 	for i := range s.shards {
-		s.shards[i].instances = make(map[string]*instanceState)
+		s.shards[i].slotOf = make(map[string]int32)
 		s.shards[i].apps = make(map[string]*shardApp)
 		s.shards[i].scratch = frame.NewScratch(engineered, 0)
+		s.shards[i].states = features.NewStateSlab(streamer)
 		s.shards[i].drift = lifecycle.NewCell()
 	}
+	logFallbackSteps(streamer, 1)
 	reg.CounterFunc("monitorless_ingest_samples_total",
 		"Per-instance metric vectors folded into streaming feature state.", nil, s.cSamples.Value)
 	reg.HistogramSource("monitorless_predict_seconds",
@@ -407,6 +472,19 @@ func New(cfg Config) (*Service, error) {
 				t += s.nInst[i].v.Load()
 			}
 			return float64(t)
+		})
+	reg.GaugeFunc("monitorless_instance_state_bytes",
+		"Allocated bytes of the per-shard SoA instance stream-state slabs (ring storage capacity, summed over shards).", nil, func() float64 {
+			var t int64
+			for i := range s.shards {
+				t += s.shards[i].bytes.Load()
+			}
+			return float64(t)
+		})
+	reg.CounterFunc("monitorless_stream_fallback_rows_total",
+		"Samples engineered through an allocating per-row fallback because a pipeline step has no streaming append path (e.g. PCA).", nil, func() float64 {
+			mv := s.active.Load()
+			return float64(s.fallbackBase.Load() + mv.streamer.FallbackRows())
 		})
 	reg.GaugeFunc("monitorless_model_generation",
 		"Active model generation (1 at startup, +1 per hot swap).", nil, func() float64 {
@@ -427,6 +505,16 @@ func New(cfg Config) (*Service, error) {
 			})
 	}
 	return s, nil
+}
+
+// logFallbackSteps announces — once per model generation, at install
+// time — any pipeline steps whose samples will pay an allocating row
+// transform, so the cost is visible in logs instead of only in heap
+// profiles.
+func logFallbackSteps(str *features.Streamer, gen uint64) {
+	if steps := str.FallbackSteps(); len(steps) > 0 {
+		log.Printf("serving: model gen %d: pipeline steps %v have no streaming append path; every sample through them allocates (see monitorless_stream_fallback_rows_total)", gen, steps)
+	}
 }
 
 // Registry exposes the service's metrics registry so an HTTP layer can
@@ -595,8 +683,14 @@ func (s *Service) ingest(w pcp.WireObservation, quiet bool) (*IngestResponse, er
 }
 
 // ingestShard processes one shard's slice of the observation under the
-// shard lock: streaming feature steps into the scratch frame, one batch
-// tree-outer forest walk, then prediction and per-app aggregate updates.
+// shard lock, in phases: (A) validate every sample and register new
+// instances into the slot registry — provisionally, so a failure anywhere
+// in the batch rolls the registrations back without leaving phantom
+// instances or skewed per-app aggregates; (B) one columnar batch feature
+// step over the whole shard batch (bit-identical to per-sample stepping);
+// (C) one batch forest walk — fused through the quantized code slab when
+// the active forest qualifies, via the float scratch frame otherwise;
+// (D) prediction and per-app aggregate updates.
 func (s *Service) ingestShard(si int, w *pcp.WireObservation, idxs []int32, resp *IngestResponse, quiet bool, touched map[string]struct{}) error {
 	// The active model is loaded exactly once per shard batch: a swap
 	// landing mid-batch does not mix generations within the batch, and
@@ -606,26 +700,57 @@ func (s *Service) ingestShard(si int, w *pcp.WireObservation, idxs []int32, resp
 	sh := &s.shards[si]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	// The state slab is minted for one streamer geometry. A cold swap
+	// nils it (resetInstances); a batch that loaded the new model before
+	// the reset landed re-mints here, so the slab's geometry and the
+	// streamer stepping it can never diverge (warm swaps reuse the
+	// streamer pointer, making pointer identity exactly the warm/cold
+	// discriminator).
+	if sh.states == nil || sh.states.Streamer() != mv.streamer {
+		sh.remintLocked(mv.streamer)
+		s.nInst[si].v.Store(0)
+	}
 	sh.gen++
 	start := time.Now()
 
 	n := len(idxs)
-	fr := sh.scratch.Frame(n)
 	sh.pend = sh.pend[:0]
-	for k, i := range idxs {
+	sh.slots = sh.slots[:0]
+	sh.raws = sh.raws[:0]
+	// rollback undoes this batch's provisional registrations: a rejected
+	// observation must not leave phantom zero-sample instances, inflated
+	// per-app aggregates, or leaked slots behind. Pre-existing instances
+	// need no undo — phase A mutates nothing about them except the
+	// duplicate stamp, which the next batch's gen bump retires.
+	rollback := func() {
+		for k := range sh.pend {
+			p := &sh.pend[k]
+			if !p.isNew {
+				continue
+			}
+			delete(sh.slotOf, p.id)
+			if agg := sh.apps[p.app]; agg != nil {
+				agg.instances--
+				if agg.instances == 0 {
+					delete(sh.apps, p.app)
+				}
+			}
+			sh.freeSlot(p.slot)
+			s.nInst[si].v.Add(-1)
+		}
+	}
+	for _, i := range idxs {
 		smp := &w.Samples[i]
-		inst, known := sh.instances[smp.Instance]
-		if known && inst.gen == sh.gen {
+		slot, known := sh.slotOf[smp.Instance]
+		if known && sh.gens[slot] == sh.gen {
+			rollback()
 			return fmt.Errorf("serving: duplicate sample for %q", smp.Instance)
 		}
-		if !known {
-			inst = &instanceState{st: mv.streamer.NewState()}
-		}
-		fvec, err := mv.streamer.StepInto(inst.st, smp.Values, &sh.step)
-		if err != nil {
+		if err := mv.streamer.CheckWidth(smp.Values); err != nil {
 			// A rejected sample must not leave a phantom zero-sample
 			// instance behind (it would surface in /predict and inflate
 			// the instance gauge).
+			rollback()
 			return fmt.Errorf("serving: ingest %s: %w", smp.Instance, err)
 		}
 		app := smp.App
@@ -635,51 +760,90 @@ func (s *Service) ingestShard(si int, w *pcp.WireObservation, idxs []int32, resp
 		if s.drift != nil && mv.fp != nil {
 			sh.drift.Observe(mv.fp, app, smp.Values)
 		}
-		if sink != nil && smp.Label != nil {
-			// The sink copies fvec before returning (it aliases sh.step).
-			sink.sink.Add(fvec, *smp.Label)
-		}
 		if !known {
-			// Insert with a provisional prediction naming the app, so the
-			// per-app aggregates stay consistent even if a later sample of
-			// this batch fails before the prediction phase.
-			inst.pred = Prediction{T: w.T, Samples: inst.st.Samples(), App: app, Service: smp.Service, ModelGen: mv.gen}
-			sh.instances[smp.Instance] = inst
+			// Register with a provisional prediction naming the app, so
+			// the per-app aggregates stay consistent between phases.
+			slot = sh.allocSlot()
+			sh.ids[slot] = smp.Instance
+			sh.slotOf[smp.Instance] = slot
+			sh.preds[slot] = Prediction{T: w.T, App: app, Service: smp.Service, ModelGen: mv.gen}
 			sh.appAgg(app).instances++
 			s.nInst[si].v.Add(1)
 		}
-		inst.gen = sh.gen
-		sh.scratch.SetRow(k, fvec)
-		sh.pend = append(sh.pend, pendSample{inst: inst, id: smp.Instance, app: app, svc: smp.Service, isNew: !known})
+		sh.gens[slot] = sh.gen
+		sh.slots = append(sh.slots, slot)
+		sh.raws = append(sh.raws, smp.Values)
+		sh.pend = append(sh.pend, pendSample{slot: slot, id: smp.Instance, app: app, svc: smp.Service, isNew: !known})
 	}
 
-	// One batch walk per shard batch: each tree's flattened slab visits
-	// every row before the next tree — bit-identical to per-row
+	// Phase B: one columnar feature step for the whole shard batch. Widths
+	// were validated above and serving-level duplicate detection keeps
+	// slots unique within the batch, so an error here means a pipeline
+	// inconsistency — roll the registrations back and reject.
+	if err := mv.streamer.StepBatchInto(sh.states, sh.slots, sh.raws, &sh.batch); err != nil {
+		rollback()
+		return fmt.Errorf("serving: ingest batch step: %w", err)
+	}
+	if sink != nil {
+		for k, i := range idxs {
+			if lbl := w.Samples[i].Label; lbl != nil {
+				// The sink copies the row before returning (it aliases
+				// per-shard scratch).
+				sh.vec = sh.batch.Row(k, sh.vec[:0])
+				sink.sink.Add(sh.vec, *lbl)
+			}
+		}
+	}
+
+	// Phase C: one batch walk per shard batch — bit-identical to per-row
 	// PredictVector, much cheaper than re-paging the ensemble per sample.
+	// When the active forest is fully quantized, the engineered columns
+	// quantize straight into the code slab and the walk reads codes —
+	// no float frame is materialized (same codes, same walk kernels, same
+	// accumulation order as the frame route, so still bit-identical).
 	// Timed separately from the surrounding ingest work so /metrics can
 	// attribute the forest's share of the pipeline (predict_stage vs the
 	// whole-batch predict histogram below).
 	predictStart := time.Now()
-	sh.probs = mv.model.PredictProbaRowsInto(fr, sh.probs)
+	fused := false
+	if q := mv.model.Forest.Quant(); q != nil && mv.model.Forest.QuantActive() &&
+		q.FullyQuantized() && !s.cfg.DisableFusedIngest {
+		var err error
+		if sh.codes, err = q.QuantizeBatch(sh.batch.Cols(), n, sh.codes); err == nil {
+			if cap(sh.probs) < n {
+				sh.probs = make([]float64, n)
+			}
+			sh.probs = sh.probs[:n]
+			fused = q.PredictProbaCodes(sh.codes, sh.probs) == nil
+		}
+	}
+	if !fused {
+		fr := sh.scratch.Frame(n)
+		for j, col := range sh.batch.Cols() {
+			copy(fr.Col(j), col[:n])
+		}
+		sh.probs = mv.model.PredictProbaRowsInto(fr, sh.probs)
+	}
 	s.hPredictStage.Shard(si).ObserveN(time.Since(predictStart).Seconds()/float64(n), uint64(n))
 
 	for k := range sh.pend {
 		p := &sh.pend[k]
 		prob := sh.probs[k]
 		sat := prob >= mv.threshold
-		old := p.inst.pred
-		p.inst.pred = Prediction{
+		old := sh.preds[p.slot]
+		sh.preds[p.slot] = Prediction{
 			Prob: prob, Saturated: sat, T: w.T,
-			Samples: p.inst.st.Samples(),
+			Samples: sh.states.Samples(p.slot),
 			App:     p.app, Service: p.svc,
 			ModelGen: mv.gen,
 		}
 		sh.updateAgg(p, old, sat)
 		if !quiet {
-			resp.Predictions[p.id] = p.inst.pred
+			resp.Predictions[p.id] = sh.preds[p.slot]
 		}
 		touched[p.app] = struct{}{}
 	}
+	sh.bytes.Store(sh.states.Bytes())
 
 	elapsed := time.Since(start).Seconds()
 	s.hPredict.Shard(si).ObserveN(elapsed/float64(n), uint64(n))
@@ -753,28 +917,30 @@ func (s *Service) appStatus(app string) AppStatus {
 	return st
 }
 
-// Forget drops an instance's streaming state and prediction (scale-in).
-// It reports whether the instance was known.
+// Forget drops an instance's streaming state and prediction (scale-in),
+// recycling its slot. It reports whether the instance was known.
 func (s *Service) Forget(id string) bool {
 	si := shardIndex(id, s.mask)
 	sh := &s.shards[si]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	inst, ok := sh.instances[id]
+	slot, ok := sh.slotOf[id]
 	if !ok {
 		return false
 	}
-	delete(sh.instances, id)
+	delete(sh.slotOf, id)
 	s.nInst[si].v.Add(-1)
-	if agg := sh.apps[inst.pred.App]; agg != nil {
+	pred := sh.preds[slot]
+	if agg := sh.apps[pred.App]; agg != nil {
 		agg.instances--
-		if inst.pred.Saturated {
+		if pred.Saturated {
 			agg.saturated--
 		}
 		if agg.instances == 0 {
-			delete(sh.apps, inst.pred.App)
+			delete(sh.apps, pred.App)
 		}
 	}
+	sh.freeSlot(slot)
 	return true
 }
 
@@ -783,11 +949,11 @@ func (s *Service) InstancePrediction(id string) (Prediction, bool) {
 	sh := &s.shards[shardIndex(id, s.mask)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	inst, ok := sh.instances[id]
+	slot, ok := sh.slotOf[id]
 	if !ok {
 		return Prediction{}, false
 	}
-	return inst.pred, true
+	return sh.preds[slot], true
 }
 
 // Predictions snapshots every tracked instance's latest prediction.
@@ -796,8 +962,8 @@ func (s *Service) Predictions() map[string]Prediction {
 	for si := range s.shards {
 		sh := &s.shards[si]
 		sh.mu.Lock()
-		for id, inst := range sh.instances {
-			out[id] = inst.pred
+		for id, slot := range sh.slotOf {
+			out[id] = sh.preds[slot]
 		}
 		sh.mu.Unlock()
 	}
@@ -821,13 +987,14 @@ func (s *Service) Apps() map[string]AppStatus {
 	for si := range s.shards {
 		sh := &s.shards[si]
 		sh.mu.Lock()
-		for id, inst := range sh.instances {
-			if !inst.pred.Saturated {
+		for id, slot := range sh.slotOf {
+			pred := &sh.preds[slot]
+			if !pred.Saturated {
 				continue
 			}
-			if st, ok := out[inst.pred.App]; ok {
+			if st, ok := out[pred.App]; ok {
 				st.SaturatedInstances = append(st.SaturatedInstances, id)
-				out[inst.pred.App] = st
+				out[pred.App] = st
 			}
 		}
 		sh.mu.Unlock()
@@ -938,6 +1105,11 @@ func (s *Service) Swap(m *core.Model, bundleVersion int, reason string) (SwapEve
 	}
 	s.active.Store(nv)
 	if !warm {
+		// The outgoing streamer retires with the cold swap: fold its
+		// fallback-row count into the base so the exported counter stays
+		// monotonic, and announce the new generation's fallback steps.
+		s.fallbackBase.Add(cur.streamer.FallbackRows())
+		logFallbackSteps(nv.streamer, nv.gen)
 		s.resetInstances()
 	}
 	if s.drift != nil && nv.fp != cur.fp && nv.fp != nil {
@@ -973,13 +1145,22 @@ func (s *Service) SwapHistory() []SwapEvent {
 
 // resetInstances drops all per-instance streaming state and per-shard
 // app aggregates (a cold swap: the new pipeline cannot continue old
-// rings). App debouncers survive — their k-of-n windows refill from the
-// new model's decisions on subsequent ticks.
+// rings). The state slab is nil'd rather than re-minted here — the next
+// shard batch mints it from the model generation it actually loads, so a
+// batch in flight on the old generation can never step a slab of the
+// wrong geometry. App debouncers survive — their k-of-n windows refill
+// from the new model's decisions on subsequent ticks.
 func (s *Service) resetInstances() {
 	for si := range s.shards {
 		sh := &s.shards[si]
 		sh.mu.Lock()
-		clear(sh.instances)
+		clear(sh.slotOf)
+		sh.ids = sh.ids[:0]
+		sh.gens = sh.gens[:0]
+		sh.preds = sh.preds[:0]
+		sh.free = sh.free[:0]
+		sh.states = nil
+		sh.bytes.Store(0)
 		clear(sh.apps)
 		s.nInst[si].v.Store(0)
 		sh.mu.Unlock()

@@ -288,16 +288,25 @@ func TestScrapeDuringIngestRace(t *testing.T) {
 }
 
 // TestIngestAllocations bounds the steady-state quiet-ingest allocation
-// rate. The response pool, route scratch, per-shard scratch frames and
-// probability slabs must all be reused — the only per-sample allocations
-// left are the streamer's internal feature-step buffers. The bound is
-// deliberately generous versus the measured rate but far below what a
-// fresh-maps-per-request implementation costs.
+// rate. The response pool, route scratch, per-shard batch scratch, code
+// slabs and probability slabs must all be reused, and the columnar
+// feature step must run entirely inside the pooled arena — a steady-state
+// quiet batch over a fully-kernelized pipeline allocates nothing. The
+// test also pins that the pipeline really is fully kernelized: a silent
+// per-row TransformRow fallback (the old PCA failure mode) would show up
+// both here as allocations and in the fallback-row counter.
 func TestIngestAllocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are distorted under the race detector")
+	}
 	m, _ := sharedTestModel(t)
 	svc, err := New(Config{Model: m, Shards: 4})
 	if err != nil {
 		t.Fatal(err)
+	}
+	str := svc.active.Load().streamer
+	if steps := str.FallbackSteps(); len(steps) > 0 {
+		t.Fatalf("shared pipeline has fallback steps %v; the zero-alloc lane needs full batch kernels", steps)
 	}
 	rows := rawRows(t)
 	const batch = 32
@@ -308,7 +317,7 @@ func TestIngestAllocations(t *testing.T) {
 			Values:   rows[i%len(rows)],
 		})
 	}
-	// Warm: instances inserted, pools populated, scratch frames grown.
+	// Warm: instances inserted, pools populated, arenas and slabs grown.
 	for w := 0; w < 3; w++ {
 		resp, err := svc.IngestQuiet(obs)
 		if err != nil {
@@ -323,9 +332,11 @@ func TestIngestAllocations(t *testing.T) {
 		}
 		svc.PutResponse(resp)
 	})
-	perSample := allocs / batch
-	if perSample > 20 {
-		t.Fatalf("steady-state quiet ingest allocates %.1f/sample (%v/batch), want ≤ 20/sample", perSample, allocs)
+	if perSample := allocs / batch; perSample > 2 {
+		t.Fatalf("steady-state quiet ingest allocates %.2f/sample (%v/batch), want ≤ 2/sample", perSample, allocs)
+	}
+	if got := str.FallbackRows(); got != 0 {
+		t.Fatalf("fallback rows = %d after kernelized ingest, want 0", got)
 	}
 }
 

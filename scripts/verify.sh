@@ -51,6 +51,18 @@
 # — the ratio gate is invariant to the host's absolute speed drifting
 # between runs; the tiny 32-row shard micro-benchmark is reported but
 # skipped from the gate as known-noisy.
+# The columnar-ingest lanes added with the vectorized ingest plane: the
+# equivalence lane re-runs the batch-vs-serial bit-identity suite (the
+# liveness-plan masking must never change an output bit), a short
+# FuzzStepBatchVsSerial run, the worker/shard-count invariance of the
+# fused feature→bin-code route, the mid-batch rejection consistency
+# test, and the step-batch/ingest allocation budgets; the ingestbench
+# lane runs scripts/ingestbench fresh, gates the columnar batch feature
+# step at >=1.5x over per-sample StepInto+SetRow, then diffs against the
+# committed BENCH_ingest.json with scripts/benchdiff normalized by the
+# serial feature stage (-ratio-of), failing any >15% relative regression;
+# the two ~500ns/row predict micro-stages are reported but skipped from
+# the gate as known-noisy (the predict plane has its own predbench gate).
 #
 # Usage: scripts/verify.sh [-short]
 set -euo pipefail
@@ -127,6 +139,21 @@ go test -count=1 -run TestTable2QuantBitIdentity $short ./internal/experiments/
 
 echo "==> go test -run TestForestBatchPredictAllocations -count=1 ./internal/ml/forest/ (batch-predict allocation lane)"
 go test -run TestForestBatchPredictAllocations -count=1 -v ./internal/ml/forest/
+
+echo "==> columnar ingest equivalence lane (batch-vs-serial bit-identity, fused invariance, mid-batch rejection)"
+go test -count=1 -run 'TestStepBatch|TestStateSlab|TestBatchPlan|TestStreamerMatchesBatch' ./internal/features/
+go test -count=1 -run 'TestFusedIngestShardWorkerInvariance|TestMidBatchRejectionConsistency|TestInstanceStateBytesGauge|TestIngestFallbackCounter' ./internal/serving/
+
+echo "==> go test -fuzz FuzzStepBatchVsSerial -fuzztime=5s ./internal/features/ (batch step fuzz smoke)"
+go test -run '^FuzzStepBatchVsSerial$' -fuzz '^FuzzStepBatchVsSerial$' -fuzztime=5s ./internal/features/
+
+echo "==> go test -run TestStepBatchAllocations -count=1 ./internal/features/ (step-batch allocation lane)"
+go test -run TestStepBatchAllocations -count=1 -v ./internal/features/
+
+echo "==> ingestbench + benchdiff (columnar ingest bench-regression lane, ratio-normalized)"
+go run ./scripts/ingestbench -out /tmp/monitorless-ingestbench.json -min-speedup 1.5
+go run ./scripts/benchdiff -old BENCH_ingest.json -new /tmp/monitorless-ingestbench.json \
+    -max-regress 15 -ratio-of IngestFeatureSerial -skip IngestPredict
 
 echo "==> predbench + benchdiff (quantized bench-regression lane, ratio-normalized)"
 go run ./scripts/predbench -out /tmp/monitorless-predbench.json -min-speedup 1.5
